@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the per-ACK cost of every congestion-control
+//! algorithm (the operation a NIC performs on each acknowledgement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcc_cc::{build_cc, AckEvent, CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig};
+use hpcc_types::{Bandwidth, Duration, IntHeader, IntHopRecord, SimTime};
+use std::hint::black_box;
+
+fn per_ack_cost(c: &mut Criterion) {
+    let line = Bandwidth::from_gbps(100);
+    let rtt = Duration::from_us(13);
+    let schemes: Vec<(&str, CcAlgorithm)> = vec![
+        ("HPCC", CcAlgorithm::Hpcc(HpccConfig::default())),
+        ("DCQCN", CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(line))),
+        ("TIMELY", CcAlgorithm::Timely(TimelyConfig::recommended(line, rtt))),
+        ("DCTCP", CcAlgorithm::Dctcp(DctcpConfig::default())),
+    ];
+    let mut g = c.benchmark_group("cc/on_ack");
+    for (name, alg) in schemes {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &alg, |b, alg| {
+            let mut cc = build_cc(alg, line, rtt, 1000);
+            let mut int = IntHeader::new();
+            int.push_hop(
+                1,
+                IntHopRecord {
+                    bandwidth: line,
+                    ts: SimTime::from_us(10),
+                    tx_bytes: 1_000_000,
+                    rx_bytes: 1_000_000,
+                    qlen: 10_000,
+                },
+            );
+            let mut seq = 0u64;
+            let mut ts = 10u64;
+            b.iter(|| {
+                seq += 1000;
+                ts += 1;
+                let mut int2 = int;
+                int2.hops[0].ts = SimTime::from_us(ts);
+                int2.hops[0].tx_bytes += seq;
+                let ack = AckEvent {
+                    now: SimTime::from_us(ts),
+                    ack_seq: seq,
+                    snd_nxt: seq + 100_000,
+                    newly_acked: 1000,
+                    ecn_echo: seq % 7 == 0,
+                    rtt: Duration::from_us(15),
+                    int: &int2,
+                };
+                cc.on_ack(black_box(&ack));
+                black_box(cc.state())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, per_ack_cost);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the simulation engine itself: how many simulated
+//! packets and events per second the substrate sustains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpcc_cc::CcAlgorithm;
+use hpcc_sim::{SimConfig, Simulator};
+use hpcc_topology::{star, testbed_pod};
+use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, SimTime};
+
+/// One 2 MB flow between two hosts on a star: measures raw packet-forwarding
+/// throughput of the engine.
+fn single_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/single_flow");
+    g.sample_size(10);
+    let bw = Bandwidth::from_gbps(100);
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("2MB_star", |b| {
+        b.iter(|| {
+            let topo = star(2, bw, Duration::from_us(1));
+            let rtt = topo.suggested_base_rtt(1106);
+            let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), bw, rtt);
+            cfg.end_time = SimTime::from_ms(10);
+            let hosts = topo.hosts().to_vec();
+            let mut sim = Simulator::new(topo, cfg);
+            sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[1], 2_000_000, SimTime::ZERO));
+            let out = sim.run();
+            assert_eq!(out.flows.len(), 1);
+            out.events_processed
+        })
+    });
+    g.finish();
+}
+
+/// An 8-to-1 incast on the testbed PoD: stresses switch queueing, PFC
+/// accounting and multi-hop forwarding.
+fn incast_on_pod(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/incast_pod");
+    g.sample_size(10);
+    for &n in &[4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let topo = testbed_pod(Duration::from_us(1));
+                let bw = Bandwidth::from_gbps(25);
+                let rtt = topo.suggested_base_rtt(1106);
+                let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), bw, rtt);
+                cfg.end_time = SimTime::from_ms(5);
+                let hosts = topo.hosts().to_vec();
+                let mut sim = Simulator::new(topo, cfg);
+                for i in 0..n {
+                    sim.add_flow(FlowSpec::new(
+                        FlowId(i as u64 + 1),
+                        hosts[8 + i],
+                        hosts[0],
+                        200_000,
+                        SimTime::ZERO,
+                    ));
+                }
+                sim.run().events_processed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, single_flow, incast_on_pod);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Miniature versions of the figure scenarios, run under Criterion so that
+//! `cargo bench` exercises the same code paths the figure binaries use and
+//! catches regressions in both runtime and shape (assertions inside).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcc_bench::figures;
+
+fn figure_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/miniature");
+    g.sample_size(10);
+    g.bench_function("fig06_tx_vs_rx", |b| {
+        b.iter(|| {
+            let report = figures::fig06(1);
+            assert!(report.contains("HPCC-rxRate"));
+            report.len()
+        })
+    });
+    g.bench_function("fig13_reaction_modes", |b| {
+        b.iter(|| {
+            let report = figures::fig13(1);
+            assert!(report.contains("per-RTT"));
+            report.len()
+        })
+    });
+    g.bench_function("tab_int_overhead", |b| {
+        b.iter(|| figures::tab_int_overhead().len())
+    });
+    g.bench_function("fluid_convergence", |b| {
+        b.iter(|| figures::fluid_convergence().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figure_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Run every figure harness at its default (laptop) scale and print the
+//! combined report — convenient for refreshing EXPERIMENTS.md.
+fn main() {
+    use hpcc_bench::figures as f;
+    print!("{}", f::tab_int_overhead());
+    print!("{}", f::fluid_convergence());
+    print!("{}", f::fig01(20));
+    print!("{}", f::fig02(20, 0.3));
+    print!("{}", f::fig03(20));
+    print!("{}", f::fig06(2));
+    print!("{}", f::fig09(8));
+    print!("{}", f::fig10(20));
+    print!("{}", f::fig11(15, 0.3, true, false));
+    print!("{}", f::fig11(15, 0.5, false, false));
+    print!("{}", f::fig12(15, 0.3));
+    print!("{}", f::fig13(2));
+    print!("{}", f::fig14(10));
+}

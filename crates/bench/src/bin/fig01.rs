@@ -1,0 +1,7 @@
+//! Regenerate Figure 1 (PFC pause propagation / suppressed bandwidth).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig01 [duration_ms]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 20u64);
+    print!("{}", hpcc_bench::figures::fig01(ms));
+}

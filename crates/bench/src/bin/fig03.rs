@@ -1,0 +1,7 @@
+//! Regenerate Figure 3 (DCQCN ECN threshold trade-off at 30% and 50% load).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig03 [duration_ms]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 20u64);
+    print!("{}", hpcc_bench::figures::fig03(ms));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 6 (txRate vs rxRate congestion signal).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig06 [duration_ms]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 2u64);
+    print!("{}", hpcc_bench::figures::fig06(ms));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 9 (testbed micro-benchmarks, HPCC vs DCQCN).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig09 [duration_ms]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 8u64);
+    print!("{}", hpcc_bench::figures::fig09(ms));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 10 (WebSearch on the testbed PoD at 30%/50% load).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig10 [duration_ms]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 20u64);
+    print!("{}", hpcc_bench::figures::fig10(ms));
+}

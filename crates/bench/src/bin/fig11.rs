@@ -1,0 +1,10 @@
+//! Regenerate Figure 11 (FB_Hadoop on the Clos fabric, six schemes).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig11 [duration_ms] [load] [incast 0/1] [paper_scale 0/1]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 15u64);
+    let load = hpcc_bench::arg_or(&args, 2, 0.3f64);
+    let incast = hpcc_bench::arg_or(&args, 3, 1u8) != 0;
+    let paper = hpcc_bench::arg_or(&args, 4, 0u8) != 0;
+    print!("{}", hpcc_bench::figures::fig11(ms, load, incast, paper));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 12 (flow-control choices x congestion control).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig12 [duration_ms] [load]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 15u64);
+    let load = hpcc_bench::arg_or(&args, 2, 0.3f64);
+    print!("{}", hpcc_bench::figures::fig12(ms, load));
+}

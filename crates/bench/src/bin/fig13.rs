@@ -1,0 +1,7 @@
+//! Regenerate Figure 13 (per-ACK vs per-RTT vs HPCC reaction).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig13 [duration_ms]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 2u64);
+    print!("{}", hpcc_bench::figures::fig13(ms));
+}

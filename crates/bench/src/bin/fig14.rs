@@ -1,0 +1,7 @@
+//! Regenerate Figure 14 (W_AI sweep: fairness vs queue length).
+//! Usage: `cargo run --release -p hpcc-bench --bin fig14 [duration_ms]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ms = hpcc_bench::arg_or(&args, 1, 10u64);
+    print!("{}", hpcc_bench::figures::fig14(ms));
+}

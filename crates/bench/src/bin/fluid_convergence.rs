@@ -1,0 +1,4 @@
+//! Demonstrate the Appendix A.2 fluid-model convergence lemma.
+fn main() {
+    print!("{}", hpcc_bench::figures::fluid_convergence());
+}

@@ -1,0 +1,4 @@
+//! Print the INT header overhead table (Figure 7 / §4.1).
+fn main() {
+    print!("{}", hpcc_bench::figures::tab_int_overhead());
+}

@@ -1,0 +1,132 @@
+//! The interface between a congestion-control algorithm and the host NIC.
+//!
+//! The simulator keeps one boxed [`CongestionControl`] per flow. Events flow
+//! from the NIC into the algorithm (`on_ack`, `on_cnp`, `on_loss`,
+//! `on_timer`) and the NIC reads back the current sending window (an
+//! inflight-byte limit) and pacing rate after every event.
+//!
+//! The split mirrors §4.2 of the paper: the "CC module" receives ACK events
+//! from the RX pipeline and pushes `(window, rate)` updates into the flow
+//! scheduler.
+
+use hpcc_types::{Bandwidth, Duration, IntHeader, SimTime};
+
+/// Everything an algorithm may want to know about one acknowledgement.
+#[derive(Clone, Copy, Debug)]
+pub struct AckEvent<'a> {
+    /// Simulated time at which the ACK reached the sender NIC.
+    pub now: SimTime,
+    /// Cumulative acknowledgement carried by the ACK (next expected byte).
+    pub ack_seq: u64,
+    /// The sender's next byte to be sent (`snd_nxt`), used by HPCC to stamp
+    /// `lastUpdateSeq` when it refreshes the reference window.
+    pub snd_nxt: u64,
+    /// Bytes newly acknowledged by this ACK (0 for duplicate ACKs).
+    pub newly_acked: u64,
+    /// The acknowledged data packet carried an ECN CE mark.
+    pub ecn_echo: bool,
+    /// Round-trip time measured for the acknowledged packet.
+    pub rtt: Duration,
+    /// INT records echoed by the receiver (empty when INT is disabled).
+    pub int: &'a IntHeader,
+}
+
+/// The output state every algorithm maintains: a window and a pacing rate.
+///
+/// Window-based schemes (HPCC, DCTCP, the `+win` wrappers) keep both in sync
+/// via `rate = window / base_rtt`; pure rate-based schemes (DCQCN, TIMELY)
+/// leave the window at [`FlowRateState::UNLIMITED_WINDOW`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowRateState {
+    /// Maximum bytes that may be in flight (sent but not acknowledged).
+    pub window: u64,
+    /// Pacing rate enforced by the NIC's per-flow credit scheduler.
+    pub rate: Bandwidth,
+}
+
+impl FlowRateState {
+    /// Sentinel window for schemes that do not limit inflight bytes.
+    pub const UNLIMITED_WINDOW: u64 = u64::MAX;
+
+    /// A state that starts at line rate with no inflight limit.
+    pub fn line_rate_unlimited(line_rate: Bandwidth) -> Self {
+        FlowRateState {
+            window: Self::UNLIMITED_WINDOW,
+            rate: line_rate,
+        }
+    }
+
+    /// A window-based state starting at line rate with `window` bytes.
+    pub fn windowed(window: u64, line_rate: Bandwidth) -> Self {
+        FlowRateState {
+            window,
+            rate: line_rate,
+        }
+    }
+
+    /// True if the scheme enforces an inflight-byte limit.
+    pub fn is_window_limited(&self) -> bool {
+        self.window != Self::UNLIMITED_WINDOW
+    }
+}
+
+/// A congestion-control algorithm instance bound to a single flow.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Handle one acknowledgement (possibly carrying echoed INT records).
+    fn on_ack(&mut self, ack: &AckEvent<'_>);
+
+    /// Handle a DCQCN congestion-notification packet. Schemes that do not
+    /// use CNPs ignore it.
+    fn on_cnp(&mut self, _now: SimTime) {}
+
+    /// Handle a loss indication (go-back-N NACK, IRN retransmission request
+    /// or retransmission timeout).
+    fn on_loss(&mut self, _now: SimTime) {}
+
+    /// The earliest simulated time at which the algorithm wants
+    /// [`CongestionControl::on_timer`] to be invoked, if any. The NIC
+    /// re-queries this after every event delivered to the algorithm.
+    fn next_timer(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Invoked when a previously requested timer fires.
+    fn on_timer(&mut self, _now: SimTime) {}
+
+    /// Current window / pacing-rate pair.
+    fn state(&self) -> FlowRateState;
+
+    /// Human-readable algorithm name (used in reports and traces).
+    fn name(&self) -> &'static str;
+}
+
+/// Convenience helpers shared by the concrete algorithms.
+pub(crate) fn clamp_rate(rate: Bandwidth, min: Bandwidth, max: Bandwidth) -> Bandwidth {
+    rate.max(min).min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_rate_state_constructors() {
+        let line = Bandwidth::from_gbps(100);
+        let s = FlowRateState::line_rate_unlimited(line);
+        assert!(!s.is_window_limited());
+        assert_eq!(s.rate, line);
+        let w = FlowRateState::windowed(150_000, line);
+        assert!(w.is_window_limited());
+        assert_eq!(w.window, 150_000);
+    }
+
+    #[test]
+    fn clamp_rate_respects_bounds() {
+        let min = Bandwidth::from_mbps(100);
+        let max = Bandwidth::from_gbps(100);
+        assert_eq!(clamp_rate(Bandwidth::from_mbps(10), min, max), min);
+        assert_eq!(clamp_rate(Bandwidth::from_gbps(400), min, max), max);
+        let mid = Bandwidth::from_gbps(40);
+        assert_eq!(clamp_rate(mid, min, max), mid);
+    }
+}

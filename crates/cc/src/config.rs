@@ -1,0 +1,174 @@
+//! Algorithm selection and construction.
+//!
+//! [`CcAlgorithm`] is the configuration-level description of "which CC runs
+//! on the hosts" used by experiment configs, and [`build_cc`] turns it into a
+//! boxed [`CongestionControl`] instance for one flow.
+
+use crate::api::CongestionControl;
+use crate::dcqcn::{Dcqcn, DcqcnConfig};
+use crate::dctcp::{Dctcp, DctcpConfig};
+use crate::hpcc::{Hpcc, HpccConfig};
+use crate::timely::{Timely, TimelyConfig};
+use crate::windowed::Windowed;
+use hpcc_types::{Bandwidth, Duration};
+
+/// Which congestion-control scheme the hosts run (the six schemes compared in
+/// Figure 11, plus the HPCC ablations).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CcAlgorithm {
+    /// HPCC (Algorithm 1) with the given parameters.
+    Hpcc(HpccConfig),
+    /// DCQCN, rate-based (no inflight limit).
+    Dcqcn(DcqcnConfig),
+    /// DCQCN wrapped with a static BDP window ("DCQCN+win").
+    DcqcnWin(DcqcnConfig),
+    /// TIMELY, rate-based (no inflight limit).
+    Timely(TimelyConfig),
+    /// TIMELY wrapped with a static BDP window ("TIMELY+win").
+    TimelyWin(TimelyConfig),
+    /// DCTCP (window-based, slow start removed).
+    Dctcp(DctcpConfig),
+}
+
+impl CcAlgorithm {
+    /// Default HPCC configuration (η = 95%, maxStage = 5, W_AI = 80 B).
+    pub fn hpcc_default() -> Self {
+        CcAlgorithm::Hpcc(HpccConfig::default())
+    }
+
+    /// Default DCQCN configuration for the given line rate.
+    pub fn dcqcn_default(line_rate: Bandwidth) -> Self {
+        CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(line_rate))
+    }
+
+    /// Short display name used in figures and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CcAlgorithm::Hpcc(cfg) => match (cfg.mode, cfg.use_rx_rate) {
+                (crate::hpcc::HpccReactionMode::Combined, false) => "HPCC",
+                (crate::hpcc::HpccReactionMode::Combined, true) => "HPCC-rxRate",
+                (crate::hpcc::HpccReactionMode::PerAck, _) => "HPCC-perACK",
+                (crate::hpcc::HpccReactionMode::PerRtt, _) => "HPCC-perRTT",
+            },
+            CcAlgorithm::Dcqcn(_) => "DCQCN",
+            CcAlgorithm::DcqcnWin(_) => "DCQCN+win",
+            CcAlgorithm::Timely(_) => "TIMELY",
+            CcAlgorithm::TimelyWin(_) => "TIMELY+win",
+            CcAlgorithm::Dctcp(_) => "DCTCP",
+        }
+    }
+
+    /// True if the scheme needs INT telemetry stamped by switches.
+    pub fn needs_int(&self) -> bool {
+        matches!(self, CcAlgorithm::Hpcc(_))
+    }
+
+    /// True if the scheme relies on receiver-generated CNPs (DCQCN family).
+    pub fn needs_cnp(&self) -> bool {
+        matches!(self, CcAlgorithm::Dcqcn(_) | CcAlgorithm::DcqcnWin(_))
+    }
+
+    /// True if the scheme relies on ECN marking at switches.
+    pub fn needs_ecn(&self) -> bool {
+        matches!(
+            self,
+            CcAlgorithm::Dcqcn(_)
+                | CcAlgorithm::DcqcnWin(_)
+                | CcAlgorithm::Dctcp(_)
+        )
+    }
+}
+
+/// Build one congestion-control instance for a flow on a NIC with
+/// `line_rate`, in a network with base RTT `base_rtt` and MTU payload `mtu`.
+pub fn build_cc(
+    alg: &CcAlgorithm,
+    line_rate: Bandwidth,
+    base_rtt: Duration,
+    mtu: u64,
+) -> Box<dyn CongestionControl> {
+    match alg {
+        CcAlgorithm::Hpcc(cfg) => Box::new(Hpcc::new(*cfg, line_rate, base_rtt, mtu)),
+        CcAlgorithm::Dcqcn(cfg) => Box::new(Dcqcn::new(*cfg, line_rate)),
+        CcAlgorithm::DcqcnWin(cfg) => Box::new(Windowed::new(
+            Dcqcn::new(*cfg, line_rate),
+            line_rate,
+            base_rtt,
+            mtu,
+            "DCQCN+win",
+        )),
+        CcAlgorithm::Timely(cfg) => Box::new(Timely::new(*cfg, line_rate)),
+        CcAlgorithm::TimelyWin(cfg) => Box::new(Windowed::new(
+            Timely::new(*cfg, line_rate),
+            line_rate,
+            base_rtt,
+            mtu,
+            "TIMELY+win",
+        )),
+        CcAlgorithm::Dctcp(cfg) => Box::new(Dctcp::new(*cfg, line_rate, base_rtt)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpcc::HpccReactionMode;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(100);
+    const RTT: Duration = Duration::from_us(13);
+
+    #[test]
+    fn build_produces_expected_names_and_windows() {
+        let cases: Vec<(CcAlgorithm, &str, bool)> = vec![
+            (CcAlgorithm::hpcc_default(), "HPCC", true),
+            (CcAlgorithm::dcqcn_default(LINE), "DCQCN", false),
+            (
+                CcAlgorithm::DcqcnWin(DcqcnConfig::vendor_default(LINE)),
+                "DCQCN+win",
+                true,
+            ),
+            (
+                CcAlgorithm::Timely(TimelyConfig::recommended(LINE, RTT)),
+                "TIMELY",
+                false,
+            ),
+            (
+                CcAlgorithm::TimelyWin(TimelyConfig::recommended(LINE, RTT)),
+                "TIMELY+win",
+                true,
+            ),
+            (CcAlgorithm::Dctcp(DctcpConfig::default()), "DCTCP", true),
+        ];
+        for (alg, name, windowed) in cases {
+            let cc = build_cc(&alg, LINE, RTT, 1000);
+            assert_eq!(cc.name(), name);
+            assert_eq!(alg.label(), name);
+            assert_eq!(cc.state().is_window_limited(), windowed, "{name}");
+            assert_eq!(cc.state().rate, LINE, "{name} must start at line rate");
+        }
+    }
+
+    #[test]
+    fn feature_requirements() {
+        assert!(CcAlgorithm::hpcc_default().needs_int());
+        assert!(!CcAlgorithm::hpcc_default().needs_ecn());
+        assert!(CcAlgorithm::dcqcn_default(LINE).needs_cnp());
+        assert!(CcAlgorithm::dcqcn_default(LINE).needs_ecn());
+        assert!(CcAlgorithm::Dctcp(DctcpConfig::default()).needs_ecn());
+        assert!(!CcAlgorithm::Timely(TimelyConfig::recommended(LINE, RTT)).needs_ecn());
+    }
+
+    #[test]
+    fn hpcc_variant_labels() {
+        let per_ack = CcAlgorithm::Hpcc(HpccConfig {
+            mode: HpccReactionMode::PerAck,
+            ..HpccConfig::default()
+        });
+        assert_eq!(per_ack.label(), "HPCC-perACK");
+        let rx = CcAlgorithm::Hpcc(HpccConfig {
+            use_rx_rate: true,
+            ..HpccConfig::default()
+        });
+        assert_eq!(rx.label(), "HPCC-rxRate");
+    }
+}

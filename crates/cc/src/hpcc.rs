@@ -1,0 +1,669 @@
+//! HPCC sender algorithm — Algorithm 1 of the paper.
+//!
+//! The sender keeps, per flow, a current window `W`, a *reference* window
+//! `W^c` refreshed once per RTT, an EWMA estimate `U` of the normalized
+//! inflight bytes of the most-congested link on the path, and the INT records
+//! `L` from the previous acknowledgement. On every ACK it recomputes
+//!
+//! ```text
+//! U  = max over links j of ( qlen_j / (B_j * T) + txRate_j / B_j )   (EWMA)
+//! W  = W^c / (U / eta) + W_AI          if U >= eta or incStage >= maxStage
+//! W  = W^c + W_AI                      otherwise (additive-increase stage)
+//! R  = W / T
+//! ```
+//!
+//! and refreshes `W^c := W` only when the ACK acknowledges the first packet
+//! sent after the previous refresh ("fast reaction without overreaction",
+//! §3.2, Figure 5). The per-ACK-only and per-RTT-only ablations of §5.4
+//! (Figure 13) and the rxRate signal variant of §3.4 (Figure 6) are selected
+//! with [`HpccReactionMode`] and [`HpccConfig::use_rx_rate`].
+
+use crate::api::{clamp_rate, AckEvent, CongestionControl, FlowRateState};
+use hpcc_types::{Bandwidth, Duration, IntHeader, SimTime};
+
+/// How the sender combines per-ACK and per-RTT reactions (§3.2 / §5.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HpccReactionMode {
+    /// The paper's design: react on every ACK, but against a reference
+    /// window that is refreshed once per RTT.
+    #[default]
+    Combined,
+    /// Ablation: blindly react on every ACK (the overreacting strawman of
+    /// Figure 5 / Figure 13 "per-ACK").
+    PerAck,
+    /// Ablation: only react once per RTT (Figure 13 "per-RTT").
+    PerRtt,
+}
+
+/// Tunable parameters of HPCC (§3.3: only three are operator-facing).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HpccConfig {
+    /// Target utilization `eta` (paper default 95%).
+    pub eta: f64,
+    /// Maximum number of consecutive additive-increase rounds before a
+    /// multiplicative adjustment is forced (`maxStage`, paper default 5).
+    pub max_stage: u32,
+    /// Additive-increase step `W_AI` in bytes. The paper's rule of thumb is
+    /// `W_AI = Winit * (1 - eta) / N` for `N` expected concurrent flows.
+    pub wai: u64,
+    /// Reaction-mode ablation switch.
+    pub mode: HpccReactionMode,
+    /// Use the rxRate (arrival-rate) signal instead of txRate (Figure 6
+    /// ablation). The paper shows this oscillates.
+    pub use_rx_rate: bool,
+    /// Minimum pacing rate the algorithm will not go below.
+    pub min_rate: Bandwidth,
+}
+
+impl Default for HpccConfig {
+    fn default() -> Self {
+        HpccConfig {
+            eta: 0.95,
+            max_stage: 5,
+            wai: 80,
+            mode: HpccReactionMode::Combined,
+            use_rx_rate: false,
+            min_rate: Bandwidth::from_mbps(100),
+        }
+    }
+}
+
+impl HpccConfig {
+    /// The paper's rule of thumb for `W_AI` (§3.3): the total additive
+    /// increase of `n_flows` concurrent flows per round should not exceed the
+    /// bandwidth headroom `(1 - eta) * Winit`.
+    pub fn wai_for_flows(line_rate: Bandwidth, base_rtt: Duration, eta: f64, n_flows: u64) -> u64 {
+        let winit = line_rate.bdp_bytes(base_rtt) as f64;
+        ((winit * (1.0 - eta)) / n_flows.max(1) as f64).max(1.0) as u64
+    }
+}
+
+/// Per-link snapshot kept from the previous acknowledgement (`L` in
+/// Algorithm 1).
+#[derive(Clone, Copy, Debug, Default)]
+struct LinkSnapshot {
+    ts: SimTime,
+    tx_bytes: u64,
+    rx_bytes: u64,
+    qlen: u64,
+}
+
+/// HPCC congestion control for one flow.
+#[derive(Debug)]
+pub struct Hpcc {
+    cfg: HpccConfig,
+    line_rate: Bandwidth,
+    base_rtt: Duration,
+    /// Initial (and maximum) window: `B_NIC * T` plus one MTU of slack.
+    w_init: u64,
+    w_min: u64,
+    /// Current window (bytes). Kept as f64 to avoid systematic rounding bias
+    /// across many multiplicative updates.
+    window: f64,
+    /// Reference window `W^c`.
+    w_c: f64,
+    /// EWMA of the normalized inflight bytes of the most loaded link.
+    u_est: f64,
+    inc_stage: u32,
+    last_update_seq: u64,
+    /// INT records of the previous ACK (`L`), one per hop.
+    last_hops: Vec<LinkSnapshot>,
+    last_path_id: Option<u16>,
+    rate: Bandwidth,
+    /// Number of multiplicative (MI/MD) adjustments performed, exposed for
+    /// tests and traces.
+    pub mimd_updates: u64,
+    /// Number of additive-increase adjustments performed.
+    pub ai_updates: u64,
+}
+
+impl Hpcc {
+    /// Create an HPCC instance for a flow on a NIC with `line_rate` and a
+    /// network base RTT of `base_rtt` (the paper's `T`).
+    pub fn new(cfg: HpccConfig, line_rate: Bandwidth, base_rtt: Duration, mtu: u64) -> Self {
+        let w_init = line_rate.bdp_bytes(base_rtt) + mtu;
+        let w_min = cfg.min_rate.bdp_bytes(base_rtt).max(1);
+        Hpcc {
+            cfg,
+            line_rate,
+            base_rtt,
+            w_init,
+            w_min,
+            window: w_init as f64,
+            w_c: w_init as f64,
+            u_est: 1.0,
+            inc_stage: 0,
+            last_update_seq: 0,
+            last_hops: Vec::new(),
+            last_path_id: None,
+            rate: line_rate,
+            mimd_updates: 0,
+            ai_updates: 0,
+        }
+    }
+
+    /// The initial window `Winit = B_NIC * T` (+1 MTU), also the upper bound.
+    pub fn w_init(&self) -> u64 {
+        self.w_init
+    }
+
+    /// The current EWMA utilization estimate `U`.
+    pub fn utilization_estimate(&self) -> f64 {
+        self.u_est
+    }
+
+    /// The current reference window `W^c`.
+    pub fn reference_window(&self) -> u64 {
+        self.w_c as u64
+    }
+
+    /// Function `MeasureInflight(ack)` of Algorithm 1: update the EWMA `U`
+    /// from the echoed INT records and the snapshot of the previous ACK.
+    ///
+    /// Returns `false` when no valid measurement could be made (very first
+    /// ACK of the flow, or a path change that forces the per-link snapshot to
+    /// be re-seeded); the caller must then skip the window update.
+    fn measure_inflight(&mut self, int: &IntHeader) -> bool {
+        let hops = int.hops();
+        if hops.is_empty() {
+            return false;
+        }
+        // Path change (ECMP reroute): discard stale per-link state (§4.1).
+        if self.last_path_id != Some(int.path_id) || self.last_hops.len() != hops.len() {
+            self.take_snapshot(int);
+            return false;
+        }
+
+        let t_sec = self.base_rtt.as_secs_f64();
+        let mut u_new = 0.0f64;
+        let mut tau = self.base_rtt;
+        let mut measured = false;
+        for (hop, last) in hops.iter().zip(self.last_hops.iter()) {
+            let dt = hop.ts.saturating_since(last.ts);
+            if dt.is_zero() {
+                // Two ACKs echoing the same egress timestamp carry no new
+                // rate information for this hop.
+                continue;
+            }
+            let dt_sec = dt.as_secs_f64();
+            let byte_delta = if self.cfg.use_rx_rate {
+                hop.rx_bytes.saturating_sub(last.rx_bytes)
+            } else {
+                hop.tx_bytes.saturating_sub(last.tx_bytes)
+            };
+            let rate_bps = byte_delta as f64 * 8.0 / dt_sec;
+            let b_bps = hop.bandwidth.as_bps() as f64;
+            if b_bps <= 0.0 {
+                continue;
+            }
+            // Line 5: u' = min(qlen, qlen_last) / (B*T) + txRate / B.
+            let qlen = hop.qlen.min(last.qlen) as f64;
+            let u_hop = qlen * 8.0 / (b_bps * t_sec) + rate_bps / b_bps;
+            if u_hop > u_new {
+                u_new = u_hop;
+                tau = dt;
+            }
+            measured = true;
+        }
+        if measured {
+            // Line 8-9: tau = min(tau, T); U = (1 - tau/T) U + (tau/T) u.
+            let tau = tau.min(self.base_rtt);
+            let frac = tau / self.base_rtt;
+            self.u_est = (1.0 - frac) * self.u_est + frac * u_new;
+        }
+        self.take_snapshot(int);
+        true
+    }
+
+    fn take_snapshot(&mut self, int: &IntHeader) {
+        self.last_hops.clear();
+        for hop in int.hops() {
+            self.last_hops.push(LinkSnapshot {
+                ts: hop.ts,
+                tx_bytes: hop.tx_bytes,
+                rx_bytes: hop.rx_bytes,
+                qlen: hop.qlen,
+            });
+        }
+        self.last_path_id = Some(int.path_id);
+    }
+
+    /// Function `ComputeWind(U, updateWc)` of Algorithm 1.
+    fn compute_wind(&mut self, update_wc: bool) {
+        if self.u_est >= self.cfg.eta || self.inc_stage >= self.cfg.max_stage {
+            // Multiplicative adjustment towards eta, plus the AI term.
+            let k = (self.u_est / self.cfg.eta).max(f64::MIN_POSITIVE);
+            self.window = self.w_c / k + self.cfg.wai as f64;
+            self.mimd_updates += 1;
+            if update_wc {
+                self.inc_stage = 0;
+                self.w_c = self.window;
+            }
+        } else {
+            // Additive increase stage.
+            self.window = self.w_c + self.cfg.wai as f64;
+            self.ai_updates += 1;
+            if update_wc {
+                self.inc_stage += 1;
+                self.w_c = self.window;
+            }
+        }
+        self.clamp();
+    }
+
+    fn clamp(&mut self) {
+        self.window = self.window.clamp(self.w_min as f64, self.w_init as f64);
+        self.w_c = self.w_c.clamp(self.w_min as f64, self.w_init as f64);
+        // R = W / T.
+        let rate = Bandwidth::from_bps((self.window * 8.0 / self.base_rtt.as_secs_f64()) as u64);
+        self.rate = clamp_rate(rate, self.cfg.min_rate, self.line_rate);
+    }
+}
+
+impl CongestionControl for Hpcc {
+    fn on_ack(&mut self, ack: &AckEvent<'_>) {
+        if ack.int.hops().is_empty() {
+            // No telemetry (INT disabled): HPCC cannot react; keep state.
+            return;
+        }
+        if !self.measure_inflight(ack.int) {
+            // First ACK of the flow or a rerouted path: only (re-)seed the
+            // per-link snapshot, mirroring the "first RTT" branch of the
+            // authors' implementation.
+            return;
+        }
+        match self.cfg.mode {
+            HpccReactionMode::Combined => {
+                // Procedure NewAck, lines 21-27: a full update (refreshing
+                // the reference window) once per round, a fast reaction
+                // against the unchanged reference otherwise.
+                if ack.ack_seq > self.last_update_seq {
+                    self.compute_wind(true);
+                    self.last_update_seq = ack.snd_nxt;
+                } else {
+                    self.compute_wind(false);
+                }
+            }
+            HpccReactionMode::PerAck => {
+                // Blindly refresh the reference window on every ACK: this is
+                // the overreacting behaviour of Figure 5.
+                self.compute_wind(true);
+                self.last_update_seq = ack.snd_nxt;
+            }
+            HpccReactionMode::PerRtt => {
+                // Only adjust when the first packet of the current round is
+                // acknowledged; information from other ACKs only enters the
+                // EWMA.
+                if ack.ack_seq > self.last_update_seq {
+                    self.compute_wind(true);
+                    self.last_update_seq = ack.snd_nxt;
+                }
+            }
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        // HPCC does not have an explicit loss term: losses are prevented by
+        // PFC or recovered by the transport. The window keeps following INT.
+    }
+
+    fn state(&self) -> FlowRateState {
+        FlowRateState {
+            window: self.window as u64,
+            rate: self.rate,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.cfg.mode, self.cfg.use_rx_rate) {
+            (HpccReactionMode::Combined, false) => "HPCC",
+            (HpccReactionMode::Combined, true) => "HPCC-rxRate",
+            (HpccReactionMode::PerAck, _) => "HPCC-perACK",
+            (HpccReactionMode::PerRtt, _) => "HPCC-perRTT",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_types::{IntHopRecord, MAX_INT_HOPS};
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(100);
+    const RTT: Duration = Duration::from_us(13);
+    const MTU: u64 = 1000;
+
+    fn make(cfg: HpccConfig) -> Hpcc {
+        Hpcc::new(cfg, LINE, RTT, MTU)
+    }
+
+    /// Build an INT header with a single hop carrying the given load.
+    fn int_one_hop(ts_us: u64, tx_bytes: u64, qlen: u64) -> IntHeader {
+        let mut h = IntHeader::new();
+        h.push_hop(
+            1,
+            IntHopRecord {
+                bandwidth: LINE,
+                ts: SimTime::from_us(ts_us),
+                tx_bytes,
+                rx_bytes: tx_bytes,
+                qlen,
+            },
+        );
+        h
+    }
+
+    fn ack<'a>(now_us: u64, ack_seq: u64, snd_nxt: u64, int: &'a IntHeader) -> AckEvent<'a> {
+        AckEvent {
+            now: SimTime::from_us(now_us),
+            ack_seq,
+            snd_nxt,
+            newly_acked: 1000,
+            ecn_echo: false,
+            rtt: RTT,
+            int,
+        }
+    }
+
+    /// Bytes a 100 Gbps link transmits in `us` microseconds.
+    fn bytes_at_line_rate(us: u64) -> u64 {
+        LINE.bytes_in(Duration::from_us(us))
+    }
+
+    #[test]
+    fn starts_at_line_rate_with_bdp_window() {
+        let h = make(HpccConfig::default());
+        let s = h.state();
+        assert_eq!(s.rate, LINE);
+        assert_eq!(s.window, LINE.bdp_bytes(RTT) + MTU);
+    }
+
+    #[test]
+    fn congested_link_causes_multiplicative_decrease() {
+        let mut h = make(HpccConfig::default());
+        let w0 = h.state().window;
+        // First ACK only establishes the snapshot L (it already reports the
+        // standing queue so that the min-filter of Line 5 keeps it).
+        let i0 = int_one_hop(10, 0, LINE.bdp_bytes(RTT));
+        h.on_ack(&ack(10, 1000, 2000, &i0));
+        assert_eq!(h.state().window, w0);
+        // Second ACK: link fully busy (tx at line rate) with a deep queue of
+        // one BDP → U ≈ qlen/(B*T) + 1 ≈ 2 → window roughly halves.
+        let i1 = int_one_hop(23, bytes_at_line_rate(13), LINE.bdp_bytes(RTT));
+        h.on_ack(&ack(23, 2000, 4000, &i1));
+        let w1 = h.state().window;
+        assert!(w1 < w0 * 6 / 10, "expected strong decrease, got {w1} vs {w0}");
+        assert!(h.utilization_estimate() > 1.5);
+        assert!(h.state().rate < LINE);
+    }
+
+    #[test]
+    fn idle_link_triggers_additive_then_multiplicative_increase() {
+        let mut h = make(HpccConfig {
+            wai: 800,
+            ..HpccConfig::default()
+        });
+        // Drive the window down first.
+        let i0 = int_one_hop(10, 0, LINE.bdp_bytes(RTT) * 2);
+        h.on_ack(&ack(10, 1000, 2000, &i0));
+        let i1 = int_one_hop(23, bytes_at_line_rate(13), LINE.bdp_bytes(RTT) * 2);
+        h.on_ack(&ack(23, 2000, 4000, &i1));
+        let w_low = h.state().window;
+        assert!(w_low < h.w_init() / 2);
+
+        // Now the link goes almost idle: 20% utilization, empty queue.
+        let mut prev_tx = bytes_at_line_rate(13);
+        let mut seq = 4000;
+        let mut ts = 23;
+        let mut windows = Vec::new();
+        for round in 0..(h.cfg.max_stage + 3) {
+            ts += 13;
+            prev_tx += bytes_at_line_rate(13) / 5;
+            let i = int_one_hop(ts, prev_tx, 0);
+            // Each ACK opens a new round: the acknowledged sequence moves
+            // past the snd_nxt recorded at the previous round opening.
+            seq += 100_000;
+            h.on_ack(&ack(ts, seq, seq + 50_000, &i));
+            windows.push(h.state().window);
+            let _ = round;
+        }
+        // During the first maxStage rounds the growth is additive (small
+        // steps of W_AI); once incStage exceeds maxStage the multiplicative
+        // term kicks in and the window jumps far more than W_AI.
+        let ai_step = windows[1].saturating_sub(windows[0]);
+        assert!(ai_step <= 2 * 800, "additive step too large: {ai_step}");
+        let max_jump = windows
+            .windows(2)
+            .map(|w| w[1].saturating_sub(w[0]))
+            .max()
+            .unwrap();
+        assert!(
+            max_jump > 10 * 800,
+            "expected a multiplicative jump after maxStage rounds, max step {max_jump}"
+        );
+        assert!(h.mimd_updates >= 2);
+        assert!(h.ai_updates >= 1);
+    }
+
+    #[test]
+    fn no_overreaction_within_one_rtt() {
+        // Figure 5: ACKs within the same round all react against the same
+        // reference window Wc, so two fast-react ACKs reporting the same
+        // congested queue compute the same window (W(2) = W(1)), instead of
+        // compounding the decrease.
+        let mut h = make(HpccConfig::default());
+        let q = LINE.bdp_bytes(RTT);
+        let i0 = int_one_hop(10, 0, q);
+        h.on_ack(&ack(10, 1000, 200_000, &i0));
+        // Round-opening ACK: refreshes Wc and lastUpdateSeq (= 200_000).
+        let i1 = int_one_hop(23, bytes_at_line_rate(13), q);
+        h.on_ack(&ack(23, 2000, 200_000, &i1));
+        let wc = h.reference_window();
+        // Two fast-react ACKs in the same round reporting the same state.
+        let i2 = int_one_hop(24, bytes_at_line_rate(14), q);
+        h.on_ack(&ack(24, 3000, 200_000, &i2));
+        let w_first = h.state().window;
+        let i3 = int_one_hop(25, bytes_at_line_rate(15), q);
+        h.on_ack(&ack(25, 4000, 200_000, &i3));
+        let w_second = h.state().window;
+        assert_eq!(h.reference_window(), wc, "Wc must not change within a round");
+        let diff = w_first.abs_diff(w_second);
+        assert!(
+            diff * 100 <= w_first.max(1),
+            "fast-react windows differ: {w_first} vs {w_second}"
+        );
+    }
+
+    #[test]
+    fn per_ack_mode_overreacts() {
+        let mut combined = make(HpccConfig::default());
+        let mut per_ack = make(HpccConfig {
+            mode: HpccReactionMode::PerAck,
+            ..HpccConfig::default()
+        });
+        let q = LINE.bdp_bytes(RTT);
+        let i0 = int_one_hop(10, 0, 0);
+        for h in [&mut combined, &mut per_ack] {
+            h.on_ack(&ack(10, 1000, 200_000, &i0));
+        }
+        // Deliver a run of ACKs inside one RTT all reporting a saturated
+        // queue; per-ACK mode compounds the decrease, combined does not.
+        for k in 0..8u64 {
+            let i = int_one_hop(23 + k, bytes_at_line_rate(13 + k), q);
+            let a = ack(23 + k, 2000 + k * 1000, 200_000, &i);
+            combined.on_ack(&a);
+            per_ack.on_ack(&a);
+        }
+        assert!(
+            per_ack.state().window * 3 < combined.state().window,
+            "per-ACK ({}) should collapse well below combined ({})",
+            per_ack.state().window,
+            combined.state().window
+        );
+    }
+
+    #[test]
+    fn per_rtt_mode_reacts_once_per_round() {
+        let mut h = make(HpccConfig {
+            mode: HpccReactionMode::PerRtt,
+            ..HpccConfig::default()
+        });
+        let q = LINE.bdp_bytes(RTT);
+        let i0 = int_one_hop(10, 0, 0);
+        h.on_ack(&ack(10, 1000, 200_000, &i0));
+        let i1 = int_one_hop(23, bytes_at_line_rate(13), q);
+        h.on_ack(&ack(23, 2000, 200_000, &i1));
+        let w1 = h.state().window;
+        assert!(w1 < h.w_init());
+        // Subsequent ACKs within the same round change nothing.
+        let i2 = int_one_hop(24, bytes_at_line_rate(14), q);
+        h.on_ack(&ack(24, 3000, 200_000, &i2));
+        assert_eq!(h.state().window, w1);
+    }
+
+    #[test]
+    fn path_change_resets_measurement() {
+        let mut h = make(HpccConfig::default());
+        let i0 = int_one_hop(10, 0, 0);
+        h.on_ack(&ack(10, 1000, 2000, &i0));
+        // Same structure but a different path id (rerouted flow).
+        let mut i1 = int_one_hop(23, bytes_at_line_rate(13), LINE.bdp_bytes(RTT));
+        i1.path_id = 0xbeef;
+        let w0 = h.state().window;
+        h.on_ack(&ack(23, 2000, 4000, &i1));
+        // The reroute ACK only re-seeds the snapshot; no window change even
+        // though it reports a congested hop.
+        assert_eq!(h.state().window, w0);
+        // The next ACK on the new path measures against the fresh snapshot
+        // and reacts normally.
+        let mut i2 = int_one_hop(36, 2 * bytes_at_line_rate(13), LINE.bdp_bytes(RTT));
+        i2.path_id = 0xbeef;
+        h.on_ack(&ack(36, 3000, 6000, &i2));
+        assert!(h.state().window < w0);
+    }
+
+    #[test]
+    fn identical_timestamps_do_not_divide_by_zero() {
+        let mut h = make(HpccConfig::default());
+        let i0 = int_one_hop(10, 5000, 100);
+        h.on_ack(&ack(10, 1000, 2000, &i0));
+        // Same egress timestamp: hop is skipped, no NaN/panic.
+        let i1 = int_one_hop(10, 5000, 100);
+        h.on_ack(&ack(11, 2000, 4000, &i1));
+        assert!(h.utilization_estimate().is_finite());
+        assert!(h.state().window >= 1);
+    }
+
+    #[test]
+    fn window_stays_within_bounds_under_random_feedback() {
+        // Property-style bound check with a deterministic pseudo-random walk.
+        let mut h = make(HpccConfig::default());
+        let mut x: u64 = 0x12345678;
+        let mut ts = 10u64;
+        let mut tx = 0u64;
+        let mut seq = 0u64;
+        let i0 = int_one_hop(ts, tx, 0);
+        h.on_ack(&ack(ts, 1, 2, &i0));
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dt = 1 + (x >> 33) % 20;
+            ts += dt;
+            tx += (x >> 17) % (2 * bytes_at_line_rate(dt));
+            let qlen = (x >> 5) % (4 * LINE.bdp_bytes(RTT));
+            seq += 1 + (x % 3) * 50_000;
+            let i = int_one_hop(ts, tx, qlen);
+            h.on_ack(&ack(ts, seq, seq + 100_000, &i));
+            let w = h.state().window;
+            assert!(w >= h.w_min, "window {w} below floor");
+            assert!(w <= h.w_init(), "window {w} above Winit");
+            assert!(h.utilization_estimate().is_finite());
+            assert!(h.state().rate <= LINE);
+            assert!(h.state().rate >= HpccConfig::default().min_rate);
+        }
+    }
+
+    #[test]
+    fn wai_rule_of_thumb_matches_paper_example() {
+        // §5.4: 16 flows at 100 Gbps, 4 us base RTT, eta = 0.95 →
+        // WAI must not exceed ~150 bytes; §5.1 footnote: 100 flows → 80 B
+        // (the paper rounds 162500*0.05/100 ≈ 81 down to 80).
+        let w16 = HpccConfig::wai_for_flows(LINE, Duration::from_us(4), 0.95, 16);
+        assert!((140..=160).contains(&w16), "wai for 16 flows = {w16}");
+        let w100 = HpccConfig::wai_for_flows(LINE, Duration::from_us(13), 0.95, 100);
+        assert!((75..=85).contains(&w100), "wai for 100 flows = {w100}");
+    }
+
+    #[test]
+    fn ignores_acks_without_int() {
+        let mut h = make(HpccConfig::default());
+        let empty = IntHeader::new();
+        let w0 = h.state().window;
+        h.on_ack(&ack(10, 1000, 2000, &empty));
+        assert_eq!(h.state().window, w0);
+    }
+
+    #[test]
+    fn names_reflect_variants() {
+        assert_eq!(make(HpccConfig::default()).name(), "HPCC");
+        assert_eq!(
+            make(HpccConfig {
+                use_rx_rate: true,
+                ..HpccConfig::default()
+            })
+            .name(),
+            "HPCC-rxRate"
+        );
+        assert_eq!(
+            make(HpccConfig {
+                mode: HpccReactionMode::PerAck,
+                ..HpccConfig::default()
+            })
+            .name(),
+            "HPCC-perACK"
+        );
+    }
+
+    #[test]
+    fn multi_hop_reacts_to_most_congested_link() {
+        let mut h = make(HpccConfig::default());
+        let mk = |ts: u64, tx0: u64, q0: u64, tx1: u64, q1: u64| {
+            let mut hdr = IntHeader::new();
+            hdr.push_hop(
+                1,
+                IntHopRecord {
+                    bandwidth: LINE,
+                    ts: SimTime::from_us(ts),
+                    tx_bytes: tx0,
+                    rx_bytes: tx0,
+                    qlen: q0,
+                },
+            );
+            hdr.push_hop(
+                2,
+                IntHopRecord {
+                    bandwidth: LINE,
+                    ts: SimTime::from_us(ts),
+                    tx_bytes: tx1,
+                    rx_bytes: tx1,
+                    qlen: q1,
+                },
+            );
+            hdr
+        };
+        let i0 = mk(10, 0, 0, 0, LINE.bdp_bytes(RTT));
+        h.on_ack(&ack(10, 1000, 2000, &i0));
+        // Hop 0 is nearly idle, hop 1 is saturated with a deep queue: the
+        // congested hop must dominate the decision.
+        let i1 = mk(
+            23,
+            bytes_at_line_rate(13) / 10,
+            0,
+            bytes_at_line_rate(13),
+            LINE.bdp_bytes(RTT),
+        );
+        h.on_ack(&ack(23, 2000, 4000, &i1));
+        assert!(h.utilization_estimate() > 1.5);
+        assert!(h.state().window < h.w_init() * 6 / 10);
+        assert!(h.last_hops.len() == 2 && h.last_hops.capacity() <= MAX_INT_HOPS * 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! TIMELY — RTT-gradient based rate control (Mittal et al., SIGCOMM 2015),
+//! the second RDMA baseline of the paper.
+//!
+//! On every acknowledgement the sender measures the RTT, maintains an EWMA of
+//! the RTT difference, and:
+//!
+//! * below `t_low` it increases additively,
+//! * above `t_high` it decreases multiplicatively towards `t_high / rtt`,
+//! * otherwise it follows the normalized RTT gradient: non-positive gradient
+//!   → additive increase (with hyper-active increase after `hai_threshold`
+//!   consecutive rounds), positive gradient → multiplicative decrease.
+//!
+//! TIMELY is purely rate-based: it does not bound inflight bytes, which is
+//! exactly the weakness the paper's "+win" variant (see
+//! [`crate::windowed::Windowed`]) patches.
+
+use crate::api::{clamp_rate, AckEvent, CongestionControl, FlowRateState};
+use hpcc_types::{Bandwidth, Duration, SimTime};
+
+/// TIMELY parameters, following the values used in the paper's simulations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimelyConfig {
+    /// EWMA weight for the RTT-difference filter.
+    pub ewma_alpha: f64,
+    /// Additive increase step `delta`.
+    pub delta: Bandwidth,
+    /// Multiplicative decrease factor `beta`.
+    pub beta: f64,
+    /// Low RTT threshold: below this, always increase.
+    pub t_low: Duration,
+    /// High RTT threshold: above this, always decrease.
+    pub t_high: Duration,
+    /// Consecutive non-positive-gradient rounds before hyper-active increase.
+    pub hai_threshold: u32,
+    /// Minimum RTT used to normalize the gradient (the base network RTT).
+    pub min_rtt: Duration,
+    /// Minimum rate.
+    pub min_rate: Bandwidth,
+}
+
+impl TimelyConfig {
+    /// Defaults for a data-center network with base RTT `min_rtt`.
+    pub fn recommended(line_rate: Bandwidth, min_rtt: Duration) -> Self {
+        let scale = line_rate.as_bps() as f64 / 10e9;
+        TimelyConfig {
+            ewma_alpha: 0.875,
+            delta: Bandwidth::from_mbps((10.0 * scale).max(1.0) as u64),
+            beta: 0.8,
+            t_low: Duration::from_us(50),
+            t_high: Duration::from_us(500),
+            hai_threshold: 5,
+            min_rtt,
+            min_rate: Bandwidth::from_mbps(100),
+        }
+    }
+}
+
+/// TIMELY rate control for one flow.
+#[derive(Debug)]
+pub struct Timely {
+    cfg: TimelyConfig,
+    line_rate: Bandwidth,
+    rate: Bandwidth,
+    prev_rtt: Option<Duration>,
+    /// EWMA of consecutive RTT differences, in seconds (signed).
+    rtt_diff_sec: f64,
+    /// Consecutive completion events with non-positive gradient.
+    neg_gradient_rounds: u32,
+    /// Count of multiplicative decreases (exposed for tests / traces).
+    pub decrease_events: u64,
+    /// Count of additive/HAI increases.
+    pub increase_events: u64,
+}
+
+impl Timely {
+    /// Create a TIMELY instance starting at line rate.
+    pub fn new(cfg: TimelyConfig, line_rate: Bandwidth) -> Self {
+        Timely {
+            cfg,
+            line_rate,
+            rate: line_rate,
+            prev_rtt: None,
+            rtt_diff_sec: 0.0,
+            neg_gradient_rounds: 0,
+            decrease_events: 0,
+            increase_events: 0,
+        }
+    }
+
+    /// The current normalized RTT gradient estimate.
+    pub fn normalized_gradient(&self) -> f64 {
+        self.rtt_diff_sec / self.cfg.min_rtt.as_secs_f64()
+    }
+
+    fn apply(&mut self, rate: Bandwidth) {
+        self.rate = clamp_rate(rate, self.cfg.min_rate, self.line_rate);
+    }
+}
+
+impl CongestionControl for Timely {
+    fn on_ack(&mut self, ack: &AckEvent<'_>) {
+        let new_rtt = ack.rtt;
+        let prev = match self.prev_rtt.replace(new_rtt) {
+            Some(p) => p,
+            None => return,
+        };
+        let diff = new_rtt.as_secs_f64() - prev.as_secs_f64();
+        let a = self.cfg.ewma_alpha;
+        self.rtt_diff_sec = (1.0 - a) * self.rtt_diff_sec + a * diff;
+        let gradient = self.normalized_gradient();
+
+        if new_rtt < self.cfg.t_low {
+            // Far from congestion: plain additive increase.
+            self.neg_gradient_rounds = 0;
+            self.apply(self.rate + self.cfg.delta);
+            self.increase_events += 1;
+        } else if new_rtt > self.cfg.t_high {
+            // Severe congestion regardless of gradient.
+            self.neg_gradient_rounds = 0;
+            let factor =
+                1.0 - self.cfg.beta * (1.0 - self.cfg.t_high.as_secs_f64() / new_rtt.as_secs_f64());
+            self.apply(self.rate.mul_f64(factor.max(0.0)));
+            self.decrease_events += 1;
+        } else if gradient <= 0.0 {
+            // Queue is stable or draining: additive increase, with HAI after
+            // enough consecutive rounds.
+            self.neg_gradient_rounds += 1;
+            let n = if self.neg_gradient_rounds >= self.cfg.hai_threshold {
+                5
+            } else {
+                1
+            };
+            self.apply(self.rate + Bandwidth::from_bps(self.cfg.delta.as_bps() * n));
+            self.increase_events += 1;
+        } else {
+            // Queue growing: multiplicative decrease proportional to gradient.
+            self.neg_gradient_rounds = 0;
+            let factor = (1.0 - self.cfg.beta * gradient).max(0.0);
+            self.apply(self.rate.mul_f64(factor));
+            self.decrease_events += 1;
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        // Severe event: halve the rate (mirrors vendor firmware behaviour on
+        // retransmission for RTT-based CC).
+        self.apply(self.rate.mul_f64(0.5));
+        self.decrease_events += 1;
+    }
+
+    fn state(&self) -> FlowRateState {
+        FlowRateState {
+            window: FlowRateState::UNLIMITED_WINDOW,
+            rate: self.rate,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TIMELY"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_types::IntHeader;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(25);
+    const BASE_RTT: Duration = Duration::from_us(10);
+
+    fn cfg() -> TimelyConfig {
+        TimelyConfig::recommended(LINE, BASE_RTT)
+    }
+
+    fn ack_with_rtt(now_us: u64, rtt: Duration, int: &IntHeader) -> AckEvent<'_> {
+        AckEvent {
+            now: SimTime::from_us(now_us),
+            ack_seq: 0,
+            snd_nxt: 0,
+            newly_acked: 1000,
+            ecn_echo: false,
+            rtt,
+            int,
+        }
+    }
+
+    #[test]
+    fn starts_at_line_rate_unlimited() {
+        let t = Timely::new(cfg(), LINE);
+        assert_eq!(t.state().rate, LINE);
+        assert!(!t.state().is_window_limited());
+    }
+
+    #[test]
+    fn low_rtt_keeps_increasing() {
+        let mut t = Timely::new(cfg(), LINE);
+        // Pull the rate down first so increases are observable.
+        t.on_loss(SimTime::ZERO);
+        let start = t.state().rate;
+        let int = IntHeader::new();
+        for i in 0..10 {
+            t.on_ack(&ack_with_rtt(i, Duration::from_us(12), &int));
+        }
+        assert!(t.state().rate > start);
+        assert!(t.increase_events >= 9);
+    }
+
+    #[test]
+    fn rtt_above_t_high_decreases() {
+        let mut t = Timely::new(cfg(), LINE);
+        let int = IntHeader::new();
+        t.on_ack(&ack_with_rtt(0, Duration::from_us(100), &int));
+        t.on_ack(&ack_with_rtt(1, Duration::from_us(800), &int));
+        assert!(t.state().rate < LINE);
+        assert!(t.decrease_events >= 1);
+    }
+
+    #[test]
+    fn rising_rtt_gradient_decreases_rate() {
+        let mut t = Timely::new(cfg(), LINE);
+        let int = IntHeader::new();
+        // Steadily rising RTT between t_low and t_high.
+        for (i, rtt_us) in [60u64, 80, 110, 150, 200, 260].iter().enumerate() {
+            t.on_ack(&ack_with_rtt(i as u64, Duration::from_us(*rtt_us), &int));
+        }
+        assert!(t.state().rate < LINE);
+        assert!(t.normalized_gradient() > 0.0);
+    }
+
+    #[test]
+    fn falling_rtt_gradient_increases_rate_with_hai() {
+        let mut t = Timely::new(cfg(), LINE);
+        t.on_loss(SimTime::ZERO);
+        let start = t.state().rate;
+        let int = IntHeader::new();
+        // Falling RTTs in the stable band: gradient <= 0 → AI then HAI.
+        let mut rtt = 400u64;
+        for i in 0..12 {
+            t.on_ack(&ack_with_rtt(i, Duration::from_us(rtt), &int));
+            rtt = rtt.saturating_sub(20).max(60);
+        }
+        assert!(t.state().rate > start);
+        assert!(t.neg_gradient_rounds >= 5 || t.state().rate == LINE);
+    }
+
+    #[test]
+    fn loss_halves_rate() {
+        let mut t = Timely::new(cfg(), LINE);
+        t.on_loss(SimTime::ZERO);
+        assert_eq!(t.state().rate, LINE.mul_f64(0.5));
+    }
+
+    #[test]
+    fn rate_stays_bounded_under_noisy_rtts() {
+        let mut t = Timely::new(cfg(), LINE);
+        let int = IntHeader::new();
+        let mut x: u64 = 0xdeadbeef;
+        for i in 0..2000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let rtt_us = 10 + (x >> 40) % 900;
+            t.on_ack(&ack_with_rtt(i, Duration::from_us(rtt_us), &int));
+            let r = t.state().rate;
+            assert!(r >= cfg().min_rate && r <= LINE);
+            assert!(t.normalized_gradient().is_finite());
+        }
+    }
+
+    #[test]
+    fn delta_scales_with_line_rate() {
+        assert_eq!(cfg().delta, Bandwidth::from_mbps(25));
+        assert_eq!(
+            TimelyConfig::recommended(Bandwidth::from_gbps(100), BASE_RTT).delta,
+            Bandwidth::from_mbps(100)
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's "+win" variants (§5.1, Figure 11/12): a rate-based scheme
+//! (DCQCN or TIMELY) wrapped with a static sending window of one
+//! bandwidth-delay product, "same as we use for HPCC".
+//!
+//! §5.3's key observation is that *just adding this window* — i.e. limiting
+//! inflight bytes — already eliminates almost all PFC pauses, even though the
+//! rate control underneath is unchanged.
+
+use crate::api::{AckEvent, CongestionControl, FlowRateState};
+use hpcc_types::{Bandwidth, Duration, SimTime};
+
+/// A rate-based congestion controller augmented with a fixed BDP window.
+#[derive(Debug)]
+pub struct Windowed<C: CongestionControl> {
+    inner: C,
+    window: u64,
+    name: &'static str,
+}
+
+impl<C: CongestionControl> Windowed<C> {
+    /// Wrap `inner` with a static window of `line_rate * base_rtt` (+1 MTU).
+    pub fn new(inner: C, line_rate: Bandwidth, base_rtt: Duration, mtu: u64, name: &'static str) -> Self {
+        Windowed {
+            inner,
+            window: line_rate.bdp_bytes(base_rtt) + mtu,
+            name,
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The static window size in bytes.
+    pub fn static_window(&self) -> u64 {
+        self.window
+    }
+}
+
+impl<C: CongestionControl> CongestionControl for Windowed<C> {
+    fn on_ack(&mut self, ack: &AckEvent<'_>) {
+        self.inner.on_ack(ack);
+    }
+    fn on_cnp(&mut self, now: SimTime) {
+        self.inner.on_cnp(now);
+    }
+    fn on_loss(&mut self, now: SimTime) {
+        self.inner.on_loss(now);
+    }
+    fn next_timer(&self) -> Option<SimTime> {
+        self.inner.next_timer()
+    }
+    fn on_timer(&mut self, now: SimTime) {
+        self.inner.on_timer(now);
+    }
+    fn state(&self) -> FlowRateState {
+        FlowRateState {
+            window: self.window,
+            rate: self.inner.state().rate,
+        }
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcqcn::{Dcqcn, DcqcnConfig};
+    use crate::timely::{Timely, TimelyConfig};
+    use hpcc_types::IntHeader;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(100);
+    const RTT: Duration = Duration::from_us(13);
+
+    #[test]
+    fn dcqcn_win_limits_inflight_but_keeps_rate_control() {
+        let inner = Dcqcn::new(DcqcnConfig::vendor_default(LINE), LINE);
+        let mut w = Windowed::new(inner, LINE, RTT, 1000, "DCQCN+win");
+        assert_eq!(w.state().window, LINE.bdp_bytes(RTT) + 1000);
+        assert_eq!(w.state().rate, LINE);
+        assert!(w.state().is_window_limited());
+        // A CNP still cuts the rate but the window stays fixed.
+        w.on_cnp(SimTime::from_us(5));
+        assert_eq!(w.state().rate, LINE.mul_f64(0.5));
+        assert_eq!(w.state().window, LINE.bdp_bytes(RTT) + 1000);
+        assert_eq!(w.name(), "DCQCN+win");
+    }
+
+    #[test]
+    fn timely_win_delegates_timers_and_acks() {
+        let inner = Timely::new(TimelyConfig::recommended(LINE, RTT), LINE);
+        let mut w = Windowed::new(inner, LINE, RTT, 1000, "TIMELY+win");
+        assert!(w.next_timer().is_none());
+        let int = IntHeader::new();
+        let mk = |rtt_us: u64| AckEvent {
+            now: SimTime::from_us(rtt_us),
+            ack_seq: 0,
+            snd_nxt: 0,
+            newly_acked: 1000,
+            ecn_echo: false,
+            rtt: Duration::from_us(rtt_us),
+            int: &int,
+        };
+        w.on_ack(&mk(100));
+        w.on_ack(&mk(800));
+        assert!(w.state().rate < LINE, "inner TIMELY should have decreased");
+        assert_eq!(w.static_window(), LINE.bdp_bytes(RTT) + 1000);
+        assert!(w.inner().decrease_events >= 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Building, running and analysing one simulation.
+
+use hpcc_sim::{SimConfig, SimOutput, Simulator};
+use hpcc_stats::fct::{FlowFct, SizeBucketStats};
+use hpcc_stats::pfc::{pause_burst_spread, PfcSummary};
+use hpcc_stats::queue::{queue_cdf, queue_percentile};
+use hpcc_stats::series::goodput_series_gbps;
+use hpcc_stats::{FctAnalyzer, FctBucket, Percentiles};
+use hpcc_topology::{NodeKind, TopologySpec};
+use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, SimTime};
+
+/// One fully specified simulation: a topology, a behavioural configuration
+/// and a flow list, plus a label used in reports.
+pub struct Experiment {
+    /// Human-readable label ("HPCC", "DCQCN Kmin=100K", …).
+    pub label: String,
+    /// The network to simulate.
+    pub topo: TopologySpec,
+    /// Host/switch behaviour.
+    pub cfg: SimConfig,
+    /// Flows to inject.
+    pub flows: Vec<FlowSpec>,
+    /// Host NIC rate (used for ideal-FCT computation).
+    pub host_bw: Bandwidth,
+}
+
+impl Experiment {
+    /// Run the simulation and wrap the raw output with analysis helpers.
+    pub fn run(self) -> ExperimentResults {
+        let analyzer = FctAnalyzer::new(self.host_bw, self.cfg.base_rtt, self.cfg.int_enabled);
+        let host_count = self.topo.hosts().len();
+        let mut sim = Simulator::new(self.topo, self.cfg);
+        let flow_count = self.flows.len();
+        sim.add_flows(self.flows.iter().copied());
+        let out = sim.run();
+        ExperimentResults {
+            label: self.label,
+            analyzer,
+            out,
+            flow_count,
+            host_count,
+        }
+    }
+}
+
+/// The outcome of one experiment plus derived-metric helpers.
+pub struct ExperimentResults {
+    /// Label copied from the experiment.
+    pub label: String,
+    /// Ideal-FCT model used for slowdowns.
+    pub analyzer: FctAnalyzer,
+    /// Raw simulator output.
+    pub out: SimOutput,
+    /// Number of flows that were injected.
+    pub flow_count: usize,
+    /// Number of hosts in the topology.
+    pub host_count: usize,
+}
+
+impl ExperimentResults {
+    /// Per-flow (size, FCT) records.
+    pub fn flow_fcts(&self) -> Vec<FlowFct> {
+        self.out
+            .flows
+            .iter()
+            .map(|f| FlowFct {
+                size: f.size,
+                fct: f.fct(),
+            })
+            .collect()
+    }
+
+    /// FCT-slowdown summary per flow-size bucket.
+    pub fn slowdown_buckets(&self, buckets: &[FctBucket]) -> Vec<SizeBucketStats> {
+        self.analyzer.bucketed_slowdowns(&self.flow_fcts(), buckets)
+    }
+
+    /// Overall FCT-slowdown percentiles.
+    pub fn slowdown_overall(&self) -> Option<Percentiles> {
+        self.analyzer.overall(&self.flow_fcts())
+    }
+
+    /// Slowdown percentiles restricted to flows of at most `max_size` bytes
+    /// (the paper's "flows shorter than 3KB" style claims).
+    pub fn slowdown_for_sizes_up_to(&self, max_size: u64) -> Option<Percentiles> {
+        let flows: Vec<FlowFct> = self
+            .flow_fcts()
+            .into_iter()
+            .filter(|f| f.size <= max_size)
+            .collect();
+        self.analyzer.overall(&flows)
+    }
+
+    /// Queue-length CDF points from the sampled histogram.
+    pub fn queue_cdf(&self) -> Vec<(u64, f64)> {
+        queue_cdf(&self.out.queue_histogram, self.out.queue_histogram_bin)
+    }
+
+    /// Queue length at a percentile of the sampled histogram.
+    pub fn queue_percentile(&self, p: f64) -> Option<u64> {
+        queue_percentile(&self.out.queue_histogram, self.out.queue_histogram_bin, p)
+    }
+
+    /// PFC summary over every port in the run.
+    pub fn pfc_summary(&self) -> PfcSummary {
+        let pauses: Vec<Duration> = self.out.ports.values().map(|c| c.pause_duration).collect();
+        let frames: u64 = self.out.ports.values().map(|c| c.pause_frames_sent).sum();
+        PfcSummary::new(
+            &pauses,
+            frames,
+            self.out.elapsed.saturating_since(SimTime::ZERO),
+        )
+    }
+
+    /// Per-burst count of distinct switches that emitted PFC pauses (the
+    /// propagation-spread proxy for Figure 1a).
+    pub fn pfc_burst_spread(&self, gap: Duration) -> Vec<usize> {
+        let events: Vec<(SimTime, NodeId)> = self
+            .out
+            .pfc_events
+            .iter()
+            .map(|e| (e.time, e.node))
+            .collect();
+        pause_burst_spread(&events, gap)
+    }
+
+    /// Goodput series (Gbps) of one flow, if goodput tracing was enabled.
+    pub fn goodput_gbps(&self, flow: FlowId) -> Vec<f64> {
+        self.out
+            .flow_goodput
+            .get(&flow)
+            .map(|bins| goodput_series_gbps(bins, self.out.flow_goodput_bin))
+            .unwrap_or_default()
+    }
+
+    /// Fraction of injected flows that completed within the horizon.
+    pub fn completion_fraction(&self) -> f64 {
+        if self.flow_count == 0 {
+            return 1.0;
+        }
+        self.out.flows.len() as f64 / self.flow_count as f64
+    }
+
+    /// Total goodput delivered to receivers divided by elapsed time and host
+    /// capacity (an average utilization figure).
+    pub fn average_utilization(&self, host_bw: Bandwidth) -> f64 {
+        let bytes: u64 = self.out.flows.iter().map(|f| f.size).sum();
+        let secs = self.out.elapsed.as_secs_f64();
+        if secs == 0.0 || self.host_count == 0 {
+            return 0.0;
+        }
+        (bytes as f64 * 8.0) / (secs * self.host_count as f64 * host_bw.as_bps() as f64)
+    }
+}
+
+/// Count host-facing vs fabric ports of a topology (used in reports).
+pub fn port_census(topo: &TopologySpec) -> (usize, usize) {
+    let mut host_ports = 0;
+    let mut fabric_ports = 0;
+    for &s in topo.switches() {
+        for p in topo.ports(s) {
+            match topo.kind(p.peer_node) {
+                NodeKind::Host => host_ports += 1,
+                NodeKind::Switch => fabric_ports += 1,
+            }
+        }
+    }
+    (host_ports, fabric_ports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_cc::CcAlgorithm;
+    use hpcc_topology::star;
+
+    fn tiny_experiment() -> Experiment {
+        let bw = Bandwidth::from_gbps(100);
+        let topo = star(3, bw, Duration::from_us(1));
+        let rtt = topo.suggested_base_rtt(1106);
+        let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), bw, rtt);
+        cfg.end_time = SimTime::from_ms(5);
+        cfg.queue_sample_interval = Some(Duration::from_us(2));
+        cfg.flow_throughput_bin = Some(Duration::from_us(50));
+        let hosts = topo.hosts().to_vec();
+        let flows = vec![
+            FlowSpec::new(FlowId(1), hosts[0], hosts[2], 500_000, SimTime::ZERO),
+            FlowSpec::new(FlowId(2), hosts[1], hosts[2], 500_000, SimTime::ZERO),
+            FlowSpec::new(FlowId(3), hosts[0], hosts[1], 2_000, SimTime::from_us(50)),
+        ];
+        Experiment {
+            label: "tiny".to_string(),
+            topo,
+            cfg,
+            flows,
+            host_bw: bw,
+        }
+    }
+
+    #[test]
+    fn experiment_runs_and_derives_metrics() {
+        let res = tiny_experiment().run();
+        assert_eq!(res.label, "tiny");
+        assert_eq!(res.out.flows.len(), 3);
+        assert_eq!(res.completion_fraction(), 1.0);
+        // Slowdowns exist and are at least 1.
+        let overall = res.slowdown_overall().unwrap();
+        assert_eq!(overall.count, 3);
+        assert!(overall.p50 >= 1.0);
+        // The small flow has a small slowdown bucketed separately.
+        let small = res.slowdown_for_sizes_up_to(3_000).unwrap();
+        assert_eq!(small.count, 1);
+        // Queue CDF exists and ends at 1.
+        let cdf = res.queue_cdf();
+        assert!(!cdf.is_empty());
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert!(res.queue_percentile(50.0).is_some());
+        // No PFC with HPCC here.
+        let pfc = res.pfc_summary();
+        assert_eq!(pfc.pause_time_fraction(), 0.0);
+        assert!(res.pfc_burst_spread(Duration::from_us(100)).is_empty());
+        // Goodput series sums to the flow size.
+        let g = res.goodput_gbps(FlowId(1));
+        assert!(!g.is_empty());
+        let util = res.average_utilization(Bandwidth::from_gbps(100));
+        assert!(util > 0.0 && util < 1.0);
+    }
+
+    #[test]
+    fn port_census_counts_host_and_fabric_ports() {
+        let topo = star(4, Bandwidth::from_gbps(25), Duration::from_us(1));
+        assert_eq!(port_census(&topo), (4, 0));
+        let pod = hpcc_topology::testbed_pod(Duration::from_us(1));
+        // 32 host-facing ports; 4 ToR uplinks + 4 Agg downlinks = 8 fabric.
+        assert_eq!(port_census(&pod), (32, 8));
+    }
+}

@@ -1,0 +1,25 @@
+//! # hpcc-core
+//!
+//! The high-level experiment API of the HPCC reproduction. It glues the
+//! substrates together — topologies (`hpcc-topology`), traffic
+//! (`hpcc-workload`), the packet-level simulator (`hpcc-sim`), congestion
+//! control (`hpcc-cc`) and metrics (`hpcc-stats`) — behind three things:
+//!
+//! * [`Experiment`] / [`ExperimentResults`] — build, run and analyse one
+//!   simulation,
+//! * [`presets`] — ready-made scenario builders for every figure in the
+//!   paper's evaluation (§5.2–§5.4),
+//! * [`analysis`] — the Appendix A fluid model (fast convergence to a
+//!   Pareto-optimal allocation, additive-increase fairness equilibria), used
+//!   to cross-check the packet-level results against theory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod experiment;
+pub mod presets;
+pub mod report;
+
+pub use experiment::{Experiment, ExperimentResults};
+pub use presets::SCHEME_SET_FIG11;

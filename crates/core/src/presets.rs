@@ -1,0 +1,474 @@
+//! Ready-made experiment builders for every scenario in the paper's
+//! evaluation (§5.2–§5.4). Each builder takes explicit scale parameters
+//! (durations, sizes, topology scale) so that the figure harnesses can run
+//! laptop-sized versions by default and paper-sized versions on demand.
+
+use crate::experiment::Experiment;
+use hpcc_cc::{CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig};
+use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig};
+use hpcc_topology::{fat_tree, star, testbed_pod, FatTreeParams, TopologySpec};
+use hpcc_workload::{fb_hadoop, websearch, FlowSizeCdf, IncastGenerator, LoadGenerator};
+use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, PortId, SimTime};
+
+/// The six schemes compared in Figure 11, built for a given line rate and
+/// base RTT.
+pub const SCHEME_SET_FIG11: [&str; 6] = [
+    "DCQCN",
+    "TIMELY",
+    "DCQCN+win",
+    "TIMELY+win",
+    "DCTCP",
+    "HPCC",
+];
+
+/// Build one of the Figure 11 schemes by label.
+pub fn scheme_by_label(label: &str, line_rate: Bandwidth, base_rtt: Duration) -> CcAlgorithm {
+    match label {
+        "DCQCN" => CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(line_rate)),
+        "DCQCN+win" => CcAlgorithm::DcqcnWin(DcqcnConfig::vendor_default(line_rate)),
+        "TIMELY" => CcAlgorithm::Timely(TimelyConfig::recommended(line_rate, base_rtt)),
+        "TIMELY+win" => CcAlgorithm::TimelyWin(TimelyConfig::recommended(line_rate, base_rtt)),
+        "DCTCP" => CcAlgorithm::Dctcp(DctcpConfig::default()),
+        "HPCC" => CcAlgorithm::Hpcc(HpccConfig::default()),
+        other => panic!("unknown scheme label {other}"),
+    }
+}
+
+/// A `SimConfig` with paper defaults for the given CC on a topology,
+/// including the suggested base RTT.
+fn base_config(cc: CcAlgorithm, topo: &TopologySpec, host_bw: Bandwidth, end: Duration) -> SimConfig {
+    let base_rtt = topo.suggested_base_rtt(1106);
+    let mut cfg = SimConfig::for_cc(cc, host_bw, base_rtt);
+    cfg.end_time = SimTime::ZERO + end;
+    cfg
+}
+
+/// The bottleneck egress port of a star topology towards a given host (the
+/// port traced in the micro-benchmarks).
+pub fn star_egress_to(topo: &TopologySpec, host: NodeId) -> (NodeId, PortId) {
+    let sw = topo.switches()[0];
+    (sw, topo.next_hops(sw, host)[0])
+}
+
+/// Figure 6: 2-to-1 congestion on a star, tracing the bottleneck queue.
+/// `use_rx_rate` selects the HPCC-rxRate ablation.
+pub fn two_to_one(use_rx_rate: bool, host_bw: Bandwidth, flow_size: u64, end: Duration) -> Experiment {
+    let topo = star(3, host_bw, Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let cc = CcAlgorithm::Hpcc(HpccConfig {
+        use_rx_rate,
+        ..HpccConfig::default()
+    });
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.trace_ports = vec![star_egress_to(&topo, hosts[2])];
+    cfg.trace_interval = Duration::from_us(1);
+    cfg.queue_sample_interval = Some(Duration::from_us(1));
+    let flows = vec![
+        FlowSpec::new(FlowId(1), hosts[0], hosts[2], flow_size, SimTime::ZERO),
+        FlowSpec::new(FlowId(2), hosts[1], hosts[2], flow_size, SimTime::ZERO),
+    ];
+    Experiment {
+        label: if use_rx_rate { "HPCC-rxRate" } else { "HPCC (txRate)" }.to_string(),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Figures 13/14 (and 9c/9d): an N-to-1 incast on a star topology, with the
+/// bottleneck queue traced and per-flow goodput recorded.
+pub fn incast_on_star(
+    label: &str,
+    cc: CcAlgorithm,
+    n_senders: usize,
+    flow_size: u64,
+    host_bw: Bandwidth,
+    end: Duration,
+) -> Experiment {
+    let topo = star(n_senders + 1, host_bw, Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let receiver = hosts[n_senders];
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.trace_ports = vec![star_egress_to(&topo, receiver)];
+    cfg.trace_interval = Duration::from_us(1);
+    cfg.queue_sample_interval = Some(Duration::from_us(1));
+    cfg.flow_throughput_bin = Some(Duration::from_us(10));
+    let flows = hpcc_workload::incast(&hosts[..n_senders], receiver, flow_size, SimTime::ZERO, 1);
+    Experiment {
+        label: label.to_string(),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Figure 9a/9b: a long flow at line rate, a 1 MB short flow joins on the
+/// same bottleneck and leaves; goodput of both is recorded.
+pub fn long_short(cc: CcAlgorithm, host_bw: Bandwidth, end: Duration) -> Experiment {
+    let topo = star(3, host_bw, Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.trace_ports = vec![star_egress_to(&topo, hosts[2])];
+    cfg.trace_interval = Duration::from_us(2);
+    cfg.flow_throughput_bin = Some(Duration::from_us(20));
+    cfg.queue_sample_interval = Some(Duration::from_us(2));
+    // The long flow occupies the whole run; the short 1 MB flow joins at 25%
+    // of the horizon.
+    let long_size = host_bw.bytes_in(end);
+    let flows = vec![
+        FlowSpec::new(FlowId(1), hosts[0], hosts[2], long_size, SimTime::ZERO),
+        FlowSpec::new(
+            FlowId(2),
+            hosts[1],
+            hosts[2],
+            1_000_000,
+            SimTime::ZERO + end.mul_f64(0.25),
+        ),
+    ];
+    Experiment {
+        label: format!("long-short {}", cc.label()),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Figure 9e/9f: two elephant flows saturate a link while a third host sends
+/// a stream of 1 KB mice through it; the mice FCTs give the latency CDF.
+pub fn elephant_mice(
+    cc: CcAlgorithm,
+    host_bw: Bandwidth,
+    mice_interval: Duration,
+    end: Duration,
+) -> Experiment {
+    let topo = star(4, host_bw, Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.queue_sample_interval = Some(Duration::from_us(1));
+    let elephant_size = host_bw.bytes_in(end);
+    let mut flows = vec![
+        FlowSpec::new(FlowId(1), hosts[0], hosts[3], elephant_size, SimTime::ZERO),
+        FlowSpec::new(FlowId(2), hosts[1], hosts[3], elephant_size, SimTime::ZERO),
+    ];
+    let mut t = Duration::from_us(50);
+    let mut id = 100;
+    while t < end {
+        flows.push(FlowSpec::new(
+            FlowId(id),
+            hosts[2],
+            hosts[3],
+            1_000,
+            SimTime::ZERO + t,
+        ));
+        id += 1;
+        t += mice_interval;
+    }
+    Experiment {
+        label: format!("elephant-mice {}", cc.label()),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Figure 9g/9h: four flows join a bottleneck one after another; their
+/// goodput over time shows (or fails to show) fair sharing.
+pub fn fairness(
+    cc: CcAlgorithm,
+    host_bw: Bandwidth,
+    join_interval: Duration,
+    end: Duration,
+) -> Experiment {
+    let topo = star(5, host_bw, Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.flow_throughput_bin = Some(join_interval / 20);
+    cfg.queue_sample_interval = Some(Duration::from_us(2));
+    let mut flows = Vec::new();
+    for i in 0..4u64 {
+        // Each flow is sized so that, under a fair share, it stays active
+        // until roughly the end of the run.
+        let start = join_interval * i;
+        let active = end.saturating_sub(start);
+        let size = (host_bw.bytes_in(active) as f64 * 0.4) as u64;
+        flows.push(FlowSpec::new(
+            FlowId(i + 1),
+            hosts[i as usize],
+            hosts[4],
+            size.max(1_000_000),
+            SimTime::ZERO + start,
+        ));
+    }
+    Experiment {
+        label: format!("fairness {}", cc.label()),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Background + optional incast workload on the testbed PoD (§5.1/§5.2,
+/// Figures 2, 3, 9, 10): 32 servers with 25 Gbps NICs behind 4 ToRs and one
+/// Agg switch, driven by the WebSearch trace.
+#[allow(clippy::too_many_arguments)]
+pub fn testbed_websearch(
+    label: &str,
+    cc: CcAlgorithm,
+    load: f64,
+    end: Duration,
+    incast_fan_in: Option<usize>,
+    ecn_override: Option<EcnConfig>,
+    flow_control: FlowControlMode,
+    seed: u64,
+) -> Experiment {
+    let host_bw = Bandwidth::from_gbps(25);
+    let topo = testbed_pod(Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.flow_control = flow_control;
+    cfg.queue_sample_interval = Some(Duration::from_us(5));
+    if let Some(ecn) = ecn_override {
+        cfg.ecn = Some(ecn);
+    }
+    let mut flows = LoadGenerator::new(hosts.clone(), host_bw, load, websearch(), seed)
+        .generate(end);
+    if let Some(fan_in) = incast_fan_in {
+        let inc = IncastGenerator::paper_default(hosts, host_bw, seed ^ 0xabcd)
+            .with_fan_in(fan_in)
+            .with_flow_size(500_000)
+            .with_capacity_fraction(0.02);
+        flows.extend(inc.generate(end));
+    }
+    Experiment {
+        label: label.to_string(),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Background + optional incast workload on the three-tier Clos fabric
+/// (§5.3, Figures 11/12), driven by the FB_Hadoop trace.
+#[allow(clippy::too_many_arguments)]
+pub fn fattree_fb_hadoop(
+    label: &str,
+    cc: CcAlgorithm,
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    with_incast: bool,
+    flow_control: FlowControlMode,
+    seed: u64,
+) -> Experiment {
+    let topo = fat_tree(params);
+    let host_bw = params.host_bw;
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.flow_control = flow_control;
+    cfg.queue_sample_interval = Some(Duration::from_us(5));
+    let mut flows =
+        LoadGenerator::new(hosts.clone(), host_bw, load, fb_hadoop(), seed).generate(end);
+    if with_incast {
+        let fan_in = 60.min(hosts.len().saturating_sub(1));
+        let inc = IncastGenerator::paper_default(hosts, host_bw, seed ^ 0x5151)
+            .with_fan_in(fan_in)
+            .with_flow_size(500_000)
+            .with_capacity_fraction(0.02);
+        flows.extend(inc.generate(end));
+    }
+    Experiment {
+        label: label.to_string(),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Figure 1 (production PFC telemetry, reproduced in simulation): DCQCN on
+/// the testbed PoD with a small buffer and repeated large incasts, so that
+/// PFC pauses propagate from the ToRs towards hosts and the Agg switch.
+pub fn pfc_storm(load: f64, fan_in: usize, end: Duration, seed: u64) -> Experiment {
+    let host_bw = Bandwidth::from_gbps(25);
+    let topo = testbed_pod(Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let cc = CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(host_bw));
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.buffer_bytes = 4_000_000;
+    cfg.queue_sample_interval = Some(Duration::from_us(5));
+    let mut flows = LoadGenerator::new(hosts.clone(), host_bw, load, websearch(), seed)
+        .generate(end);
+    let inc = IncastGenerator::paper_default(hosts, host_bw, seed ^ 0x77)
+        .with_fan_in(fan_in)
+        .with_flow_size(500_000)
+        .with_capacity_fraction(0.05);
+    flows.extend(inc.generate(end));
+    Experiment {
+        label: "PFC storm (DCQCN)".to_string(),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+/// Custom flow-size distribution variant of [`testbed_websearch`] used by
+/// sensitivity studies.
+pub fn testbed_with_cdf(
+    label: &str,
+    cc: CcAlgorithm,
+    cdf: FlowSizeCdf,
+    load: f64,
+    end: Duration,
+    seed: u64,
+) -> Experiment {
+    let host_bw = Bandwidth::from_gbps(25);
+    let topo = testbed_pod(Duration::from_us(1));
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = base_config(cc, &topo, host_bw, end);
+    cfg.queue_sample_interval = Some(Duration::from_us(5));
+    let flows = LoadGenerator::new(hosts, host_bw, load, cdf, seed).generate(end);
+    Experiment {
+        label: label.to_string(),
+        topo,
+        cfg,
+        flows,
+        host_bw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_labels_round_trip() {
+        let bw = Bandwidth::from_gbps(100);
+        let rtt = Duration::from_us(13);
+        for label in SCHEME_SET_FIG11 {
+            let cc = scheme_by_label(label, bw, rtt);
+            assert_eq!(cc.label(), label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheme")]
+    fn unknown_scheme_panics() {
+        scheme_by_label("BBR", Bandwidth::from_gbps(100), Duration::from_us(13));
+    }
+
+    #[test]
+    fn two_to_one_preset_shape() {
+        let e = two_to_one(false, Bandwidth::from_gbps(100), 1_000_000, Duration::from_ms(1));
+        assert_eq!(e.flows.len(), 2);
+        assert_eq!(e.topo.hosts().len(), 3);
+        assert_eq!(e.cfg.trace_ports.len(), 1);
+        assert!(e.cfg.int_enabled);
+        let rx = two_to_one(true, Bandwidth::from_gbps(100), 1_000_000, Duration::from_ms(1));
+        assert_eq!(rx.label, "HPCC-rxRate");
+    }
+
+    #[test]
+    fn incast_preset_has_n_flows_to_one_receiver() {
+        let e = incast_on_star(
+            "HPCC",
+            CcAlgorithm::hpcc_default(),
+            16,
+            500_000,
+            Bandwidth::from_gbps(100),
+            Duration::from_ms(1),
+        );
+        assert_eq!(e.flows.len(), 16);
+        let recv = e.flows[0].dst;
+        assert!(e.flows.iter().all(|f| f.dst == recv));
+    }
+
+    #[test]
+    fn testbed_preset_generates_background_and_incast() {
+        let plain = testbed_websearch(
+            "DCQCN",
+            scheme_by_label("DCQCN", Bandwidth::from_gbps(25), Duration::from_us(9)),
+            0.3,
+            Duration::from_ms(20),
+            None,
+            None,
+            FlowControlMode::Lossless,
+            7,
+        );
+        assert!(plain.flows.len() > 10);
+        let with_incast = testbed_websearch(
+            "DCQCN+incast",
+            scheme_by_label("DCQCN", Bandwidth::from_gbps(25), Duration::from_us(9)),
+            0.3,
+            Duration::from_ms(20),
+            Some(16),
+            None,
+            FlowControlMode::Lossless,
+            7,
+        );
+        assert!(with_incast.flows.len() > plain.flows.len());
+        // ECN thresholds can be swept (Figure 3).
+        let swept = testbed_websearch(
+            "DCQCN Kmin=12K",
+            scheme_by_label("DCQCN", Bandwidth::from_gbps(25), Duration::from_us(9)),
+            0.3,
+            Duration::from_ms(10),
+            None,
+            Some(EcnConfig::thresholds_kb(12, 50)),
+            FlowControlMode::Lossless,
+            7,
+        );
+        assert_eq!(swept.cfg.ecn.unwrap().kmin_bytes, 12_000);
+    }
+
+    #[test]
+    fn fattree_preset_small_scale() {
+        let e = fattree_fb_hadoop(
+            "HPCC",
+            CcAlgorithm::hpcc_default(),
+            FatTreeParams::small(),
+            0.3,
+            Duration::from_ms(10),
+            true,
+            FlowControlMode::Lossless,
+            3,
+        );
+        assert_eq!(e.topo.hosts().len(), FatTreeParams::small().total_hosts());
+        assert!(e.flows.len() > 10);
+        assert!(e.flows.iter().any(|f| f.size == 500_000), "incast flows present");
+    }
+
+    #[test]
+    fn micro_benchmark_presets_build() {
+        let bw = Bandwidth::from_gbps(100);
+        let ls = long_short(CcAlgorithm::hpcc_default(), bw, Duration::from_ms(2));
+        assert_eq!(ls.flows.len(), 2);
+        assert!(ls.flows[1].start > ls.flows[0].start);
+        let em = elephant_mice(
+            CcAlgorithm::hpcc_default(),
+            bw,
+            Duration::from_us(100),
+            Duration::from_ms(1),
+        );
+        assert!(em.flows.len() > 5);
+        let fair = fairness(CcAlgorithm::hpcc_default(), bw, Duration::from_ms(1), Duration::from_ms(5));
+        assert_eq!(fair.flows.len(), 4);
+        let storm = pfc_storm(0.3, 16, Duration::from_ms(5), 1);
+        assert!(!storm.flows.is_empty());
+        let custom = testbed_with_cdf(
+            "custom",
+            CcAlgorithm::hpcc_default(),
+            hpcc_workload::fixed_size(10_000),
+            0.2,
+            Duration::from_ms(5),
+            2,
+        );
+        assert!(custom.flows.iter().all(|f| f.size == 10_000));
+    }
+}

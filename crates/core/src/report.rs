@@ -1,0 +1,187 @@
+//! Plain-text rendering of experiment results, in the same shape as the
+//! paper's tables and figure series (rows of size-bucket × percentile, queue
+//! CDF points, PFC summaries). The figure harnesses print these so a run's
+//! output can be compared side by side with the paper.
+
+use crate::experiment::ExperimentResults;
+use hpcc_stats::fct::{FctBucket, SizeBucketStats};
+use hpcc_stats::queue::queue_percentile;
+use hpcc_types::Duration;
+use std::fmt::Write as _;
+
+/// Render a slowdown-per-bucket table for several experiments side by side,
+/// at one percentile (50, 95 or 99) — the shape of Figures 2a/3/10a/11a.
+pub fn slowdown_table(
+    results: &[&ExperimentResults],
+    buckets: &[FctBucket],
+    percentile: f64,
+) -> String {
+    let mut s = String::new();
+    write!(s, "{:>10}", "flow size").unwrap();
+    for r in results {
+        write!(s, " {:>14}", truncate(&r.label, 14)).unwrap();
+    }
+    writeln!(s).unwrap();
+    let rows: Vec<Vec<SizeBucketStats>> = results
+        .iter()
+        .map(|r| r.slowdown_buckets(buckets))
+        .collect();
+    for (bi, b) in buckets.iter().enumerate() {
+        write!(s, "{:>10}", b.label).unwrap();
+        for row in &rows {
+            match row[bi].stats {
+                Some(p) => {
+                    let v = match percentile as u32 {
+                        50 => p.p50,
+                        95 => p.p95,
+                        _ => p.p99,
+                    };
+                    write!(s, " {v:>14.2}").unwrap();
+                }
+                None => write!(s, " {:>14}", "-").unwrap(),
+            }
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+/// Render queue-length percentiles (median / 95 / 99 / max) for several
+/// experiments — the shape of Figures 9f/10b/10d.
+pub fn queue_table(results: &[&ExperimentResults]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:<24} {:>12} {:>12} {:>12} {:>12}",
+        "scheme", "p50 (KB)", "p95 (KB)", "p99 (KB)", "max (KB)"
+    )
+    .unwrap();
+    for r in results {
+        let p = |pct: f64| {
+            queue_percentile(&r.out.queue_histogram, r.out.queue_histogram_bin, pct)
+                .map(|v| v as f64 / 1000.0)
+                .unwrap_or(f64::NAN)
+        };
+        writeln!(
+            s,
+            "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            truncate(&r.label, 24),
+            p(50.0),
+            p(95.0),
+            p(99.0),
+            r.out.max_queue_bytes() as f64 / 1000.0
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Render the PFC pause-time fraction and completion statistics — the shape
+/// of Figures 2b/11b/11d.
+pub fn pfc_table(results: &[&ExperimentResults]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:<24} {:>14} {:>12} {:>12} {:>12}",
+        "scheme", "pause time %", "pause frames", "drops", "completed %"
+    )
+    .unwrap();
+    for r in results {
+        let pfc = r.pfc_summary();
+        writeln!(
+            s,
+            "{:<24} {:>14.3} {:>12} {:>12} {:>12.1}",
+            truncate(&r.label, 24),
+            pfc.pause_time_fraction() * 100.0,
+            pfc.pause_frames,
+            r.out.total_drops(),
+            r.completion_fraction() * 100.0
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Render a traced queue-length time series as `time_us value_KB` rows,
+/// down-sampled to at most `max_points` (Figures 6/13b/14b).
+pub fn queue_trace(series: &[(hpcc_types::SimTime, u64)], max_points: usize) -> String {
+    let mut s = String::new();
+    writeln!(s, "{:>12} {:>12}", "time (us)", "queue (KB)").unwrap();
+    let step = (series.len() / max_points.max(1)).max(1);
+    for (t, q) in series.iter().step_by(step) {
+        writeln!(s, "{:>12.1} {:>12.2}", t.as_us_f64(), *q as f64 / 1000.0).unwrap();
+    }
+    s
+}
+
+/// Render a goodput time series as `time_us gbps` rows (Figures 9a–9d, 13a).
+pub fn goodput_trace(series_gbps: &[f64], bin: Duration, max_points: usize) -> String {
+    let mut s = String::new();
+    writeln!(s, "{:>12} {:>12}", "time (us)", "Gbps").unwrap();
+    let step = (series_gbps.len() / max_points.max(1)).max(1);
+    for (i, g) in series_gbps.iter().enumerate().step_by(step) {
+        writeln!(s, "{:>12.1} {:>12.2}", (i as u64 * bin.as_ns()) as f64 / 1000.0, g).unwrap();
+    }
+    s
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s[..n].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::incast_on_star;
+    use hpcc_cc::CcAlgorithm;
+    use hpcc_stats::fct::websearch_buckets;
+    use hpcc_types::{Bandwidth, SimTime};
+
+    fn quick_result() -> ExperimentResults {
+        incast_on_star(
+            "HPCC",
+            CcAlgorithm::hpcc_default(),
+            4,
+            200_000,
+            Bandwidth::from_gbps(100),
+            Duration::from_ms(2),
+        )
+        .run()
+    }
+
+    #[test]
+    fn tables_render_without_panicking_and_contain_labels() {
+        let r = quick_result();
+        let refs = [&r];
+        let t = slowdown_table(&refs, &websearch_buckets(), 95.0);
+        assert!(t.contains("HPCC"));
+        assert!(t.contains("200K"));
+        let q = queue_table(&refs);
+        assert!(q.contains("p99"));
+        let p = pfc_table(&refs);
+        assert!(p.contains("pause time %"));
+        assert!(p.contains("100.0"), "all flows complete: {p}");
+    }
+
+    #[test]
+    fn traces_are_downsampled() {
+        let series: Vec<(SimTime, u64)> = (0..1000)
+            .map(|i| (SimTime::from_us(i), (i * 100) as u64))
+            .collect();
+        let txt = queue_trace(&series, 50);
+        let lines = txt.lines().count();
+        assert!(lines <= 52, "got {lines} lines");
+        let g = goodput_trace(&[1.0; 500], Duration::from_us(10), 20);
+        assert!(g.lines().count() <= 27);
+    }
+
+    #[test]
+    fn label_truncation() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("averyverylonglabel", 6), "averyv");
+    }
+}

@@ -1,0 +1,1099 @@
+//! The host NIC model (§4.2 of the paper).
+//!
+//! Each host has one NIC port. On the send side a per-flow scheduler mirrors
+//! the paper's credit-based flow scheduler: it round-robins over flows whose
+//! pacing gap has elapsed and whose sending window has room, and transmits
+//! one packet at a time at line rate. ACK/NACK/CNP control packets always
+//! take precedence over data. On the receive side, every data packet is
+//! acknowledged (echoing the INT records and the ECN mark), DCQCN CNPs are
+//! generated at most once per `cnp_interval`, and loss recovery is either
+//! go-back-N (NACK with the expected byte) or IRN-style selective repeat.
+//!
+//! Congestion control is a per-flow plug-in (`hpcc-cc`); the host feeds it
+//! ACK/CNP/loss/timer events and reads back `(window, rate)`.
+
+use crate::config::SimConfig;
+use crate::engine::{Effects, Event};
+use crate::output::{FlowRecord, PortCounters};
+use hpcc_cc::{build_cc, AckEvent, CongestionControl};
+use hpcc_topology::PortDesc;
+use hpcc_types::{
+    Bandwidth, Duration, FlowId, FlowSpec, NodeId, Packet, PacketKind, PortId, Priority, SimTime,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Sender-side state of one flow.
+struct SenderFlow {
+    spec: FlowSpec,
+    cc: Box<dyn CongestionControl>,
+    /// Cached CC outputs.
+    window: u64,
+    rate: Bandwidth,
+    /// Cumulatively acknowledged bytes.
+    snd_una: u64,
+    /// Next new byte to transmit.
+    snd_nxt: u64,
+    /// Earliest time the pacer allows the next packet of this flow.
+    next_avail: SimTime,
+    finished: bool,
+    /// IRN: packet offsets queued for retransmission.
+    rtx_queue: BTreeSet<u64>,
+    /// IRN: packet offsets known to have been received out of order.
+    sacked: BTreeSet<u64>,
+    /// Last time a go-back-N rollback was performed (NACK dedup).
+    last_rollback: Option<SimTime>,
+    /// Last time `snd_una` advanced (RTO reference).
+    last_progress: SimTime,
+    /// Pending CC timer event time (to avoid duplicate chains).
+    timer_at: Option<SimTime>,
+    /// Whether an RTO check chain is running.
+    rto_armed: bool,
+}
+
+impl SenderFlow {
+    fn inflight(&self) -> u64 {
+        self.snd_nxt.saturating_sub(self.snd_una)
+    }
+    fn has_data_to_send(&self) -> bool {
+        !self.rtx_queue.is_empty() || self.snd_nxt < self.spec.size
+    }
+    fn window_open(&self) -> bool {
+        self.inflight() < self.window
+    }
+    fn refresh_cc(&mut self) {
+        let s = self.cc.state();
+        self.window = s.window;
+        self.rate = s.rate;
+    }
+}
+
+/// Receiver-side state of one flow.
+#[derive(Default)]
+struct ReceiverFlow {
+    /// Next in-order byte expected.
+    expected: u64,
+    /// IRN: out-of-order byte ranges received (`start -> end`).
+    ooo: BTreeMap<u64, u64>,
+    last_cnp: Option<SimTime>,
+    last_nack: Option<SimTime>,
+    /// In-order packets since the last ACK was emitted (ACK coalescing).
+    unacked_packets: u64,
+}
+
+/// A host with a single NIC port.
+pub struct Host {
+    /// Node id of this host.
+    pub id: NodeId,
+    peer_node: NodeId,
+    peer_port: PortId,
+    /// NIC line rate.
+    pub bandwidth: Bandwidth,
+    delay: Duration,
+    ctrl_queue: VecDeque<Packet>,
+    busy: bool,
+    data_paused: bool,
+    pause_started: Option<SimTime>,
+    /// NIC port counters (tx bytes, pause time, …).
+    pub counters: PortCounters,
+    flows: Vec<SenderFlow>,
+    flow_index: HashMap<FlowId, usize>,
+    rr_cursor: usize,
+    recv: HashMap<FlowId, ReceiverFlow>,
+    wake_at: Option<SimTime>,
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("flows", &self.flows.len())
+            .field("busy", &self.busy)
+            .finish()
+    }
+}
+
+impl Host {
+    /// Build a host from its (single) topology port descriptor.
+    pub fn new(id: NodeId, ports: &[PortDesc]) -> Self {
+        assert_eq!(
+            ports.len(),
+            1,
+            "the host model supports exactly one NIC port (host {id} has {})",
+            ports.len()
+        );
+        let p = ports[0];
+        Host {
+            id,
+            peer_node: p.peer_node,
+            peer_port: p.peer_port,
+            bandwidth: p.bandwidth,
+            delay: p.delay,
+            ctrl_queue: VecDeque::new(),
+            busy: false,
+            data_paused: false,
+            pause_started: None,
+            counters: PortCounters::default(),
+            flows: Vec::new(),
+            flow_index: HashMap::new(),
+            rr_cursor: 0,
+            recv: HashMap::new(),
+            wake_at: None,
+        }
+    }
+
+    /// Number of unfinished sender flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.iter().filter(|f| !f.finished).count()
+    }
+
+    /// The current (window, rate) of a flow, if it exists (for tracing).
+    pub fn flow_state(&self, flow: FlowId) -> Option<(u64, Bandwidth)> {
+        let idx = *self.flow_index.get(&flow)?;
+        let f = &self.flows[idx];
+        Some((f.window, f.rate))
+    }
+
+    /// Register a new flow at its start time and try to transmit.
+    pub(crate) fn flow_start(
+        &mut self,
+        now: SimTime,
+        spec: FlowSpec,
+        cfg: &SimConfig,
+        eff: &mut Effects,
+    ) {
+        if spec.src == spec.dst || spec.size == 0 {
+            // Degenerate flows complete immediately (the workload generator
+            // never produces them, but stay robust).
+            eff.completions.push(FlowRecord {
+                id: spec.id,
+                src: spec.src,
+                dst: spec.dst,
+                size: spec.size,
+                start: now,
+                finish: now,
+            });
+            return;
+        }
+        let cc = build_cc(&cfg.cc, self.bandwidth, cfg.base_rtt, cfg.mtu_payload);
+        let mut flow = SenderFlow {
+            spec,
+            window: 0,
+            rate: Bandwidth::ZERO,
+            cc,
+            snd_una: 0,
+            snd_nxt: 0,
+            next_avail: now,
+            finished: false,
+            rtx_queue: BTreeSet::new(),
+            sacked: BTreeSet::new(),
+            last_rollback: None,
+            last_progress: now,
+            timer_at: None,
+            rto_armed: false,
+        };
+        flow.refresh_cc();
+        let idx = self.flows.len();
+        self.flow_index.insert(spec.id, idx);
+        self.flows.push(flow);
+        self.ensure_cc_timer(idx, now, eff);
+        eff.kicks.push((self.id, PortId(0)));
+    }
+
+    /// Ensure a CC timer event chain exists if the algorithm wants one.
+    fn ensure_cc_timer(&mut self, idx: usize, now: SimTime, eff: &mut Effects) {
+        let flow = &mut self.flows[idx];
+        if flow.finished {
+            return;
+        }
+        if let Some(t) = flow.cc.next_timer() {
+            let t = t.max(now + Duration::from_ns(1));
+            let need = match flow.timer_at {
+                None => true,
+                Some(cur) => cur <= now || t < cur,
+            };
+            if need {
+                flow.timer_at = Some(t);
+                eff.events.push((
+                    t,
+                    Event::CcTimer {
+                        node: self.id,
+                        flow: flow.spec.id,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// A previously scheduled CC timer fired.
+    pub(crate) fn handle_cc_timer(
+        &mut self,
+        now: SimTime,
+        flow_id: FlowId,
+        _cfg: &SimConfig,
+        eff: &mut Effects,
+    ) {
+        let Some(&idx) = self.flow_index.get(&flow_id) else {
+            return;
+        };
+        {
+            let flow = &mut self.flows[idx];
+            if flow.finished {
+                return;
+            }
+            if flow.timer_at.is_some_and(|t| t <= now) {
+                flow.timer_at = None;
+            }
+            if flow.cc.next_timer().is_some_and(|t| t <= now) {
+                flow.cc.on_timer(now);
+                flow.refresh_cc();
+            }
+        }
+        self.ensure_cc_timer(idx, now, eff);
+        eff.kicks.push((self.id, PortId(0)));
+    }
+
+    /// Retransmission-timeout check (lossy modes).
+    pub(crate) fn handle_rto(
+        &mut self,
+        now: SimTime,
+        flow_id: FlowId,
+        cfg: &SimConfig,
+        eff: &mut Effects,
+    ) {
+        let Some(&idx) = self.flow_index.get(&flow_id) else {
+            return;
+        };
+        let flow = &mut self.flows[idx];
+        if flow.finished {
+            flow.rto_armed = false;
+            return;
+        }
+        if now.saturating_since(flow.last_progress) >= cfg.rto && flow.inflight() > 0 {
+            // Timeout: go back to the last acknowledged byte.
+            flow.snd_nxt = flow.snd_una;
+            flow.rtx_queue.clear();
+            flow.sacked.clear();
+            flow.cc.on_loss(now);
+            flow.refresh_cc();
+            flow.last_progress = now;
+            flow.next_avail = now;
+        }
+        if flow.inflight() > 0 || flow.has_data_to_send() {
+            eff.events.push((
+                now + cfg.rto,
+                Event::RtoCheck {
+                    node: self.id,
+                    flow: flow_id,
+                },
+            ));
+        } else {
+            flow.rto_armed = false;
+        }
+        eff.kicks.push((self.id, PortId(0)));
+    }
+
+    /// The host asked to be woken (pacing gap elapsed).
+    pub(crate) fn handle_wake(&mut self, now: SimTime, eff: &mut Effects) {
+        if self.wake_at.is_some_and(|t| t <= now) {
+            self.wake_at = None;
+        }
+        eff.kicks.push((self.id, PortId(0)));
+    }
+
+    /// The NIC finished serializing its current packet.
+    pub(crate) fn port_ready(&mut self) {
+        self.busy = false;
+    }
+
+    fn enqueue_ctrl(&mut self, pkt: Packet, eff: &mut Effects) {
+        self.ctrl_queue.push_back(pkt);
+        eff.kicks.push((self.id, PortId(0)));
+    }
+
+    /// Handle a packet arriving at the NIC.
+    pub(crate) fn handle_arrival(
+        &mut self,
+        now: SimTime,
+        _port: PortId,
+        pkt: Packet,
+        cfg: &SimConfig,
+        eff: &mut Effects,
+    ) {
+        match pkt.kind {
+            PacketKind::Pfc { class, pause } => {
+                if class == Priority::DATA {
+                    if pause != self.data_paused {
+                        self.data_paused = pause;
+                        if pause {
+                            self.pause_started = Some(now);
+                            self.counters.pause_events += 1;
+                        } else if let Some(start) = self.pause_started.take() {
+                            self.counters.pause_duration += now.saturating_since(start);
+                        }
+                    }
+                    if !pause {
+                        eff.kicks.push((self.id, PortId(0)));
+                    }
+                }
+            }
+            PacketKind::Data => self.receive_data(now, pkt, cfg, eff),
+            PacketKind::Ack | PacketKind::Nack | PacketKind::SackNack | PacketKind::Cnp => {
+                self.receive_control(now, pkt, cfg, eff)
+            }
+        }
+    }
+
+    /// Receiver role: handle an arriving data packet.
+    fn receive_data(&mut self, now: SimTime, pkt: Packet, cfg: &SimConfig, eff: &mut Effects) {
+        eff.packets_delivered += 1;
+        let mut to_send: Vec<Packet> = Vec::new();
+        {
+            let r = self.recv.entry(pkt.flow).or_default();
+            let seq_end = pkt.seq + pkt.payload;
+            if cfg.flow_control.selective_repeat() {
+                // IRN-style selective repeat: keep out-of-order data.
+                if pkt.seq <= r.expected {
+                    r.expected = r.expected.max(seq_end);
+                    // Absorb any stored blocks now contiguous with `expected`.
+                    loop {
+                        let Some((&s, &e)) = r.ooo.range(..=r.expected).next_back() else {
+                            break;
+                        };
+                        r.ooo.remove(&s);
+                        if e > r.expected {
+                            r.expected = e;
+                        }
+                    }
+                    let finished = pkt.ack_flags.flow_finished && r.expected >= seq_end;
+                    to_send.push(Packet::ack_for(&pkt, r.expected, finished));
+                } else {
+                    r.ooo.insert(pkt.seq, seq_end);
+                    to_send.push(Packet::sack_nack_for(&pkt, r.expected, pkt.seq, pkt.payload));
+                }
+            } else {
+                // Go-back-N: out-of-order data is dropped and NACKed.
+                if pkt.seq == r.expected {
+                    r.expected = seq_end;
+                    r.unacked_packets += 1;
+                    let finished = pkt.ack_flags.flow_finished;
+                    if r.unacked_packets >= cfg.ack_interval || finished || pkt.ecn_ce {
+                        r.unacked_packets = 0;
+                        to_send.push(Packet::ack_for(&pkt, r.expected, finished));
+                    }
+                } else if pkt.seq < r.expected {
+                    // Duplicate (e.g. retransmission overlap): re-ACK.
+                    to_send.push(Packet::ack_for(&pkt, r.expected, false));
+                } else {
+                    // Gap: request go-back-N, rate-limited.
+                    let due = r
+                        .last_nack
+                        .is_none_or(|t| now.saturating_since(t) >= cfg.nack_interval);
+                    if due {
+                        r.last_nack = Some(now);
+                        to_send.push(Packet::nack_for(&pkt, r.expected));
+                    }
+                }
+            }
+            // DCQCN notification point: CNP on ECN-marked arrivals, at most
+            // one per cnp_interval.
+            if cfg.cnp_enabled && pkt.ecn_ce {
+                let due = r
+                    .last_cnp
+                    .is_none_or(|t| now.saturating_since(t) >= cfg.cnp_interval);
+                if due {
+                    r.last_cnp = Some(now);
+                    to_send.push(Packet::cnp(pkt.flow, pkt.src, pkt.dst));
+                }
+            }
+        }
+        for p in to_send {
+            self.enqueue_ctrl(p, eff);
+        }
+    }
+
+    /// Sender role: handle ACK / NACK / SACK-NACK / CNP for one of our flows.
+    fn receive_control(&mut self, now: SimTime, pkt: Packet, cfg: &SimConfig, eff: &mut Effects) {
+        let Some(&idx) = self.flow_index.get(&pkt.flow) else {
+            return;
+        };
+        let mtu = cfg.mtu_payload;
+        {
+            let flow = &mut self.flows[idx];
+            if flow.finished {
+                return;
+            }
+            match pkt.kind {
+                PacketKind::Ack => {
+                    let newly = pkt.seq.saturating_sub(flow.snd_una);
+                    if newly > 0 {
+                        flow.snd_una = pkt.seq;
+                        flow.last_progress = now;
+                        eff.goodput.push((flow.spec.id, newly));
+                        // Drop retransmission bookkeeping below the new left
+                        // edge.
+                        flow.rtx_queue = flow.rtx_queue.split_off(&flow.snd_una);
+                        flow.sacked = flow.sacked.split_off(&flow.snd_una);
+                        if flow.snd_nxt < flow.snd_una {
+                            flow.snd_nxt = flow.snd_una;
+                        }
+                    }
+                    let rtt = now.saturating_since(pkt.ts_sent);
+                    let ev = AckEvent {
+                        now,
+                        ack_seq: pkt.seq,
+                        snd_nxt: flow.snd_nxt,
+                        newly_acked: newly,
+                        ecn_echo: pkt.ack_flags.ecn_echo,
+                        rtt,
+                        int: &pkt.int,
+                    };
+                    flow.cc.on_ack(&ev);
+                    flow.refresh_cc();
+                    if flow.snd_una >= flow.spec.size {
+                        flow.finished = true;
+                        eff.completions.push(FlowRecord {
+                            id: flow.spec.id,
+                            src: flow.spec.src,
+                            dst: flow.spec.dst,
+                            size: flow.spec.size,
+                            start: flow.spec.start,
+                            finish: now,
+                        });
+                    }
+                }
+                PacketKind::Nack => {
+                    // Go-back-N: everything before `pkt.seq` is received.
+                    if pkt.seq > flow.snd_una {
+                        flow.snd_una = pkt.seq;
+                        flow.last_progress = now;
+                        eff.goodput.push((flow.spec.id, 0));
+                    }
+                    let rollback_due = flow
+                        .last_rollback
+                        .is_none_or(|t| now.saturating_since(t) >= cfg.nack_interval);
+                    if rollback_due && flow.snd_nxt > flow.snd_una {
+                        flow.last_rollback = Some(now);
+                        flow.snd_nxt = flow.snd_una;
+                        flow.next_avail = now;
+                        flow.cc.on_loss(now);
+                        flow.refresh_cc();
+                    }
+                }
+                PacketKind::SackNack => {
+                    // IRN: bytes before `pkt.seq` received in order, the block
+                    // `[sack_start, sack_start+sack_len)` received out of
+                    // order; everything in between is missing.
+                    if pkt.seq > flow.snd_una {
+                        flow.snd_una = pkt.seq;
+                        flow.last_progress = now;
+                    }
+                    let mut off = flow.sacked.range(..=pkt.sack_start).next_back().map_or(
+                        flow.snd_una,
+                        |_| flow.snd_una,
+                    );
+                    flow.sacked.insert(pkt.sack_start);
+                    // Queue the missing packets between snd_una and the
+                    // sacked block for retransmission.
+                    off = off.max(flow.snd_una);
+                    while off < pkt.sack_start {
+                        if !flow.sacked.contains(&off) && off < flow.snd_nxt {
+                            flow.rtx_queue.insert(off);
+                        }
+                        off += mtu;
+                    }
+                    let loss_due = flow
+                        .last_rollback
+                        .is_none_or(|t| now.saturating_since(t) >= cfg.nack_interval);
+                    if loss_due && !flow.rtx_queue.is_empty() {
+                        flow.last_rollback = Some(now);
+                        flow.cc.on_loss(now);
+                        flow.refresh_cc();
+                    }
+                }
+                PacketKind::Cnp => {
+                    flow.cc.on_cnp(now);
+                    flow.refresh_cc();
+                }
+                _ => {}
+            }
+        }
+        self.ensure_cc_timer(idx, now, eff);
+        eff.kicks.push((self.id, PortId(0)));
+    }
+
+    /// Round-robin pick of a flow that may transmit right now.
+    fn pick_flow(&mut self, now: SimTime) -> Option<usize> {
+        let n = self.flows.len();
+        if n == 0 {
+            return None;
+        }
+        for k in 0..n {
+            let idx = (self.rr_cursor + k) % n;
+            let f = &self.flows[idx];
+            if f.finished || !f.has_data_to_send() || !f.window_open() || f.next_avail > now {
+                continue;
+            }
+            self.rr_cursor = (idx + 1) % n;
+            return Some(idx);
+        }
+        None
+    }
+
+    /// Earliest pacing instant among flows that are blocked only by pacing.
+    fn earliest_wake(&self, now: SimTime) -> Option<SimTime> {
+        self.flows
+            .iter()
+            .filter(|f| {
+                !f.finished && f.has_data_to_send() && f.window_open() && f.next_avail > now
+            })
+            .map(|f| f.next_avail)
+            .min()
+    }
+
+    /// Try to start transmitting the next packet on the NIC.
+    pub(crate) fn try_transmit(&mut self, now: SimTime, cfg: &SimConfig, eff: &mut Effects) {
+        if self.busy {
+            return;
+        }
+        // Control traffic (ACK/NACK/CNP) always goes first.
+        if let Some(pkt) = self.ctrl_queue.pop_front() {
+            self.start_wire(now, pkt, cfg, eff);
+            return;
+        }
+        if self.data_paused {
+            return;
+        }
+        let Some(idx) = self.pick_flow(now) else {
+            // Nothing ready: if a flow is only waiting for its pacer, ask to
+            // be woken at that instant.
+            if let Some(t) = self.earliest_wake(now) {
+                let need = match self.wake_at {
+                    None => true,
+                    Some(cur) => cur <= now || t < cur,
+                };
+                if need {
+                    self.wake_at = Some(t);
+                    eff.events.push((t, Event::HostWake { node: self.id }));
+                }
+            }
+            return;
+        };
+        // Build the next data packet of the chosen flow.
+        let (pkt, rto_needed, flow_id) = {
+            let f = &mut self.flows[idx];
+            let seq = if let Some(&s) = f.rtx_queue.iter().next() {
+                f.rtx_queue.remove(&s);
+                s
+            } else {
+                f.snd_nxt
+            };
+            let payload = (f.spec.size - seq).min(cfg.mtu_payload);
+            let mut pkt = Packet::data(f.spec.id, f.spec.src, f.spec.dst, seq, payload, now);
+            if seq + payload >= f.spec.size {
+                pkt.ack_flags.flow_finished = true;
+            }
+            if seq == f.snd_nxt {
+                f.snd_nxt = seq + payload;
+            }
+            // Pace the next packet of this flow at its CC rate.
+            let wire = pkt.wire_size(cfg.int_enabled);
+            f.next_avail = now + f.rate.tx_time(wire);
+            let rto_needed = cfg.flow_control.lossy() && !f.rto_armed;
+            if rto_needed {
+                f.rto_armed = true;
+            }
+            (pkt, rto_needed, f.spec.id)
+        };
+        if rto_needed {
+            eff.events.push((
+                now + cfg.rto,
+                Event::RtoCheck {
+                    node: self.id,
+                    flow: flow_id,
+                },
+            ));
+        }
+        eff.packets_sent += 1;
+        self.start_wire(now, pkt, cfg, eff);
+    }
+
+    /// Put one packet on the wire: occupy the NIC for its serialization time
+    /// and schedule its arrival at the peer.
+    fn start_wire(&mut self, now: SimTime, pkt: Packet, cfg: &SimConfig, eff: &mut Effects) {
+        let wire = pkt.wire_size(cfg.int_enabled);
+        self.busy = true;
+        self.counters.tx_bytes += wire;
+        let tx_time = self.bandwidth.tx_time(wire);
+        eff.events.push((
+            now + tx_time,
+            Event::PortReady {
+                node: self.id,
+                port: PortId(0),
+            },
+        ));
+        eff.events.push((
+            now + tx_time + self.delay,
+            Event::PacketArrive {
+                node: self.peer_node,
+                port: self.peer_port,
+                packet: pkt,
+            },
+        ));
+    }
+
+    /// Close out pause accounting at the end of the run.
+    pub(crate) fn finalize(&mut self, now: SimTime) -> usize {
+        if let Some(start) = self.pause_started.take() {
+            self.counters.pause_duration += now.saturating_since(start);
+        }
+        self.flows.iter().filter(|f| !f.finished).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowControlMode;
+    use hpcc_cc::{CcAlgorithm, DcqcnConfig};
+    use hpcc_topology::TopologyBuilder;
+    use hpcc_types::IntHeader;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(100);
+    const RTT: Duration = Duration::from_us(13);
+
+    fn build_host(id: u32) -> Host {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let s = b.add_switch();
+        b.link(h0, s, LINE, Duration::from_us(1));
+        b.link(h1, s, LINE, Duration::from_us(1));
+        let topo = b.build();
+        Host::new(NodeId(id), topo.ports(NodeId(id)))
+    }
+
+    fn hpcc_cfg() -> SimConfig {
+        SimConfig::for_cc(CcAlgorithm::hpcc_default(), LINE, RTT)
+    }
+
+    fn flow(id: u64, size: u64) -> FlowSpec {
+        FlowSpec::new(FlowId(id), NodeId(0), NodeId(1), size, SimTime::ZERO)
+    }
+
+    #[test]
+    fn flow_start_sends_at_line_rate_until_window_fills() {
+        let cfg = hpcc_cfg();
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(SimTime::ZERO, flow(1, 10_000_000), &cfg, &mut eff);
+        assert_eq!(h.active_flows(), 1);
+        // Drive the NIC: kick → transmit → port ready → transmit …
+        let mut now = SimTime::ZERO;
+        let mut sent = 0;
+        for _ in 0..1000 {
+            let mut e = Effects::default();
+            h.try_transmit(now, &cfg, &mut e);
+            if e.packets_sent == 0 {
+                break;
+            }
+            sent += 1;
+            // Find the PortReady event to advance time and free the NIC.
+            let ready_at = e
+                .events
+                .iter()
+                .find_map(|(t, ev)| matches!(ev, Event::PortReady { .. }).then_some(*t))
+                .unwrap();
+            now = ready_at;
+            h.port_ready();
+        }
+        // The HPCC window is one BDP + MTU ≈ 163.5 KB → ~148 packets of 1106 B
+        // wire (1000 B payload) before the window closes.
+        let winit = LINE.bdp_bytes(RTT) + 1000;
+        let expected = winit / 1000;
+        assert!(
+            (sent as i64 - expected as i64).unsigned_abs() <= 2,
+            "sent {sent}, expected about {expected}"
+        );
+        // While the window is closed nothing more is sent even when paced.
+        let mut e = Effects::default();
+        h.try_transmit(now, &cfg, &mut e);
+        assert_eq!(e.packets_sent, 0);
+    }
+
+    #[test]
+    fn ack_opens_window_and_completes_flow() {
+        let cfg = hpcc_cfg();
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(SimTime::ZERO, flow(1, 2_000), &cfg, &mut eff);
+        // Send both packets.
+        let mut e = Effects::default();
+        h.try_transmit(SimTime::ZERO, &cfg, &mut e);
+        h.port_ready();
+        h.try_transmit(SimTime::from_ns(100), &cfg, &mut e);
+        h.port_ready();
+        assert_eq!(e.packets_sent + 1, 3); // 2 data packets total (1 in first eff)
+        // ACK the full flow.
+        let mut data = Packet::data(FlowId(1), NodeId(0), NodeId(1), 1000, 1000, SimTime::ZERO);
+        data.ack_flags.flow_finished = true;
+        let ack = Packet::ack_for(&data, 2000, true);
+        let mut e2 = Effects::default();
+        h.handle_arrival(SimTime::from_us(10), PortId(0), ack, &cfg, &mut e2);
+        assert_eq!(e2.completions.len(), 1);
+        let rec = e2.completions[0];
+        assert_eq!(rec.size, 2000);
+        assert_eq!(rec.finish, SimTime::from_us(10));
+        assert_eq!(h.active_flows(), 0);
+    }
+
+    #[test]
+    fn receiver_acks_in_order_data_and_echoes_int_and_ecn() {
+        let cfg = hpcc_cfg();
+        let mut h = build_host(1);
+        let mut pkt = Packet::data(FlowId(9), NodeId(0), NodeId(1), 0, 1000, SimTime::from_us(1));
+        pkt.ecn_ce = true;
+        pkt.int.push_hop(
+            4,
+            hpcc_types::IntHopRecord {
+                bandwidth: LINE,
+                ts: SimTime::from_us(2),
+                tx_bytes: 5000,
+                rx_bytes: 5000,
+                qlen: 777,
+            },
+        );
+        let mut eff = Effects::default();
+        h.handle_arrival(SimTime::from_us(3), PortId(0), pkt, &cfg, &mut eff);
+        assert_eq!(eff.packets_delivered, 1);
+        assert_eq!(h.ctrl_queue.len(), 1);
+        let ack = h.ctrl_queue[0];
+        assert_eq!(ack.kind, PacketKind::Ack);
+        assert_eq!(ack.seq, 1000);
+        assert!(ack.ack_flags.ecn_echo);
+        assert_eq!(ack.int.n_hops, 1);
+        assert_eq!(ack.int.hops()[0].qlen, 777);
+        // The ACK goes out before any data when the port is kicked.
+        let mut e2 = Effects::default();
+        h.try_transmit(SimTime::from_us(3), &cfg, &mut e2);
+        let went_out = e2.events.iter().any(|(_, ev)| {
+            matches!(ev, Event::PacketArrive { packet, .. } if packet.kind == PacketKind::Ack)
+        });
+        assert!(went_out);
+    }
+
+    #[test]
+    fn receiver_nacks_gaps_in_gbn_mode_and_sender_rolls_back() {
+        let cfg = hpcc_cfg();
+        let mut h = build_host(1);
+        // Packet 0 arrives, then packet 2 (gap at 1000..2000).
+        let p0 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 0, 1000, SimTime::ZERO);
+        let p2 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 2000, 1000, SimTime::ZERO);
+        let mut eff = Effects::default();
+        h.handle_arrival(SimTime::from_us(1), PortId(0), p0, &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(2), PortId(0), p2, &cfg, &mut eff);
+        let kinds: Vec<PacketKind> = h.ctrl_queue.iter().map(|p| p.kind).collect();
+        assert_eq!(kinds, vec![PacketKind::Ack, PacketKind::Nack]);
+        assert_eq!(h.ctrl_queue[1].seq, 1000, "NACK carries the expected byte");
+        // A second out-of-order packet within the NACK interval does not
+        // produce another NACK.
+        let p3 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 3000, 1000, SimTime::ZERO);
+        h.handle_arrival(SimTime::from_us(3), PortId(0), p3, &cfg, &mut eff);
+        assert_eq!(h.ctrl_queue.len(), 2);
+
+        // Sender side: a NACK rolls snd_nxt back and notifies CC.
+        let mut sender = build_host(0);
+        let mut e = Effects::default();
+        sender.flow_start(SimTime::ZERO, flow(9, 100_000), &cfg, &mut e);
+        // Transmit a few packets.
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            let mut e2 = Effects::default();
+            sender.try_transmit(now, &cfg, &mut e2);
+            now = now + Duration::from_ns(100);
+            sender.port_ready();
+        }
+        let nack = {
+            let d = Packet::data(FlowId(9), NodeId(0), NodeId(1), 0, 1000, SimTime::ZERO);
+            Packet::nack_for(&d, 1000)
+        };
+        let mut e3 = Effects::default();
+        sender.handle_arrival(SimTime::from_us(5), PortId(0), nack, &cfg, &mut e3);
+        let f = &sender.flows[0];
+        assert_eq!(f.snd_una, 1000);
+        assert_eq!(f.snd_nxt, 1000, "go-back-N rolls back to the expected byte");
+    }
+
+    #[test]
+    fn irn_receiver_keeps_out_of_order_data() {
+        let mut cfg = hpcc_cfg();
+        cfg.flow_control = FlowControlMode::LossyIrn;
+        let mut h = build_host(1);
+        let p0 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 0, 1000, SimTime::ZERO);
+        let p2 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 2000, 1000, SimTime::ZERO);
+        let p1 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 1000, 1000, SimTime::ZERO);
+        let mut eff = Effects::default();
+        h.handle_arrival(SimTime::from_us(1), PortId(0), p0, &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(2), PortId(0), p2, &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(3), PortId(0), p1, &cfg, &mut eff);
+        let kinds: Vec<PacketKind> = h.ctrl_queue.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![PacketKind::Ack, PacketKind::SackNack, PacketKind::Ack]
+        );
+        // Final cumulative ACK covers all three packets: the stored
+        // out-of-order block was absorbed.
+        assert_eq!(h.ctrl_queue[2].seq, 3000);
+    }
+
+    #[test]
+    fn irn_sender_retransmits_only_the_missing_packet() {
+        let mut cfg = hpcc_cfg();
+        cfg.flow_control = FlowControlMode::LossyIrn;
+        let mut sender = build_host(0);
+        let mut e = Effects::default();
+        sender.flow_start(SimTime::ZERO, flow(9, 10_000), &cfg, &mut e);
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            let mut e2 = Effects::default();
+            sender.try_transmit(now, &cfg, &mut e2);
+            now = now + Duration::from_ns(200);
+            sender.port_ready();
+        }
+        assert_eq!(sender.flows[0].snd_nxt, 4000);
+        // Receiver reports: expected 1000 (packet at 1000 missing), block
+        // [2000, 3000) received out of order.
+        let d = Packet::data(FlowId(9), NodeId(0), NodeId(1), 2000, 1000, SimTime::ZERO);
+        let sack = Packet::sack_nack_for(&d, 1000, 2000, 1000);
+        let mut e3 = Effects::default();
+        sender.handle_arrival(SimTime::from_us(5), PortId(0), sack, &cfg, &mut e3);
+        assert_eq!(sender.flows[0].snd_una, 1000);
+        assert!(sender.flows[0].rtx_queue.contains(&1000));
+        assert_eq!(sender.flows[0].rtx_queue.len(), 1);
+        // The retransmission goes out before new data.
+        let mut e4 = Effects::default();
+        sender.try_transmit(SimTime::from_us(6), &cfg, &mut e4);
+        let seq = e4
+            .events
+            .iter()
+            .find_map(|(_, ev)| match ev {
+                Event::PacketArrive { packet, .. } if packet.is_data() => Some(packet.seq),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(seq, 1000);
+    }
+
+    #[test]
+    fn cnp_generation_is_rate_limited_and_reaches_dcqcn() {
+        let cfg = SimConfig::for_cc(
+            CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)),
+            LINE,
+            RTT,
+        );
+        assert!(cfg.cnp_enabled);
+        let mut rx = build_host(1);
+        let mut eff = Effects::default();
+        for i in 0..5u64 {
+            let mut p =
+                Packet::data(FlowId(9), NodeId(0), NodeId(1), i * 1000, 1000, SimTime::ZERO);
+            p.ecn_ce = true;
+            rx.handle_arrival(SimTime::from_us(1 + i), PortId(0), p, &cfg, &mut eff);
+        }
+        let cnps = rx
+            .ctrl_queue
+            .iter()
+            .filter(|p| p.kind == PacketKind::Cnp)
+            .count();
+        assert_eq!(cnps, 1, "only one CNP within the 50 us interval");
+        // After the interval a new CNP is allowed.
+        let mut p = Packet::data(FlowId(9), NodeId(0), NodeId(1), 9000, 1000, SimTime::ZERO);
+        p.ecn_ce = true;
+        rx.handle_arrival(SimTime::from_us(60), PortId(0), p, &cfg, &mut eff);
+        let cnps = rx
+            .ctrl_queue
+            .iter()
+            .filter(|p| p.kind == PacketKind::Cnp)
+            .count();
+        assert_eq!(cnps, 2);
+
+        // Sender side: the CNP halves the DCQCN rate.
+        let mut tx = build_host(0);
+        let mut e = Effects::default();
+        tx.flow_start(SimTime::ZERO, flow(9, 1_000_000), &cfg, &mut e);
+        let before = tx.flow_state(FlowId(9)).unwrap().1;
+        let cnp = Packet::cnp(FlowId(9), NodeId(0), NodeId(1));
+        let mut e2 = Effects::default();
+        tx.handle_arrival(SimTime::from_us(100), PortId(0), cnp, &cfg, &mut e2);
+        let after = tx.flow_state(FlowId(9)).unwrap().1;
+        assert_eq!(after, before.mul_f64(0.5));
+    }
+
+    #[test]
+    fn dcqcn_flows_get_a_cc_timer_chain() {
+        let cfg = SimConfig::for_cc(
+            CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)),
+            LINE,
+            RTT,
+        );
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), &cfg, &mut eff);
+        let timer = eff
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, Event::CcTimer { .. }));
+        assert!(timer.is_some(), "DCQCN needs its rate/alpha timers");
+        // HPCC flows do not need one.
+        let cfg2 = hpcc_cfg();
+        let mut h2 = build_host(0);
+        let mut eff2 = Effects::default();
+        h2.flow_start(SimTime::ZERO, flow(2, 1_000_000), &cfg2, &mut eff2);
+        assert!(!eff2
+            .events
+            .iter()
+            .any(|(_, e)| matches!(e, Event::CcTimer { .. })));
+    }
+
+    #[test]
+    fn pfc_pause_stops_data_but_not_acks() {
+        let cfg = hpcc_cfg();
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), &cfg, &mut eff);
+        // Pause the data class.
+        h.handle_arrival(
+            SimTime::from_us(1),
+            PortId(0),
+            Packet::pfc(Priority::DATA, true),
+            &cfg,
+            &mut eff,
+        );
+        let mut e = Effects::default();
+        h.try_transmit(SimTime::from_us(2), &cfg, &mut e);
+        assert_eq!(e.packets_sent, 0, "data is paused");
+        // But a queued ACK still goes out.
+        let data = Packet::data(FlowId(5), NodeId(1), NodeId(0), 0, 1000, SimTime::ZERO);
+        h.handle_arrival(SimTime::from_us(3), PortId(0), data, &cfg, &mut e);
+        let mut e2 = Effects::default();
+        h.try_transmit(SimTime::from_us(3), &cfg, &mut e2);
+        assert!(e2
+            .events
+            .iter()
+            .any(|(_, ev)| matches!(ev, Event::PacketArrive { packet, .. } if packet.kind == PacketKind::Ack)));
+        // Resume restores data transmission and accounts the pause time.
+        let mut e3 = Effects::default();
+        h.handle_arrival(
+            SimTime::from_us(11),
+            PortId(0),
+            Packet::pfc(Priority::DATA, false),
+            &cfg,
+            &mut e3,
+        );
+        assert_eq!(h.counters.pause_duration, Duration::from_us(10));
+        h.port_ready();
+        let mut e4 = Effects::default();
+        h.try_transmit(SimTime::from_us(12), &cfg, &mut e4);
+        assert_eq!(e4.packets_sent, 1);
+    }
+
+    #[test]
+    fn pacing_schedules_a_wake_when_rate_limited() {
+        // Use DCQCN whose rate we can drag far below line rate, so pacing
+        // (not the window) is the binding constraint.
+        let cfg = SimConfig::for_cc(
+            CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)),
+            LINE,
+            RTT,
+        );
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), &cfg, &mut eff);
+        // Cut the rate hard with several CNPs.
+        for k in 0..6u64 {
+            let cnp = Packet::cnp(FlowId(1), NodeId(0), NodeId(1));
+            let mut e = Effects::default();
+            h.handle_arrival(SimTime::from_us(10 * k), PortId(0), cnp, &cfg, &mut e);
+        }
+        // First packet goes out immediately…
+        let mut e = Effects::default();
+        h.try_transmit(SimTime::from_us(100), &cfg, &mut e);
+        assert_eq!(e.packets_sent, 1);
+        h.port_ready();
+        // …the second is pacing-blocked, so the host asks for a wake-up.
+        let mut e2 = Effects::default();
+        h.try_transmit(SimTime::from_us(101), &cfg, &mut e2);
+        assert_eq!(e2.packets_sent, 0);
+        let wake = e2
+            .events
+            .iter()
+            .find_map(|(t, ev)| matches!(ev, Event::HostWake { .. }).then_some(*t));
+        assert!(wake.is_some());
+        assert!(wake.unwrap() > SimTime::from_us(101));
+    }
+
+    #[test]
+    fn rto_fires_in_lossy_mode_and_rolls_back() {
+        let mut cfg = hpcc_cfg();
+        cfg.flow_control = FlowControlMode::LossyGoBackN;
+        cfg.rto = Duration::from_us(100);
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(SimTime::ZERO, flow(1, 10_000), &cfg, &mut eff);
+        let mut e = Effects::default();
+        h.try_transmit(SimTime::ZERO, &cfg, &mut e);
+        let rto_ev = e
+            .events
+            .iter()
+            .find(|(_, ev)| matches!(ev, Event::RtoCheck { .. }));
+        assert!(rto_ev.is_some(), "lossy mode arms an RTO");
+        h.port_ready();
+        assert_eq!(h.flows[0].snd_nxt, 1000);
+        // Nothing is acknowledged; the RTO check at +100 us rolls back.
+        let mut e2 = Effects::default();
+        h.handle_rto(SimTime::from_us(200), FlowId(1), &cfg, &mut e2);
+        assert_eq!(h.flows[0].snd_nxt, 0);
+        // And it re-arms itself.
+        assert!(e2
+            .events
+            .iter()
+            .any(|(_, ev)| matches!(ev, Event::RtoCheck { .. })));
+    }
+
+    #[test]
+    fn zero_size_and_self_flows_complete_immediately() {
+        let cfg = hpcc_cfg();
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(
+            SimTime::from_us(4),
+            FlowSpec::new(FlowId(1), NodeId(0), NodeId(0), 1000, SimTime::from_us(4)),
+            &cfg,
+            &mut eff,
+        );
+        h.flow_start(
+            SimTime::from_us(4),
+            FlowSpec::new(FlowId(2), NodeId(0), NodeId(1), 0, SimTime::from_us(4)),
+            &cfg,
+            &mut eff,
+        );
+        assert_eq!(eff.completions.len(), 2);
+        assert_eq!(h.active_flows(), 0);
+    }
+
+    #[test]
+    fn int_disabled_acks_do_not_confuse_sender() {
+        let mut cfg = hpcc_cfg();
+        cfg.int_enabled = false;
+        let mut h = build_host(0);
+        let mut eff = Effects::default();
+        h.flow_start(SimTime::ZERO, flow(1, 100_000), &cfg, &mut eff);
+        let before = h.flow_state(FlowId(1)).unwrap();
+        let d = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1000, SimTime::ZERO);
+        let ack = Packet::ack_for(&d, 1000, false);
+        assert_eq!(ack.int, IntHeader::new());
+        let mut e = Effects::default();
+        h.handle_arrival(SimTime::from_us(10), PortId(0), ack, &cfg, &mut e);
+        let after = h.flow_state(FlowId(1)).unwrap();
+        assert_eq!(before, after, "no INT → HPCC holds its state");
+    }
+}

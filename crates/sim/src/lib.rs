@@ -1,0 +1,37 @@
+//! # hpcc-sim
+//!
+//! A packet-level discrete-event network simulator purpose-built to
+//! reproduce "HPCC: High Precision Congestion Control" (SIGCOMM 2019). It
+//! plays the role ns-3 plays in the paper's evaluation:
+//!
+//! * **switches** with a shared buffer, per-priority egress queues,
+//!   WRED/ECN marking, dynamic-threshold PFC (pause/resume frames), dynamic
+//!   drop thresholds for lossy configurations, destination-based ECMP and
+//!   INT stamping at dequeue (§4.1),
+//! * **host NICs** with per-flow rate pacing and window limiting driven by a
+//!   pluggable congestion-control algorithm (`hpcc-cc`), per-packet ACKs
+//!   echoing INT, CNP generation for DCQCN, go-back-N and IRN-style loss
+//!   recovery (§4.2),
+//! * a deterministic, seeded event engine in integer picoseconds.
+//!
+//! The top-level entry point is [`Simulator`]: build a topology with
+//! `hpcc-topology`, describe the host behaviour with [`SimConfig`], add
+//! flows, call [`Simulator::run`], and read the raw measurement records from
+//! the returned [`SimOutput`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod host;
+pub mod output;
+pub mod rng;
+pub mod switch;
+
+mod simulator;
+
+pub use config::{EcnConfig, FlowControlMode, SimConfig};
+pub use engine::Event;
+pub use output::{FlowRecord, PortKey, SimOutput};
+pub use simulator::Simulator;

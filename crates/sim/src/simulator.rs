@@ -1,0 +1,551 @@
+//! The top-level simulator: owns the nodes, the event loop and the raw
+//! measurement output.
+
+use crate::config::SimConfig;
+use crate::engine::{Effects, Event, EventQueue};
+use crate::host::Host;
+use crate::output::SimOutput;
+use crate::switch::Switch;
+use hpcc_topology::{NodeKind, TopologySpec};
+use hpcc_types::{Duration, FlowSpec, NodeId, PortId, SimTime};
+
+/// A node in the simulated network.
+#[derive(Debug)]
+enum Node {
+    Host(Host),
+    Switch(Switch),
+}
+
+/// A packet-level discrete-event simulation of one experiment.
+///
+/// ```
+/// use hpcc_sim::{SimConfig, Simulator};
+/// use hpcc_cc::CcAlgorithm;
+/// use hpcc_topology::star;
+/// use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, SimTime};
+///
+/// let topo = star(4, Bandwidth::from_gbps(100), Duration::from_us(1));
+/// let base_rtt = topo.suggested_base_rtt(1106);
+/// let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), Bandwidth::from_gbps(100), base_rtt);
+/// cfg.end_time = SimTime::from_ms(2);
+/// let hosts = topo.hosts().to_vec();
+/// let mut sim = Simulator::new(topo, cfg);
+/// sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[1], 100_000, SimTime::ZERO));
+/// let out = sim.run();
+/// assert_eq!(out.flows.len(), 1);
+/// ```
+pub struct Simulator {
+    time: SimTime,
+    events: EventQueue,
+    nodes: Vec<Node>,
+    topo: TopologySpec,
+    cfg: SimConfig,
+    out: SimOutput,
+    flows: Vec<FlowSpec>,
+}
+
+impl Simulator {
+    /// Build a simulator for a topology and behavioural configuration.
+    pub fn new(topo: TopologySpec, cfg: SimConfig) -> Self {
+        let mut nodes = Vec::with_capacity(topo.node_count());
+        for i in 0..topo.node_count() {
+            let id = NodeId(i as u32);
+            let node = match topo.kind(id) {
+                NodeKind::Host => Node::Host(Host::new(id, topo.ports(id))),
+                NodeKind::Switch => Node::Switch(Switch::new(id, topo.ports(id), cfg.seed)),
+            };
+            nodes.push(node);
+        }
+        let mut events = EventQueue::new();
+        if let Some(interval) = cfg.queue_sample_interval {
+            events.push(SimTime::ZERO + interval, Event::Sample);
+        }
+        if !cfg.trace_ports.is_empty() {
+            events.push(SimTime::ZERO + cfg.trace_interval, Event::TraceSample);
+        }
+        let out = SimOutput::new(
+            1024,
+            cfg.flow_throughput_bin.unwrap_or(Duration::ZERO),
+        );
+        Simulator {
+            time: SimTime::ZERO,
+            events,
+            nodes,
+            topo,
+            cfg,
+            out,
+            flows: Vec::new(),
+        }
+    }
+
+    /// The topology this simulator runs on.
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topo
+    }
+
+    /// The configuration this simulator runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Register one flow; it starts at `spec.start`.
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        let idx = self.flows.len();
+        self.flows.push(spec);
+        self.events.push(spec.start, Event::FlowStart(idx));
+    }
+
+    /// Register many flows.
+    pub fn add_flows<I: IntoIterator<Item = FlowSpec>>(&mut self, specs: I) {
+        for s in specs {
+            self.add_flow(s);
+        }
+    }
+
+    /// Number of flows registered.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Run until the event queue drains or the configured horizon is passed,
+    /// then return the collected measurements.
+    pub fn run(mut self) -> SimOutput {
+        while self.step() {}
+        self.finalize()
+    }
+
+    /// Process one event. Returns `false` when the simulation is over.
+    fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.events.pop() else {
+            return false;
+        };
+        if t > self.cfg.end_time {
+            return false;
+        }
+        self.time = t;
+        let mut eff = Effects::default();
+        match ev {
+            Event::FlowStart(idx) => {
+                let spec = self.flows[idx];
+                if let Node::Host(h) = &mut self.nodes[spec.src.index()] {
+                    h.flow_start(t, spec, &self.cfg, &mut eff);
+                }
+            }
+            Event::PortReady { node, port } => {
+                match &mut self.nodes[node.index()] {
+                    Node::Host(h) => h.port_ready(),
+                    Node::Switch(s) => s.port_ready(port),
+                }
+                eff.kicks.push((node, port));
+            }
+            Event::PacketArrive { node, port, packet } => match &mut self.nodes[node.index()] {
+                Node::Host(h) => h.handle_arrival(t, port, packet, &self.cfg, &mut eff),
+                Node::Switch(s) => {
+                    s.handle_arrival(t, port, packet, &self.cfg, &self.topo, &mut eff)
+                }
+            },
+            Event::HostWake { node } => {
+                if let Node::Host(h) = &mut self.nodes[node.index()] {
+                    h.handle_wake(t, &mut eff);
+                }
+            }
+            Event::CcTimer { node, flow } => {
+                if let Node::Host(h) = &mut self.nodes[node.index()] {
+                    h.handle_cc_timer(t, flow, &self.cfg, &mut eff);
+                }
+            }
+            Event::RtoCheck { node, flow } => {
+                if let Node::Host(h) = &mut self.nodes[node.index()] {
+                    h.handle_rto(t, flow, &self.cfg, &mut eff);
+                }
+            }
+            Event::Sample => {
+                for node in &self.nodes {
+                    if let Node::Switch(s) = node {
+                        for port in s.ports() {
+                            self.out.record_queue_sample(port.data_queue_bytes());
+                        }
+                    }
+                }
+                if let Some(interval) = self.cfg.queue_sample_interval {
+                    let next = t + interval;
+                    if next <= self.cfg.end_time {
+                        eff.events.push((next, Event::Sample));
+                    }
+                }
+            }
+            Event::TraceSample => {
+                for i in 0..self.cfg.trace_ports.len() {
+                    let (n, p) = self.cfg.trace_ports[i];
+                    let qlen = match &self.nodes[n.index()] {
+                        Node::Switch(s) => s.ports()[p.index()].data_queue_bytes(),
+                        Node::Host(_) => 0,
+                    };
+                    self.out.port_traces.entry((n, p)).or_default().push((t, qlen));
+                }
+                let next = t + self.cfg.trace_interval;
+                if next <= self.cfg.end_time {
+                    eff.events.push((next, Event::TraceSample));
+                }
+            }
+        }
+        self.apply_effects(eff);
+        true
+    }
+
+    /// Apply side effects produced by one event, including the transmission
+    /// work-queue (ports that were kicked).
+    fn apply_effects(&mut self, eff: Effects) {
+        let Effects {
+            events,
+            mut kicks,
+            completions,
+            pfc_events,
+            goodput,
+            packets_delivered,
+            packets_sent,
+        } = eff;
+        self.absorb(events, completions, pfc_events, goodput, packets_delivered, packets_sent);
+        while let Some((n, p)) = kicks.pop() {
+            let mut e = Effects::default();
+            match &mut self.nodes[n.index()] {
+                Node::Host(h) => h.try_transmit(self.time, &self.cfg, &mut e),
+                Node::Switch(s) => s.try_transmit(self.time, p, &self.cfg, &mut e),
+            }
+            kicks.extend(e.kicks);
+            self.absorb(
+                e.events,
+                e.completions,
+                e.pfc_events,
+                e.goodput,
+                e.packets_delivered,
+                e.packets_sent,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn absorb(
+        &mut self,
+        events: Vec<(SimTime, Event)>,
+        completions: Vec<crate::output::FlowRecord>,
+        pfc_events: Vec<crate::output::PfcEvent>,
+        goodput: Vec<(hpcc_types::FlowId, u64)>,
+        packets_delivered: u64,
+        packets_sent: u64,
+    ) {
+        for (t, e) in events {
+            self.events.push(t, e);
+        }
+        for rec in completions {
+            self.out.flows.push(rec);
+        }
+        for ev in pfc_events {
+            self.out.record_pfc_event(ev);
+        }
+        for (f, b) in goodput {
+            self.out.record_goodput(f, self.time, b);
+        }
+        self.out.packets_delivered += packets_delivered;
+        self.out.packets_sent += packets_sent;
+    }
+
+    /// Close out per-node accounting and return the measurements.
+    fn finalize(mut self) -> SimOutput {
+        let now = self.time;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let id = NodeId(i as u32);
+            match node {
+                Node::Switch(s) => {
+                    s.finalize(now);
+                    for (pi, port) in s.ports().iter().enumerate() {
+                        self.out.ports.insert((id, PortId(pi as u32)), port.counters);
+                    }
+                }
+                Node::Host(h) => {
+                    let unfinished = h.finalize(now);
+                    self.out.unfinished_flows += unfinished;
+                    self.out.ports.insert((id, PortId(0)), h.counters);
+                }
+            }
+        }
+        self.out.elapsed = now;
+        self.out.events_processed = self.events.total_processed();
+        self.out
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time)
+            .field("nodes", &self.nodes.len())
+            .field("flows", &self.flows.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowControlMode;
+    use hpcc_cc::{CcAlgorithm, DcqcnConfig};
+    use hpcc_topology::{star, testbed_pod};
+    use hpcc_types::{Bandwidth, FlowId};
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(100);
+
+    fn star_cfg(cc: CcAlgorithm, n_hosts: usize) -> (TopologySpec, SimConfig) {
+        let topo = star(n_hosts, LINE, Duration::from_us(1));
+        let base_rtt = topo.suggested_base_rtt(1106);
+        let mut cfg = SimConfig::for_cc(cc, LINE, base_rtt);
+        cfg.end_time = SimTime::from_ms(20);
+        (topo, cfg)
+    }
+
+    #[test]
+    fn single_flow_completes_with_sane_fct() {
+        let (topo, cfg) = star_cfg(CcAlgorithm::hpcc_default(), 2);
+        let hosts = topo.hosts().to_vec();
+        let mut sim = Simulator::new(topo, cfg);
+        let size = 1_000_000u64;
+        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[1], size, SimTime::ZERO));
+        let out = sim.run();
+        assert_eq!(out.flows.len(), 1);
+        assert_eq!(out.unfinished_flows, 0);
+        let fct = out.flows[0].fct();
+        // Ideal: 1000 packets * 1106 B at 100 Gbps ≈ 88.5 us, plus the ~4 us
+        // RTT and per-hop store-and-forward. HPCC's 95% target utilization
+        // costs a further ~5%.
+        assert!(fct >= Duration::from_us(88), "too fast: {fct}");
+        assert!(fct <= Duration::from_us(140), "too slow: {fct}");
+        assert_eq!(out.total_drops(), 0);
+        assert!(out.packets_sent >= 1000);
+        assert_eq!(out.packets_delivered, out.packets_sent);
+    }
+
+    #[test]
+    fn hpcc_keeps_queue_near_zero_in_two_to_one() {
+        let (topo, mut cfg) = star_cfg(CcAlgorithm::hpcc_default(), 3);
+        cfg.queue_sample_interval = Some(Duration::from_us(1));
+        let hosts = topo.hosts().to_vec();
+        let mut sim = Simulator::new(topo, cfg);
+        // Two 2 MB flows into host 2.
+        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[2], 2_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(FlowId(2), hosts[1], hosts[2], 2_000_000, SimTime::ZERO));
+        let out = sim.run();
+        assert_eq!(out.flows.len(), 2);
+        // HPCC's 99th-percentile queue stays far below one BDP (~50 KB here);
+        // the paper reports tens of KB for much larger fan-ins.
+        let q99 = out.queue_percentile(99.0).unwrap();
+        assert!(q99 < 60_000, "99p queue {q99} B too large for HPCC");
+        assert_eq!(out.total_drops(), 0);
+        assert_eq!(out.total_pause_duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn dcqcn_builds_bigger_queues_than_hpcc() {
+        let run = |cc: CcAlgorithm| {
+            let (topo, mut cfg) = star_cfg(cc, 5);
+            cfg.queue_sample_interval = Some(Duration::from_us(1));
+            let hosts = topo.hosts().to_vec();
+            let mut sim = Simulator::new(topo, cfg);
+            for i in 0..4u64 {
+                sim.add_flow(FlowSpec::new(
+                    FlowId(i + 1),
+                    hosts[i as usize],
+                    hosts[4],
+                    2_000_000,
+                    SimTime::ZERO,
+                ));
+            }
+            sim.run()
+        };
+        let hpcc = run(CcAlgorithm::hpcc_default());
+        let dcqcn = run(CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)));
+        assert_eq!(hpcc.flows.len(), 4);
+        assert_eq!(dcqcn.flows.len(), 4);
+        // Compare the time-average queue occupancy over the whole run: DCQCN
+        // keeps a standing queue near its ECN threshold while the transfer
+        // lasts, HPCC only has the first-RTT burst.
+        let mean_queue = |out: &SimOutput| {
+            let total: u64 = out.queue_histogram.iter().sum();
+            let weighted: f64 = out
+                .queue_histogram
+                .iter()
+                .enumerate()
+                .map(|(i, c)| i as f64 * out.queue_histogram_bin as f64 * *c as f64)
+                .sum();
+            weighted / total.max(1) as f64
+        };
+        let q_hpcc = mean_queue(&hpcc);
+        let q_dcqcn = mean_queue(&dcqcn);
+        assert!(
+            q_dcqcn > 3.0 * q_hpcc.max(1.0),
+            "DCQCN mean queue ({q_dcqcn:.0} B) should far exceed HPCC's ({q_hpcc:.0} B)"
+        );
+        // And DCQCN's worst case is far above one BDP while HPCC's stays in
+        // the same order as a BDP burst.
+        assert!(dcqcn.max_queue_bytes() > 300_000);
+    }
+
+    #[test]
+    fn incast_under_pfc_never_drops_and_under_lossy_gbn_recovers() {
+        // 8-to-1 incast with a deliberately small buffer.
+        let run = |mode: FlowControlMode| {
+            let (topo, mut cfg) = star_cfg(
+                CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)),
+                9,
+            );
+            cfg.flow_control = mode;
+            cfg.buffer_bytes = 500_000;
+            cfg.end_time = SimTime::from_ms(30);
+            let hosts = topo.hosts().to_vec();
+            let mut sim = Simulator::new(topo, cfg);
+            for i in 0..8u64 {
+                sim.add_flow(FlowSpec::new(
+                    FlowId(i + 1),
+                    hosts[i as usize],
+                    hosts[8],
+                    500_000,
+                    SimTime::from_us(i),
+                ));
+            }
+            sim.run()
+        };
+        let lossless = run(FlowControlMode::Lossless);
+        assert_eq!(lossless.total_drops(), 0, "PFC must prevent drops");
+        assert!(lossless.total_pause_duration() > Duration::ZERO, "incast should trigger PFC");
+        assert_eq!(lossless.flows.len(), 8);
+
+        let lossy = run(FlowControlMode::LossyGoBackN);
+        assert!(lossy.total_drops() > 0, "small buffer without PFC must drop");
+        assert_eq!(lossy.flows.len(), 8, "go-back-N must still complete all flows");
+        assert_eq!(lossy.total_pause_duration(), Duration::ZERO);
+
+        let irn = run(FlowControlMode::LossyIrn);
+        assert_eq!(irn.flows.len(), 8, "IRN must still complete all flows");
+        // IRN retransmits selectively, so it sends no more than go-back-N.
+        assert!(irn.packets_sent <= lossy.packets_sent);
+    }
+
+    #[test]
+    fn hpcc_incast_keeps_queue_below_pfc_threshold() {
+        let (topo, mut cfg) = star_cfg(CcAlgorithm::hpcc_default(), 17);
+        cfg.queue_sample_interval = Some(Duration::from_us(1));
+        cfg.end_time = SimTime::from_ms(10);
+        let hosts = topo.hosts().to_vec();
+        let mut sim = Simulator::new(topo, cfg);
+        for i in 0..16u64 {
+            sim.add_flow(FlowSpec::new(
+                FlowId(i + 1),
+                hosts[i as usize],
+                hosts[16],
+                500_000,
+                SimTime::ZERO,
+            ));
+        }
+        let out = sim.run();
+        assert_eq!(out.flows.len(), 16);
+        // No PFC pauses with HPCC even under 16-to-1 incast (the paper's
+        // §5.3 observation).
+        assert_eq!(out.total_pause_duration(), Duration::ZERO);
+        assert_eq!(out.total_drops(), 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let (topo, cfg) = star_cfg(CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)), 4);
+            let hosts = topo.hosts().to_vec();
+            let mut sim = Simulator::new(topo, cfg);
+            for i in 0..3u64 {
+                sim.add_flow(FlowSpec::new(
+                    FlowId(i + 1),
+                    hosts[i as usize],
+                    hosts[3],
+                    1_000_000,
+                    SimTime::from_us(5 * i),
+                ));
+            }
+            sim.run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.flows.len(), b.flows.len());
+        for (x, y) in a.flows.iter().zip(b.flows.iter()) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.packets_sent, b.packets_sent);
+    }
+
+    #[test]
+    fn cross_rack_flows_work_on_the_testbed_pod() {
+        let topo = testbed_pod(Duration::from_us(1));
+        let base_rtt = topo.suggested_base_rtt(1106);
+        let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), Bandwidth::from_gbps(25), base_rtt);
+        cfg.end_time = SimTime::from_ms(30);
+        let hosts = topo.hosts().to_vec();
+        let mut sim = Simulator::new(topo, cfg);
+        // Host 0 (rack 0) to host 31 (rack 3): crosses ToR→Agg→ToR.
+        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[31], 2_000_000, SimTime::ZERO));
+        // And a same-rack flow.
+        sim.add_flow(FlowSpec::new(FlowId(2), hosts[8], hosts[9], 2_000_000, SimTime::ZERO));
+        let out = sim.run();
+        assert_eq!(out.flows.len(), 2);
+        assert_eq!(out.unfinished_flows, 0);
+        let cross = out.flows.iter().find(|f| f.id == FlowId(1)).unwrap();
+        let local = out.flows.iter().find(|f| f.id == FlowId(2)).unwrap();
+        // Both are bandwidth-bound at 25 Gbps ≈ 680 us for 2 MB + overheads;
+        // the cross-rack flow pays a slightly longer RTT.
+        assert!(cross.fct() > local.fct());
+        assert!(local.fct() > Duration::from_us(600));
+        assert!(cross.fct() < Duration::from_ms(2));
+    }
+
+    #[test]
+    fn goodput_and_trace_outputs_are_populated() {
+        let (topo, mut cfg) = star_cfg(CcAlgorithm::hpcc_default(), 3);
+        let switch = topo.switches()[0];
+        let hosts = topo.hosts().to_vec();
+        // Trace the egress towards host 2 and bin goodput at 100 us.
+        let egress_to_h2 = topo.next_hops(switch, hosts[2])[0];
+        cfg.trace_ports = vec![(switch, egress_to_h2)];
+        cfg.trace_interval = Duration::from_us(5);
+        cfg.flow_throughput_bin = Some(Duration::from_us(100));
+        let mut sim = Simulator::new(topo, cfg);
+        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[2], 3_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(FlowId(2), hosts[1], hosts[2], 3_000_000, SimTime::ZERO));
+        let out = sim.run();
+        let trace = &out.port_traces[&(switch, egress_to_h2)];
+        assert!(trace.len() > 10);
+        assert!(trace.windows(2).all(|w| w[0].0 < w[1].0), "trace times increase");
+        let g1 = &out.flow_goodput[&FlowId(1)];
+        let total1: u64 = g1.iter().sum();
+        assert_eq!(total1, 3_000_000);
+        let g2: u64 = out.flow_goodput[&FlowId(2)].iter().sum();
+        assert_eq!(g2, 3_000_000);
+    }
+
+    #[test]
+    fn int_headers_reach_back_to_senders_through_multiple_hops() {
+        let topo = testbed_pod(Duration::from_us(1));
+        let base_rtt = topo.suggested_base_rtt(1106);
+        let mut cfg =
+            SimConfig::for_cc(CcAlgorithm::hpcc_default(), Bandwidth::from_gbps(25), base_rtt);
+        cfg.end_time = SimTime::from_ms(10);
+        cfg.queue_sample_interval = Some(Duration::from_us(2));
+        let hosts = topo.hosts().to_vec();
+        let mut sim = Simulator::new(topo, cfg);
+        // Two cross-rack senders share the ToR uplink of the receiver's rack,
+        // so HPCC must throttle below line rate without building deep queues.
+        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[16], 1_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(FlowId(2), hosts[8], hosts[17], 1_000_000, SimTime::ZERO));
+        let out = sim.run();
+        assert_eq!(out.flows.len(), 2);
+        assert_eq!(out.total_drops(), 0);
+        assert!(out.queue_percentile(99.9).unwrap() < 200_000);
+    }
+}

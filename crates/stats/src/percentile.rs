@@ -1,0 +1,86 @@
+//! Percentile helpers.
+
+/// Compute the `p`-th percentile (0–100) of a slice using nearest-rank on a
+/// sorted copy. Returns `None` for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.max(1).min(sorted.len()) - 1;
+    Some(sorted[idx])
+}
+
+/// Median / 95th / 99th percentiles of a set of values (the three the paper
+/// reports for FCT slowdowns).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub count: usize,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Compute all summary percentiles of `values`; `None` if empty.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Percentiles {
+            count: values.len(),
+            p50: percentile(values, 50.0).unwrap(),
+            p95: percentile(values, 95.0).unwrap(),
+            p99: percentile(values, 99.0).unwrap(),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            max: values.iter().cloned().fold(f64::MIN, f64::max),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 95.0), Some(95.0));
+        assert_eq!(percentile(&v, 99.0), Some(99.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let v = vec![5.0, 1.0, 9.0, 3.0, 7.0];
+        assert_eq!(percentile(&v, 50.0), Some(5.0));
+        assert_eq!(percentile(&v, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn summary_struct() {
+        let v: Vec<f64> = (1..=200).map(|x| x as f64).collect();
+        let s = Percentiles::of(&v).unwrap();
+        assert_eq!(s.count, 200);
+        assert_eq!(s.p50, 100.0);
+        assert_eq!(s.p95, 190.0);
+        assert_eq!(s.p99, 198.0);
+        assert_eq!(s.max, 200.0);
+        assert!((s.mean - 100.5).abs() < 1e-9);
+        assert!(Percentiles::of(&[]).is_none());
+    }
+}

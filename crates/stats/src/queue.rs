@@ -1,0 +1,87 @@
+//! Queue-length CDFs from sampled histograms.
+
+/// Turn a sampled queue-length histogram (`bin_width`-byte bins) into CDF
+/// points `(queue_bytes, cumulative_fraction)`, one per non-empty bin plus
+/// the origin. Returns an empty vector when no samples were taken.
+pub fn queue_cdf(histogram: &[u64], bin_width: u64) -> Vec<(u64, f64)> {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for (i, &count) in histogram.iter().enumerate() {
+        if count == 0 && i != 0 {
+            continue;
+        }
+        acc += count;
+        out.push((i as u64 * bin_width, acc as f64 / total as f64));
+    }
+    // Make sure the CDF closes at 1.0 even if trailing bins were skipped.
+    if let Some(last) = out.last() {
+        if last.1 < 1.0 {
+            out.push(((histogram.len() as u64) * bin_width, 1.0));
+        }
+    }
+    out
+}
+
+/// The queue length at percentile `p` (0–100) of a histogram, or `None` when
+/// empty.
+pub fn queue_percentile(histogram: &[u64], bin_width: u64, p: f64) -> Option<u64> {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = ((p.clamp(0.0, 100.0) / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut acc = 0u64;
+    for (i, &count) in histogram.iter().enumerate() {
+        acc += count;
+        if acc >= target {
+            return Some(i as u64 * bin_width);
+        }
+    }
+    Some(histogram.len() as u64 * bin_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_from_histogram() {
+        // 80 samples in bin 0, 15 in bin 10, 5 in bin 20.
+        let mut h = vec![0u64; 21];
+        h[0] = 80;
+        h[10] = 15;
+        h[20] = 5;
+        let cdf = queue_cdf(&h, 1024);
+        assert_eq!(cdf[0], (0, 0.80));
+        assert_eq!(cdf[1], (10 * 1024, 0.95));
+        assert_eq!(cdf[2], (20 * 1024, 1.0));
+        assert!(queue_cdf(&[], 1024).is_empty());
+    }
+
+    #[test]
+    fn percentiles_from_histogram() {
+        let mut h = vec![0u64; 21];
+        h[0] = 80;
+        h[10] = 15;
+        h[20] = 5;
+        assert_eq!(queue_percentile(&h, 1024, 50.0), Some(0));
+        assert_eq!(queue_percentile(&h, 1024, 90.0), Some(10 * 1024));
+        assert_eq!(queue_percentile(&h, 1024, 99.0), Some(20 * 1024));
+        assert_eq!(queue_percentile(&[], 1024, 50.0), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let h = vec![3, 0, 0, 7, 1, 0, 9];
+        let cdf = queue_cdf(&h, 100);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

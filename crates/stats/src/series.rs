@@ -1,0 +1,76 @@
+//! Time-series helpers: goodput curves and fairness.
+
+use hpcc_types::Duration;
+
+/// Convert a per-bin "newly acknowledged bytes" series (as produced by the
+/// simulator's goodput tracing) into Gbps values.
+pub fn goodput_series_gbps(bytes_per_bin: &[u64], bin: Duration) -> Vec<f64> {
+    if bin.is_zero() {
+        return Vec::new();
+    }
+    let sec = bin.as_secs_f64();
+    bytes_per_bin
+        .iter()
+        .map(|b| (*b as f64 * 8.0) / sec / 1e9)
+        .collect()
+}
+
+/// Jain's fairness index of a set of throughputs: `(Σx)² / (n·Σx²)`,
+/// 1.0 = perfectly fair, 1/n = maximally unfair.
+pub fn jain_fairness_index(throughputs: &[f64]) -> f64 {
+    let n = throughputs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = throughputs.iter().sum();
+    let sum_sq: f64 = throughputs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+/// Average the tail (last `fraction` of bins) of a goodput series — useful to
+/// read a steady-state throughput out of a time series.
+pub fn steady_state_gbps(series_gbps: &[f64], fraction: f64) -> f64 {
+    if series_gbps.is_empty() {
+        return 0.0;
+    }
+    let n = series_gbps.len();
+    let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
+    let tail = &series_gbps[start.min(n - 1)..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_conversion() {
+        // 1.25 MB per 100 us bin = 100 Gbps.
+        let s = goodput_series_gbps(&[1_250_000, 625_000, 0], Duration::from_us(100));
+        assert!((s[0] - 100.0).abs() < 1e-9);
+        assert!((s[1] - 50.0).abs() < 1e-9);
+        assert_eq!(s[2], 0.0);
+        assert!(goodput_series_gbps(&[1], Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert!((jain_fairness_index(&[10.0, 10.0, 10.0, 10.0]) - 1.0).abs() < 1e-12);
+        let unfair = jain_fairness_index(&[40.0, 0.0, 0.0, 0.0]);
+        assert!((unfair - 0.25).abs() < 1e-12);
+        let mid = jain_fairness_index(&[30.0, 10.0]);
+        assert!(mid > 0.5 && mid < 1.0);
+        assert_eq!(jain_fairness_index(&[]), 1.0);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn steady_state_reads_the_tail() {
+        let series = vec![0.0, 0.0, 0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 10.0, 10.0];
+        assert!((steady_state_gbps(&series, 0.5) - 10.0).abs() < 1e-9);
+        assert_eq!(steady_state_gbps(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! All-shortest-path ECMP route computation.
+//!
+//! For every destination host we run a breadth-first search over the
+//! topology graph; a node's next-hop ports towards that destination are all
+//! ports whose peer is one hop closer. The simulator picks among the
+//! candidates with a per-flow hash (destination-based ECMP, as in the
+//! paper's switch implementation, §4.1).
+
+use crate::spec::PortDesc;
+use hpcc_types::{NodeId, PortId};
+use std::collections::{HashMap, VecDeque};
+
+/// Compute `routes[node][dst_host] -> Vec<PortId>` for every node.
+pub fn compute_routes(
+    node_count: usize,
+    ports: &[Vec<PortDesc>],
+    hosts: &[NodeId],
+) -> Vec<HashMap<NodeId, Vec<PortId>>> {
+    let mut routes: Vec<HashMap<NodeId, Vec<PortId>>> = vec![HashMap::new(); node_count];
+    for &dst in hosts {
+        // BFS from the destination: dist[n] = hops from n to dst.
+        let mut dist = vec![u32::MAX; node_count];
+        dist[dst.index()] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(dst);
+        while let Some(n) = q.pop_front() {
+            let d = dist[n.index()];
+            for p in &ports[n.index()] {
+                let m = p.peer_node;
+                if dist[m.index()] == u32::MAX {
+                    dist[m.index()] = d + 1;
+                    q.push_back(m);
+                }
+            }
+        }
+        // Next hops: every port whose peer is strictly closer to dst.
+        for n in 0..node_count {
+            if n == dst.index() || dist[n] == u32::MAX {
+                continue;
+            }
+            let mut candidates = Vec::new();
+            for (pi, p) in ports[n].iter().enumerate() {
+                if dist[p.peer_node.index()] + 1 == dist[n] {
+                    candidates.push(PortId(pi as u32));
+                }
+            }
+            if !candidates.is_empty() {
+                routes[n].insert(dst, candidates);
+            }
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologyBuilder;
+    use hpcc_types::{Bandwidth, Duration};
+
+    /// Two ToR switches, two spines, two hosts per ToR: the classic ECMP
+    /// diamond where cross-rack traffic has two equal-cost paths.
+    fn leaf_spine_2x2() -> crate::spec::TopologySpec {
+        let mut b = TopologyBuilder::new();
+        let hosts = b.add_hosts(4);
+        let tors = b.add_switches(2);
+        let spines = b.add_switches(2);
+        let bw = Bandwidth::from_gbps(100);
+        let d = Duration::from_us(1);
+        b.link(hosts[0], tors[0], bw, d);
+        b.link(hosts[1], tors[0], bw, d);
+        b.link(hosts[2], tors[1], bw, d);
+        b.link(hosts[3], tors[1], bw, d);
+        for &t in &tors {
+            for &s in &spines {
+                b.link(t, s, bw, d);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cross_rack_traffic_sees_two_equal_cost_paths() {
+        let t = leaf_spine_2x2();
+        let tor0 = NodeId(4);
+        // From ToR0 towards host 2 (other rack): both spine uplinks qualify.
+        let hops = t.next_hops(tor0, NodeId(2));
+        assert_eq!(hops.len(), 2);
+        // Towards a local host only the single host-facing port qualifies.
+        let local = t.next_hops(tor0, NodeId(0));
+        assert_eq!(local.len(), 1);
+    }
+
+    #[test]
+    fn spine_routes_down_to_the_right_tor() {
+        let t = leaf_spine_2x2();
+        let spine0 = NodeId(6);
+        let down = t.next_hops(spine0, NodeId(3));
+        assert_eq!(down.len(), 1);
+        // Following that port must land on ToR1 (node 5).
+        let desc = t.ports(spine0)[down[0].index()];
+        assert_eq!(desc.peer_node, NodeId(5));
+    }
+
+    #[test]
+    fn hosts_route_via_their_single_uplink() {
+        let t = leaf_spine_2x2();
+        for src in 0..4u32 {
+            for dst in 0..4u32 {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(
+                    t.next_hops(NodeId(src), NodeId(dst)),
+                    &[PortId(0)],
+                    "host {src} to {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_hops_cross_vs_same_rack() {
+        let t = leaf_spine_2x2();
+        assert_eq!(t.path_hops(NodeId(0), NodeId(1)), Some(2));
+        assert_eq!(t.path_hops(NodeId(0), NodeId(2)), Some(4));
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_route() {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let _lonely = b.add_host();
+        let s = b.add_switch();
+        b.link(h0, s, Bandwidth::from_gbps(10), Duration::from_us(1));
+        b.link(h1, s, Bandwidth::from_gbps(10), Duration::from_us(1));
+        let t = b.build();
+        assert!(t.next_hops(NodeId(0), NodeId(2)).is_empty());
+        assert_eq!(t.path_hops(NodeId(0), NodeId(2)), None);
+    }
+}

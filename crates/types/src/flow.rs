@@ -1,0 +1,80 @@
+//! Flow descriptions produced by workload generators and consumed by the
+//! simulator and the statistics crate.
+
+use crate::ids::{FlowId, NodeId};
+use crate::time::SimTime;
+
+/// Application-level priority of a flow (all experiments in the paper use a
+/// single data class, but the type keeps the door open for PIAS-style
+/// multi-queue comparisons).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FlowPriority {
+    /// Regular data flow.
+    #[default]
+    Normal,
+    /// Latency-sensitive flow (e.g. the "mice" of Figure 9e/9f).
+    LatencySensitive,
+}
+
+/// A single flow to be injected into the simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowSpec {
+    /// Unique identifier.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Flow size in bytes. A size of zero models the paper's "0 byte" RPC
+    /// bucket and is carried as a single header-only packet.
+    pub size: u64,
+    /// Time at which the sender learns about the flow and starts transmitting
+    /// (at line rate, per the RDMA model).
+    pub start: SimTime,
+    /// Application priority tag.
+    pub priority: FlowPriority,
+}
+
+impl FlowSpec {
+    /// Construct a flow spec with [`FlowPriority::Normal`].
+    pub fn new(id: FlowId, src: NodeId, dst: NodeId, size: u64, start: SimTime) -> Self {
+        FlowSpec {
+            id,
+            src,
+            dst,
+            size,
+            start,
+            priority: FlowPriority::Normal,
+        }
+    }
+
+    /// Number of data packets this flow needs with the given MTU payload.
+    pub fn packet_count(&self, mtu_payload: u64) -> u64 {
+        if self.size == 0 {
+            1
+        } else {
+            self.size.div_ceil(mtu_payload)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_count_rounds_up_and_handles_zero() {
+        let f = FlowSpec::new(FlowId(1), NodeId(0), NodeId(1), 2500, SimTime::ZERO);
+        assert_eq!(f.packet_count(1000), 3);
+        let exact = FlowSpec::new(FlowId(2), NodeId(0), NodeId(1), 3000, SimTime::ZERO);
+        assert_eq!(exact.packet_count(1000), 3);
+        let zero = FlowSpec::new(FlowId(3), NodeId(0), NodeId(1), 0, SimTime::ZERO);
+        assert_eq!(zero.packet_count(1000), 1);
+    }
+
+    #[test]
+    fn default_priority_is_normal() {
+        let f = FlowSpec::new(FlowId(1), NodeId(0), NodeId(1), 100, SimTime::ZERO);
+        assert_eq!(f.priority, FlowPriority::Normal);
+    }
+}

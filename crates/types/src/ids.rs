@@ -1,0 +1,108 @@
+//! Identifier newtypes.
+//!
+//! All simulator objects are stored in dense vectors and addressed by index.
+//! The newtypes prevent accidentally mixing a node index with a flow index.
+
+use std::fmt;
+
+/// Index of a node (host or switch) in the simulator's node table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Index of a port within a node (dense, starting at zero).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u32);
+
+/// Globally unique flow identifier, assigned by the workload generator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Egress queue priority class.
+///
+/// The reproduction uses two classes, matching the paper's deployment model:
+/// class 0 carries control traffic (ACK/NACK/CNP), class 1 carries data and
+/// is the class subject to PFC and ECN.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Control traffic class (ACKs, NACKs, CNPs) — served first, never paused.
+    pub const CONTROL: Priority = Priority(0);
+    /// Data traffic class — subject to ECN marking and PFC.
+    pub const DATA: Priority = Priority(1);
+    /// Number of priority classes modelled.
+    pub const COUNT: usize = 2;
+
+    /// The index of this priority in per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The index of this node in the simulator's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// The index of this port within its node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FlowId {
+    /// Raw identifier value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_constants() {
+        assert_eq!(Priority::CONTROL.index(), 0);
+        assert_eq!(Priority::DATA.index(), 1);
+        assert_eq!(Priority::COUNT, 2);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(FlowId(9) > FlowId(3));
+        assert_eq!(format!("{}", NodeId(4)), "n4");
+        assert_eq!(format!("{}", PortId(2)), "p2");
+        assert_eq!(format!("{}", FlowId(7)), "f7");
+        assert_eq!(format!("{}", Priority::DATA), "prio1");
+    }
+}

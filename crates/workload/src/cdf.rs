@@ -1,0 +1,245 @@
+//! Empirical flow-size distributions.
+//!
+//! The paper evaluates with two public traces "for reproductivity" (§2.3,
+//! §5.1): the DCTCP **WebSearch** distribution and Facebook's **Hadoop**
+//! distribution. We embed piecewise-linear CDFs whose knee points follow the
+//! flow-size buckets the paper's figures use on their x-axes; absolute means
+//! differ slightly from the original trace files but the shape (heavy tail
+//! for WebSearch, mouse-dominated for FB_Hadoop with 90% of flows below
+//! 120 KB) is preserved, which is what the FCT-slowdown comparisons depend
+//! on.
+
+use rand::Rng;
+
+/// A piecewise-linear flow-size CDF that can be sampled.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowSizeCdf {
+    /// `(size_bytes, cumulative_probability)`, strictly increasing in both
+    /// coordinates, ending at probability 1.0.
+    points: Vec<(u64, f64)>,
+    name: &'static str,
+}
+
+impl FlowSizeCdf {
+    /// Build a CDF from `(size, probability)` knee points.
+    ///
+    /// # Panics
+    /// Panics if the points are empty, not monotonically non-decreasing, or
+    /// do not end at probability 1.0.
+    pub fn new(name: &'static str, points: Vec<(u64, f64)>) -> Self {
+        assert!(!points.is_empty(), "CDF needs at least one point");
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0, "CDF sizes must be non-decreasing");
+            assert!(w[0].1 <= w[1].1, "CDF probabilities must be non-decreasing");
+        }
+        let last = points.last().unwrap();
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "CDF must end at probability 1.0, ends at {}",
+            last.1
+        );
+        FlowSizeCdf { points, name }
+    }
+
+    /// Name of the distribution ("WebSearch", "FB_Hadoop", …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The knee points of the CDF.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Inverse-transform sample: map a uniform `u ∈ [0,1)` to a flow size by
+    /// linear interpolation between knee points. Sizes are clamped to ≥ 1
+    /// byte (the paper's "0-byte" bucket is a header-only RPC).
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let mut prev = (0u64, 0.0f64);
+        for &(size, p) in &self.points {
+            if u <= p {
+                let span = (p - prev.1).max(f64::MIN_POSITIVE);
+                let frac = (u - prev.1) / span;
+                let lo = prev.0 as f64;
+                let hi = size as f64;
+                return ((lo + frac * (hi - lo)).round() as u64).max(1);
+            }
+            prev = (size, p);
+        }
+        self.points.last().unwrap().0.max(1)
+    }
+
+    /// Draw one flow size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    /// Mean flow size implied by the piecewise-linear CDF.
+    pub fn mean(&self) -> f64 {
+        let mut mean = 0.0;
+        let mut prev = (0u64, 0.0f64);
+        for &(size, p) in &self.points {
+            let dp = p - prev.1;
+            mean += dp * (prev.0 as f64 + size as f64) / 2.0;
+            prev = (size, p);
+        }
+        mean
+    }
+
+    /// The fraction of flows at or below `size` bytes.
+    pub fn fraction_below(&self, size: u64) -> f64 {
+        let mut prev = (0u64, 0.0f64);
+        for &(s, p) in &self.points {
+            if size <= s {
+                let span = (s - prev.0).max(1) as f64;
+                let frac = (size - prev.0) as f64 / span;
+                return prev.1 + frac * (p - prev.1);
+            }
+            prev = (s, p);
+        }
+        1.0
+    }
+}
+
+/// The DCTCP **WebSearch** distribution (heavy-tailed: ~60% of flows are
+/// below 200 KB but most bytes live in multi-megabyte flows). Knee points
+/// follow the buckets of Figures 2/3/10.
+pub fn websearch() -> FlowSizeCdf {
+    FlowSizeCdf::new(
+        "WebSearch",
+        vec![
+            (1, 0.0),
+            (6_700, 0.15),
+            (20_000, 0.20),
+            (30_000, 0.30),
+            (50_000, 0.40),
+            (73_000, 0.53),
+            (200_000, 0.60),
+            (1_000_000, 0.70),
+            (2_000_000, 0.80),
+            (5_000_000, 0.90),
+            (10_000_000, 0.97),
+            (30_000_000, 1.0),
+        ],
+    )
+}
+
+/// The **FB_Hadoop** distribution (mouse-dominated: "90% of the flows are
+/// shorter than 120KB", §5.3). Knee points follow the buckets of Figure 11.
+pub fn fb_hadoop() -> FlowSizeCdf {
+    FlowSizeCdf::new(
+        "FB_Hadoop",
+        vec![
+            (1, 0.0),
+            (180, 0.10),
+            (324, 0.20),
+            (400, 0.30),
+            (500, 0.45),
+            (600, 0.55),
+            (700, 0.65),
+            (1_000, 0.72),
+            (7_000, 0.80),
+            (46_000, 0.85),
+            (120_000, 0.90),
+            (1_000_000, 0.96),
+            (10_000_000, 1.0),
+        ],
+    )
+}
+
+/// A degenerate distribution where every flow has the same size (used by
+/// micro-benchmarks and incasts).
+pub fn fixed_size(size: u64) -> FlowSizeCdf {
+    let s = size.max(1);
+    FlowSizeCdf::new("Fixed", vec![(s, 0.0), (s, 1.0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantile_interpolates_and_clamps() {
+        let cdf = websearch();
+        assert_eq!(cdf.quantile(0.0), 1);
+        assert_eq!(cdf.quantile(1.0), 30_000_000);
+        // Halfway between the 0.53 and 0.60 knees.
+        let q = cdf.quantile(0.565);
+        assert!(q > 73_000 && q < 200_000, "q = {q}");
+        // Monotone in u.
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = cdf.quantile(i as f64 / 100.0);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn websearch_is_heavy_tailed() {
+        let cdf = websearch();
+        // Most flows are small…
+        assert!(cdf.fraction_below(200_000) >= 0.60 - 1e-9);
+        // …but the mean is dominated by the multi-MB tail.
+        let mean = cdf.mean();
+        assert!(mean > 1_000_000.0, "mean = {mean}");
+        assert!(mean < 5_000_000.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn fb_hadoop_matches_the_papers_90_percent_claim() {
+        let cdf = fb_hadoop();
+        let below_120k = cdf.fraction_below(120_000);
+        assert!(
+            (below_120k - 0.90).abs() < 0.02,
+            "90% of FB_Hadoop flows should be below 120 KB, got {below_120k}"
+        );
+        assert!(cdf.mean() < websearch().mean());
+    }
+
+    #[test]
+    fn sampling_matches_the_cdf_statistically() {
+        let cdf = fb_hadoop();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let mut below_1k = 0;
+        let mut sum = 0f64;
+        for _ in 0..n {
+            let s = cdf.sample(&mut rng);
+            assert!(s >= 1);
+            if s <= 1_000 {
+                below_1k += 1;
+            }
+            sum += s as f64;
+        }
+        let frac = below_1k as f64 / n as f64;
+        assert!((frac - cdf.fraction_below(1_000)).abs() < 0.02, "frac = {frac}");
+        let mean = sum / n as f64;
+        assert!((mean - cdf.mean()).abs() / cdf.mean() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn fixed_distribution_always_returns_its_size() {
+        let cdf = fixed_size(500_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(cdf.sample(&mut rng), 500_000);
+        }
+        assert_eq!(cdf.name(), "Fixed");
+    }
+
+    #[test]
+    #[should_panic(expected = "must end at probability 1.0")]
+    fn cdf_must_end_at_one() {
+        FlowSizeCdf::new("bad", vec![(10, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn cdf_must_be_monotone() {
+        FlowSizeCdf::new("bad", vec![(10, 0.6), (20, 0.4), (30, 1.0)]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Poisson background-load generation.
+//!
+//! The paper's end-to-end experiments drive the network with flows whose
+//! sizes come from a trace CDF and whose arrivals form a Poisson process
+//! tuned so that the *average host link load* equals a target (30% or 50%).
+//! Source and destination hosts are drawn uniformly at random (distinct).
+
+use crate::cdf::FlowSizeCdf;
+use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates background flows at a target average load.
+#[derive(Clone, Debug)]
+pub struct LoadGenerator {
+    hosts: Vec<NodeId>,
+    host_bandwidth: Bandwidth,
+    cdf: FlowSizeCdf,
+    load: f64,
+    seed: u64,
+    next_flow_id: u64,
+}
+
+impl LoadGenerator {
+    /// Create a generator over `hosts`, each with a NIC of `host_bandwidth`,
+    /// targeting `load` (0.0–1.0) of the aggregate host capacity, drawing
+    /// sizes from `cdf`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two hosts are given or `load` is not in (0, 1].
+    pub fn new(
+        hosts: Vec<NodeId>,
+        host_bandwidth: Bandwidth,
+        load: f64,
+        cdf: FlowSizeCdf,
+        seed: u64,
+    ) -> Self {
+        assert!(hosts.len() >= 2, "need at least two hosts");
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1], got {load}");
+        LoadGenerator {
+            hosts,
+            host_bandwidth,
+            cdf,
+            load,
+            seed,
+            next_flow_id: 0,
+        }
+    }
+
+    /// Use flow identifiers starting at `first` (so that several generators
+    /// can feed one simulation without collisions).
+    pub fn with_first_flow_id(mut self, first: u64) -> Self {
+        self.next_flow_id = first;
+        self
+    }
+
+    /// The flow arrival rate (flows per second) implied by the target load.
+    ///
+    /// Each flow's bytes leave one host NIC, so the aggregate offered load is
+    /// `arrival_rate * mean_flow_size` bytes/s, which we set to
+    /// `load * n_hosts * host_bandwidth / 8`.
+    pub fn arrival_rate_per_sec(&self) -> f64 {
+        let capacity_bytes_per_sec =
+            self.hosts.len() as f64 * self.host_bandwidth.bytes_per_sec();
+        self.load * capacity_bytes_per_sec / self.cdf.mean()
+    }
+
+    /// Generate all flows arriving within `[0, duration)`.
+    pub fn generate(&mut self, duration: Duration) -> Vec<FlowSpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let lambda = self.arrival_rate_per_sec();
+        let mut flows = Vec::new();
+        let mut t = 0.0f64; // seconds
+        let horizon = duration.as_secs_f64();
+        loop {
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t += -u.ln() / lambda;
+            if t >= horizon {
+                break;
+            }
+            let src_i = rng.gen_range(0..self.hosts.len());
+            let mut dst_i = rng.gen_range(0..self.hosts.len() - 1);
+            if dst_i >= src_i {
+                dst_i += 1;
+            }
+            let size = self.cdf.sample(&mut rng);
+            let id = FlowId(self.next_flow_id);
+            self.next_flow_id += 1;
+            flows.push(FlowSpec::new(
+                id,
+                self.hosts[src_i],
+                self.hosts[dst_i],
+                size,
+                SimTime::ZERO + Duration::from_secs_f64(t),
+            ));
+        }
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::{fb_hadoop, fixed_size, websearch};
+
+    fn hosts(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn offered_load_is_close_to_target() {
+        let bw = Bandwidth::from_gbps(25);
+        let mut g = LoadGenerator::new(hosts(16), bw, 0.3, websearch(), 42);
+        let duration = Duration::from_ms(200);
+        let flows = g.generate(duration);
+        assert!(!flows.is_empty());
+        let total_bytes: u64 = flows.iter().map(|f| f.size).sum();
+        let offered = total_bytes as f64 * 8.0 / duration.as_secs_f64();
+        let capacity = 16.0 * bw.as_bps() as f64;
+        let achieved = offered / capacity;
+        assert!(
+            (achieved - 0.3).abs() < 0.06,
+            "offered load {achieved:.3} should be near 0.30"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_spread_over_the_duration_and_sorted_ids() {
+        let mut g = LoadGenerator::new(hosts(8), Bandwidth::from_gbps(25), 0.5, fb_hadoop(), 1);
+        let flows = g.generate(Duration::from_ms(50));
+        assert!(flows.len() > 100);
+        // Starts are within the horizon and non-decreasing (Poisson arrivals
+        // generated in order).
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        assert!(flows.last().unwrap().start < SimTime::ZERO + Duration::from_ms(50));
+        // Ids are unique and consecutive.
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(f.id, FlowId(i as u64));
+        }
+        // Every flow has distinct endpoints from the host set.
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn higher_load_generates_more_bytes() {
+        let bw = Bandwidth::from_gbps(25);
+        let d = Duration::from_ms(100);
+        let bytes = |load: f64| {
+            let mut g = LoadGenerator::new(hosts(8), bw, load, fb_hadoop(), 9);
+            g.generate(d).iter().map(|f| f.size).sum::<u64>()
+        };
+        let b30 = bytes(0.3);
+        let b50 = bytes(0.5);
+        assert!(b50 as f64 > 1.3 * b30 as f64, "b30={b30} b50={b50}");
+    }
+
+    #[test]
+    fn flow_id_offset_is_respected() {
+        let mut g = LoadGenerator::new(hosts(4), Bandwidth::from_gbps(25), 0.2, fixed_size(1000), 3)
+            .with_first_flow_id(1_000_000);
+        let flows = g.generate(Duration::from_ms(10));
+        assert!(flows.iter().all(|f| f.id.raw() >= 1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two hosts")]
+    fn rejects_single_host() {
+        LoadGenerator::new(hosts(1), Bandwidth::from_gbps(25), 0.3, websearch(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn rejects_invalid_load() {
+        LoadGenerator::new(hosts(4), Bandwidth::from_gbps(25), 1.5, websearch(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # hpcc-workload
+//!
+//! Traffic generation for the HPCC reproduction:
+//!
+//! * [`FlowSizeCdf`] — empirical flow-size distributions with interpolated
+//!   sampling, including the two public traces the paper uses
+//!   ([`websearch`], [`fb_hadoop`], §5.1),
+//! * [`LoadGenerator`] — Poisson flow arrivals between random host pairs at a
+//!   target fraction of the network's host capacity (the "30% / 50% average
+//!   link load" of the evaluation),
+//! * [`incast`] / [`IncastGenerator`] — the N-to-1 bursts used throughout
+//!   §5.2–§5.4 (e.g. 60-to-1 of 500 KB in Figure 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod generator;
+pub mod incast;
+
+pub use cdf::{fb_hadoop, fixed_size, websearch, FlowSizeCdf};
+pub use generator::LoadGenerator;
+pub use incast::{incast, IncastGenerator};

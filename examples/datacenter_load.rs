@@ -1,0 +1,63 @@
+//! A realistic data-center workload (the paper's §5.2 setup, scaled down):
+//! the 32-server testbed PoD driven by the WebSearch trace at 30% average
+//! load, comparing HPCC and DCQCN on FCT slowdown per flow-size bucket and
+//! on switch queue occupancy.
+//!
+//! ```bash
+//! cargo run --release --example datacenter_load            # 30% load, 20 ms
+//! cargo run --release --example datacenter_load -- 0.5 40  # 50% load, 40 ms
+//! ```
+
+use hpcc::core::presets::{scheme_by_label, testbed_websearch};
+use hpcc::core::report;
+use hpcc::prelude::*;
+use hpcc::stats::fct::websearch_buckets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let load: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let millis: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let duration = Duration::from_ms(millis);
+    let host_bw = Bandwidth::from_gbps(25);
+
+    println!(
+        "== testbed PoD (32 x 25G hosts, 4 ToR + 1 Agg), WebSearch at {:.0}% load, {} ms ==\n",
+        load * 100.0,
+        millis
+    );
+
+    let mut results = Vec::new();
+    for label in ["HPCC", "DCQCN"] {
+        let cc = scheme_by_label(label, host_bw, Duration::from_us(9));
+        let exp = testbed_websearch(
+            label,
+            cc,
+            load,
+            duration,
+            None,
+            None,
+            FlowControlMode::Lossless,
+            42,
+        );
+        let n_flows = exp.flows.len();
+        let res = exp.run();
+        println!(
+            "{label:>8}: {}/{} flows finished, 99p queue {:.1} KB, PFC pause time {:.3}%",
+            res.out.flows.len(),
+            n_flows,
+            res.queue_percentile(99.0).unwrap_or(0) as f64 / 1000.0,
+            res.pfc_summary().pause_time_fraction() * 100.0,
+        );
+        results.push(res);
+    }
+    let refs: Vec<&ExperimentResults> = results.iter().collect();
+
+    println!("\n-- 95th-percentile FCT slowdown per flow size (Figure 10a/10c shape) --");
+    print!("{}", report::slowdown_table(&refs, &websearch_buckets(), 95.0));
+
+    println!("\n-- switch queue occupancy (Figure 10b/10d shape) --");
+    print!("{}", report::queue_table(&refs));
+
+    println!("\n-- PFC / drops --");
+    print!("{}", report::pfc_table(&refs));
+}

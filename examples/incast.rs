@@ -1,0 +1,76 @@
+//! Incast micro-benchmark (the paper's §5.4 / Figure 13 scenario): 16
+//! senders burst into one receiver at the same instant. The example prints
+//! the bottleneck queue over time and the total goodput for HPCC and for the
+//! two ablated reaction strategies (per-ACK only, per-RTT only).
+//!
+//! ```bash
+//! cargo run --release --example incast
+//! ```
+
+use hpcc::core::presets::{incast_on_star, star_egress_to};
+use hpcc::prelude::*;
+use hpcc::stats::series::goodput_series_gbps;
+
+fn main() {
+    let host_bw = Bandwidth::from_gbps(100);
+    let duration = Duration::from_ms(1);
+    let n_senders = 16;
+    let flow_size = 500_000;
+
+    println!("== {n_senders}-to-1 incast, {flow_size} B per sender ==\n");
+
+    for (label, mode) in [
+        ("HPCC", HpccReactionMode::Combined),
+        ("per-ACK", HpccReactionMode::PerAck),
+        ("per-RTT", HpccReactionMode::PerRtt),
+    ] {
+        let cc = CcAlgorithm::Hpcc(HpccConfig {
+            mode,
+            ..HpccConfig::default()
+        });
+        let exp = incast_on_star(label, cc, n_senders, flow_size, host_bw, duration);
+        let trace_port = star_egress_to(&exp.topo, exp.flows[0].dst);
+        let bin = exp.cfg.flow_throughput_bin.unwrap();
+        let res = exp.run();
+
+        // Peak queue and time to drain it.
+        let trace = &res.out.port_traces[&trace_port];
+        let peak = trace.iter().map(|(_, q)| *q).max().unwrap_or(0);
+        let drained_at = trace
+            .iter()
+            .skip_while(|(_, q)| *q < peak / 2)
+            .find(|(_, q)| *q < 10_000)
+            .map(|(t, _)| t.as_us_f64());
+
+        // Aggregate goodput over time.
+        let mut total_bins = vec![0u64; 0];
+        for series in res.out.flow_goodput.values() {
+            if series.len() > total_bins.len() {
+                total_bins.resize(series.len(), 0);
+            }
+            for (i, b) in series.iter().enumerate() {
+                total_bins[i] += b;
+            }
+        }
+        let gbps = goodput_series_gbps(&total_bins, bin);
+        let peak_goodput = gbps.iter().cloned().fold(0.0, f64::max);
+        let mean_goodput = gbps.iter().sum::<f64>() / gbps.len().max(1) as f64;
+
+        println!(
+            "{label:>8}: peak queue {:>7.1} KB, drained below 10 KB at {} us, \
+             peak goodput {:>6.1} Gbps, mean goodput {:>6.1} Gbps, flows finished {}/{}",
+            peak as f64 / 1000.0,
+            drained_at.map_or("never".to_string(), |t| format!("{t:.0}")),
+            peak_goodput,
+            mean_goodput,
+            res.out.flows.len(),
+            n_senders,
+        );
+    }
+
+    println!(
+        "\nThe combined strategy reacts on every ACK against a per-RTT reference\n\
+         window: it drains the initial burst as fast as per-ACK without the\n\
+         throughput collapse, and much faster than the per-RTT-only strategy."
+    );
+}

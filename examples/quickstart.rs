@@ -1,0 +1,53 @@
+//! Quickstart: run HPCC and DCQCN side by side on a 2-to-1 bottleneck and
+//! print what the paper's §5.2 micro-benchmarks show — HPCC keeps the queue
+//! near zero while DCQCN keeps a standing queue near its ECN threshold.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use hpcc::core::presets::{incast_on_star, scheme_by_label};
+use hpcc::core::report;
+use hpcc::prelude::*;
+
+fn main() {
+    let host_bw = Bandwidth::from_gbps(100);
+    let duration = Duration::from_ms(3);
+    let flow_size = 4_000_000;
+
+    println!("== 2-to-1 congestion, {flow_size} B per sender, {host_bw} hosts ==\n");
+
+    let mut results = Vec::new();
+    for label in ["HPCC", "DCQCN"] {
+        let cc = scheme_by_label(label, host_bw, Duration::from_us(13));
+        let exp = incast_on_star(label, cc, 2, flow_size, host_bw, duration);
+        let res = exp.run();
+        println!(
+            "{label:>8}: {} flows finished, 99p queue = {:.1} KB, max queue = {:.1} KB, \
+             PFC pause frames = {}",
+            res.out.flows.len(),
+            res.queue_percentile(99.0).unwrap_or(0) as f64 / 1000.0,
+            res.out.max_queue_bytes() as f64 / 1000.0,
+            res.pfc_summary().pause_frames,
+        );
+        results.push(res);
+    }
+
+    println!("\n-- queue occupancy ----------------------------------------");
+    let refs: Vec<&ExperimentResults> = results.iter().collect();
+    print!("{}", report::queue_table(&refs));
+
+    println!("\n-- flow completion times ----------------------------------");
+    for res in &results {
+        let overall = res.slowdown_overall().expect("flows completed");
+        println!(
+            "{:>8}: median slowdown {:.2}x, 95p {:.2}x, 99p {:.2}x",
+            res.label, overall.p50, overall.p95, overall.p99
+        );
+    }
+
+    println!(
+        "\nHPCC trades ~5% bandwidth headroom (eta = 95%) for near-empty queues;\n\
+         DCQCN fills the buffer up to its ECN threshold before reacting."
+    );
+}

@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants that the rest of the system leans on.
+
+use hpcc::cc::{build_cc, AckEvent, CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig,
+    TimelyConfig};
+use hpcc::prelude::*;
+use hpcc::types::{IntHeader, IntHopRecord};
+use proptest::prelude::*;
+
+const LINE: Bandwidth = Bandwidth::from_gbps(100);
+const RTT: Duration = Duration::from_us(13);
+
+fn all_schemes() -> Vec<CcAlgorithm> {
+    vec![
+        CcAlgorithm::Hpcc(HpccConfig::default()),
+        CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)),
+        CcAlgorithm::DcqcnWin(DcqcnConfig::vendor_default(LINE)),
+        CcAlgorithm::Timely(TimelyConfig::recommended(LINE, RTT)),
+        CcAlgorithm::TimelyWin(TimelyConfig::recommended(LINE, RTT)),
+        CcAlgorithm::Dctcp(DctcpConfig::default()),
+    ]
+}
+
+proptest! {
+    /// Time arithmetic: (t + d) - d == t and durations add commutatively,
+    /// for any representable values.
+    #[test]
+    fn time_arithmetic_roundtrips(t_ns in 0u64..u64::MAX / 4_000, d_ns in 0u64..u64::MAX / 4_000) {
+        let t = SimTime::from_ns(t_ns);
+        let d = Duration::from_ns(d_ns);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), Duration::ZERO);
+    }
+
+    /// Bandwidth: tx_time and bytes_in invert each other (within one byte of
+    /// rounding) for realistic link speeds and packet sizes.
+    #[test]
+    fn bandwidth_tx_time_inverts(gbps in 1u64..800, bytes in 1u64..1_000_000) {
+        let b = Bandwidth::from_gbps(gbps);
+        let d = b.tx_time(bytes);
+        let back = b.bytes_in(d);
+        prop_assert!(back.abs_diff(bytes) <= 1, "{} -> {} -> {}", bytes, d, back);
+    }
+
+    /// The INT header's wire size always matches 2 + 8 * hops, and the path
+    /// id is the XOR of all pushed switch ids regardless of overflow.
+    #[test]
+    fn int_header_size_and_path_id(ids in proptest::collection::vec(0u16..4096, 0..12)) {
+        let mut h = IntHeader::new();
+        for (i, id) in ids.iter().enumerate() {
+            h.push_hop(*id, IntHopRecord {
+                bandwidth: LINE,
+                ts: SimTime::from_ns(i as u64),
+                tx_bytes: i as u64 * 1000,
+                rx_bytes: i as u64 * 1000,
+                qlen: i as u64,
+            });
+        }
+        let expected_hops = ids.len().min(hpcc::types::MAX_INT_HOPS);
+        prop_assert_eq!(h.n_hops as usize, expected_hops);
+        prop_assert_eq!(h.wire_size(), 2 + 8 * expected_hops as u64);
+        let xor = ids.iter().fold(0u16, |acc, id| acc ^ id);
+        prop_assert_eq!(h.path_id, xor);
+    }
+
+    /// Every congestion-control algorithm keeps its rate within
+    /// [min, line rate] and its window positive, no matter what sequence of
+    /// ACK / ECN / CNP / loss / timer events it sees.
+    #[test]
+    fn cc_state_stays_bounded(
+        seed in 0u64..u64::MAX,
+        steps in 10usize..200,
+    ) {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for alg in all_schemes() {
+            let mut cc = build_cc(&alg, LINE, RTT, 1000);
+            let mut now = SimTime::ZERO;
+            let mut tx_bytes = 0u64;
+            let mut seq = 0u64;
+            for _ in 0..steps {
+                now = now + Duration::from_ns(1 + next() % 20_000);
+                let r = next() % 100;
+                if r < 60 {
+                    // ACK with plausible INT contents.
+                    tx_bytes += next() % 200_000;
+                    seq += 1000 + next() % 50_000;
+                    let mut int = IntHeader::new();
+                    int.push_hop(1, IntHopRecord {
+                        bandwidth: LINE,
+                        ts: now,
+                        tx_bytes,
+                        rx_bytes: tx_bytes,
+                        qlen: next() % 2_000_000,
+                    });
+                    let ack = AckEvent {
+                        now,
+                        ack_seq: seq,
+                        snd_nxt: seq + next() % 200_000,
+                        newly_acked: 1000,
+                        ecn_echo: next() % 4 == 0,
+                        rtt: Duration::from_us(5 + next() % 500),
+                        int: &int,
+                    };
+                    cc.on_ack(&ack);
+                } else if r < 75 {
+                    cc.on_cnp(now);
+                } else if r < 85 {
+                    cc.on_loss(now);
+                } else if let Some(t) = cc.next_timer() {
+                    if t <= now {
+                        cc.on_timer(now);
+                    }
+                }
+                let st = cc.state();
+                prop_assert!(st.rate.as_bps() > 0, "{}: zero rate", cc.name());
+                prop_assert!(st.rate <= LINE, "{}: rate above line", cc.name());
+                prop_assert!(st.window > 0, "{}: zero window", cc.name());
+            }
+        }
+    }
+
+    /// The workload CDFs always return sizes inside their support and the
+    /// quantile function is monotone.
+    #[test]
+    fn flow_size_cdfs_are_well_behaved(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        for cdf in [websearch(), fb_hadoop()] {
+            let (lo, hi) = (u1.min(u2), u1.max(u2));
+            let a = cdf.quantile(lo);
+            let b = cdf.quantile(hi);
+            prop_assert!(a >= 1);
+            prop_assert!(b <= cdf.points().last().unwrap().0);
+            prop_assert!(a <= b, "{}: quantile not monotone", cdf.name());
+        }
+    }
+
+    /// ECMP routing: every host pair in a leaf-spine fabric has at least one
+    /// route from every node on the path, and the path length is bounded by
+    /// 4 hops (host-ToR-spine-ToR-host).
+    #[test]
+    fn leaf_spine_routing_is_complete(n_leaf in 2usize..5, n_spine in 1usize..4, hosts_per in 1usize..4) {
+        let topo = leaf_spine(
+            n_leaf,
+            n_spine,
+            hosts_per,
+            Bandwidth::from_gbps(25),
+            Bandwidth::from_gbps(100),
+            Duration::from_us(1),
+        );
+        let hosts = topo.hosts();
+        for &src in hosts.iter() {
+            for &dst in hosts.iter() {
+                if src == dst {
+                    continue;
+                }
+                let hops = topo.path_hops(src, dst);
+                prop_assert!(hops.is_some());
+                prop_assert!(hops.unwrap() <= 4);
+            }
+        }
+    }
+}
+
+/// A small deterministic simulation invariant: conservation — every data
+/// packet delivered was sent, and all completed flows acked exactly their
+/// size (checked through the goodput accounting).
+#[test]
+fn simulation_conserves_bytes() {
+    let bw = Bandwidth::from_gbps(25);
+    let topo = star(6, bw, Duration::from_us(1));
+    let rtt = topo.suggested_base_rtt(1106);
+    let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), bw, rtt);
+    cfg.end_time = SimTime::from_ms(20);
+    cfg.flow_throughput_bin = Some(Duration::from_us(100));
+    let hosts = topo.hosts().to_vec();
+    let mut sim = Simulator::new(topo, cfg);
+    for i in 0..5u64 {
+        sim.add_flow(FlowSpec::new(
+            FlowId(i + 1),
+            hosts[i as usize],
+            hosts[(i as usize + 1) % 5],
+            200_000 + i * 50_000,
+            SimTime::from_us(i * 10),
+        ));
+    }
+    let out = sim.run();
+    assert_eq!(out.flows.len(), 5);
+    assert!(out.packets_sent >= out.packets_delivered);
+    for f in &out.flows {
+        let acked: u64 = out.flow_goodput[&f.id].iter().sum();
+        assert_eq!(acked, f.size, "flow {} acked bytes mismatch", f.id);
+    }
+}
