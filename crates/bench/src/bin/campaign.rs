@@ -1,0 +1,93 @@
+//! Campaign wall-clock benchmark and manifest runner.
+//!
+//! With no arguments, builds the Figure 11 scheme set (six scenarios on the
+//! scaled-down Clos fabric), runs it serially and then in parallel, verifies
+//! the per-scenario digests are bit-identical, and reports the speedup.
+//!
+//! Usage:
+//!   cargo run --release -p hpcc-bench --bin campaign [duration_ms] [load]
+//!   cargo run --release -p hpcc-bench --bin campaign -- --manifest file.json
+//!   cargo run --release -p hpcc-bench --bin campaign -- --dump-manifest [duration_ms] [load]
+//!
+//! `--manifest` runs a JSON campaign manifest (an array of ScenarioSpec
+//! objects, see `hpcc_core::scenario`) instead of the built-in scheme set;
+//! `--dump-manifest` prints the built-in campaign as such a manifest (a
+//! starting point for hand-edited grids).
+
+use hpcc_core::presets::fig11_campaign;
+use hpcc_core::Campaign;
+use hpcc_topology::FatTreeParams;
+use hpcc_types::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--dump-manifest") {
+        let positional: Vec<String> = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .collect();
+        let ms = hpcc_bench::arg_or(&positional, 1, 10u64);
+        let load = hpcc_bench::arg_or(&positional, 2, 0.3f64);
+        let campaign = fig11_campaign(
+            FatTreeParams::small(),
+            load,
+            Duration::from_ms(ms),
+            true,
+            42,
+        );
+        println!("{}", campaign.to_json_string());
+        return;
+    }
+    let campaign = if let Some(i) = args.iter().position(|a| a == "--manifest") {
+        let path = args.get(i + 1).expect("--manifest needs a file path");
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        Campaign::from_json_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    } else {
+        let ms = hpcc_bench::arg_or(&args, 1, 10u64);
+        let load = hpcc_bench::arg_or(&args, 2, 0.3f64);
+        fig11_campaign(
+            FatTreeParams::small(),
+            load,
+            Duration::from_ms(ms),
+            true,
+            42,
+        )
+    };
+
+    println!(
+        "campaign: {} scenarios ({} available cores)",
+        campaign.len(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let serial = campaign.run_serial();
+    println!("\n== serial ==\n{}", serial.table());
+
+    // One OS thread per scenario (not capped at the core count): on a
+    // multi-core host this is the full fan-out; on a loaded or small host
+    // the digests still prove determinism.
+    let parallel = campaign.run_with_threads(campaign.len());
+    println!("== parallel ==\n{}", parallel.table());
+
+    assert_eq!(
+        serial.digests(),
+        parallel.digests(),
+        "parallel execution must be bit-identical to serial"
+    );
+    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
+    println!(
+        "digests identical across {} scenarios; speedup {:.2}x ({:.2} s serial -> {:.2} s on {} threads)",
+        serial.results.len(),
+        speedup,
+        serial.wall.as_secs_f64(),
+        parallel.wall.as_secs_f64(),
+        parallel.threads
+    );
+    if parallel.threads > 1 && speedup <= 1.0 {
+        println!("warning: no speedup observed (heavily loaded or single-core host?)");
+    }
+}

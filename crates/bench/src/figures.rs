@@ -4,22 +4,21 @@
 //! The default scales are laptop-sized; see EXPERIMENTS.md for the mapping to the
 //! paper's full-scale settings.
 
-use hpcc_cc::{CcAlgorithm, DcqcnConfig, HpccConfig, HpccReactionMode};
+use hpcc_cc::{HpccConfig, HpccReactionMode};
 use hpcc_core::presets::{
-    elephant_mice, fairness, fattree_fb_hadoop, incast_on_star, long_short, pfc_storm,
-    scheme_by_label, star_egress_to, testbed_websearch, two_to_one,
+    elephant_mice, fairness, fattree_fb_hadoop, fig11_campaign, incast_on_star, long_short,
+    pfc_storm, star_egress_to, testbed_websearch, two_to_one,
 };
 use hpcc_core::report;
-use hpcc_core::{analysis::FluidNetwork, ExperimentResults};
+use hpcc_core::{analysis::FluidNetwork, CcSpec, ExperimentResults};
 use hpcc_sim::{EcnConfig, FlowControlMode};
 use hpcc_stats::fct::{fb_hadoop_buckets, websearch_buckets};
 use hpcc_stats::pfc::suppressed_bandwidth_fraction;
 use hpcc_stats::series::{goodput_series_gbps, jain_fairness_index, steady_state_gbps};
 use hpcc_topology::FatTreeParams;
-use hpcc_types::{Bandwidth, Duration, FlowId, IntHeader, IntHopRecord, Packet, NodeId, SimTime};
+use hpcc_types::{Bandwidth, Duration, FlowId, IntHeader, IntHopRecord, NodeId, Packet, SimTime};
 use std::fmt::Write as _;
 
-const BW25: Bandwidth = Bandwidth::from_gbps(25);
 const BW100: Bandwidth = Bandwidth::from_gbps(100);
 
 fn header(title: &str) -> String {
@@ -31,14 +30,24 @@ fn header(title: &str) -> String {
 /// substituted by simulation).
 pub fn fig01(duration_ms: u64) -> String {
     let mut s = header("Figure 1 — PFC pause propagation and suppressed bandwidth (simulated)");
-    let exp = pfc_storm(0.3, 20, Duration::from_ms(duration_ms), 7);
-    let topo_hosts: Vec<NodeId> = exp.topo.hosts().to_vec();
+    let exp = pfc_storm(0.3, 20, Duration::from_ms(duration_ms), 7).build();
+    let topo_hosts: Vec<NodeId> = exp.topology().hosts().to_vec();
     let res = exp.run();
     let pfc = res.pfc_summary();
     let spread = res.pfc_burst_spread(Duration::from_us(200));
     writeln!(s, "pause frames sent      : {}", pfc.pause_frames).unwrap();
-    writeln!(s, "ports ever paused      : {}/{}", pfc.paused_ports, pfc.total_ports).unwrap();
-    writeln!(s, "pause time fraction    : {:.3}%", pfc.pause_time_fraction() * 100.0).unwrap();
+    writeln!(
+        s,
+        "ports ever paused      : {}/{}",
+        pfc.paused_ports, pfc.total_ports
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "pause time fraction    : {:.3}%",
+        pfc.pause_time_fraction() * 100.0
+    )
+    .unwrap();
     // (a) propagation: CDF of switches involved per pause burst.
     if !spread.is_empty() {
         let mut sorted = spread.clone();
@@ -58,7 +67,12 @@ pub fn fig01(duration_ms: u64) -> String {
         .map(|c| c.pause_duration)
         .collect();
     let suppressed = suppressed_bandwidth_fraction(&host_pauses, res.out.elapsed - SimTime::ZERO);
-    writeln!(s, "\n(b) suppressed host bandwidth: {:.2}%", suppressed * 100.0).unwrap();
+    writeln!(
+        s,
+        "\n(b) suppressed host bandwidth: {:.2}%",
+        suppressed * 100.0
+    )
+    .unwrap();
     s
 }
 
@@ -74,10 +88,9 @@ pub fn fig02(duration_ms: u64, load: f64) -> String {
         ("Ti=900,Td=4", Duration::from_us(900), Duration::from_us(4)),
     ];
     let build = |label: &str, ti, td, incast| {
-        let cfg = DcqcnConfig::vendor_default(BW25).with_timers(ti, td);
         testbed_websearch(
             label,
-            CcAlgorithm::Dcqcn(cfg),
+            CcSpec::DcqcnTimers { ti, td },
             load,
             dur,
             incast,
@@ -91,7 +104,12 @@ pub fn fig02(duration_ms: u64, load: f64) -> String {
         .map(|(l, ti, td)| build(l, *ti, *td, None).run())
         .collect();
     let refs: Vec<&ExperimentResults> = plain.iter().collect();
-    writeln!(s, "(a) 95th-percentile FCT slowdown, {}% load:", (load * 100.0) as u32).unwrap();
+    writeln!(
+        s,
+        "(a) 95th-percentile FCT slowdown, {}% load:",
+        (load * 100.0) as u32
+    )
+    .unwrap();
     s.push_str(&report::slowdown_table(&refs, &websearch_buckets(), 95.0));
 
     let with_incast: Vec<ExperimentResults> = settings
@@ -123,8 +141,8 @@ pub fn fig03(duration_ms: u64) -> String {
             .iter()
             .map(|(l, kmin, kmax)| {
                 testbed_websearch(
-                    l,
-                    CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(BW25)),
+                    *l,
+                    CcSpec::by_label("DCQCN"),
                     load,
                     dur,
                     None,
@@ -136,8 +154,13 @@ pub fn fig03(duration_ms: u64) -> String {
             })
             .collect();
         let refs: Vec<&ExperimentResults> = results.iter().collect();
-        writeln!(s, "({}) {}% load — 95th-percentile FCT slowdown:",
-            if load < 0.4 { "a" } else { "b" }, (load * 100.0) as u32).unwrap();
+        writeln!(
+            s,
+            "({}) {}% load — 95th-percentile FCT slowdown:",
+            if load < 0.4 { "a" } else { "b" },
+            (load * 100.0) as u32
+        )
+        .unwrap();
         s.push_str(&report::slowdown_table(&refs, &websearch_buckets(), 95.0));
         s.push('\n');
         s.push_str(&report::queue_table(&refs));
@@ -151,9 +174,9 @@ pub fn fig03(duration_ms: u64) -> String {
 pub fn fig06(duration_ms: u64) -> String {
     let mut s = header("Figure 6 — txRate vs rxRate congestion signal (2-to-1)");
     for use_rx in [false, true] {
-        let exp = two_to_one(use_rx, BW100, 8_000_000, Duration::from_ms(duration_ms));
-        let port = star_egress_to(&exp.topo, exp.flows[0].dst);
-        let label = exp.label.clone();
+        let exp = two_to_one(use_rx, BW100, 8_000_000, Duration::from_ms(duration_ms)).build();
+        let port = star_egress_to(exp.topology(), exp.flows()[0].dst);
+        let label = exp.label().to_string();
         let res = exp.run();
         let trace = &res.out.port_traces[&port];
         writeln!(s, "\n{label}:").unwrap();
@@ -168,7 +191,13 @@ pub fn fig06(duration_ms: u64) -> String {
             let std = (tail.iter().map(|q| (q - mean) * (q - mean)).sum::<f64>()
                 / tail.len() as f64)
                 .sqrt();
-            writeln!(s, "steady-state queue: mean {:.1} KB, std {:.1} KB", mean / 1000.0, std / 1000.0).unwrap();
+            writeln!(
+                s,
+                "steady-state queue: mean {:.1} KB, std {:.1} KB",
+                mean / 1000.0,
+                std / 1000.0
+            )
+            .unwrap();
         }
     }
     s
@@ -184,9 +213,8 @@ pub fn fig09(duration_ms: u64) -> String {
     // (a/b) Long-short rate recovery.
     writeln!(s, "(a/b) long flow recovery after a 1 MB short flow:").unwrap();
     for label in schemes {
-        let cc = scheme_by_label(label, BW100, Duration::from_us(13));
-        let exp = long_short(cc, BW100, dur);
-        let bin = exp.cfg.flow_throughput_bin.unwrap();
+        let exp = long_short(CcSpec::by_label(label), BW100, dur).build();
+        let bin = exp.config().flow_throughput_bin.unwrap();
         let res = exp.run();
         let series = goodput_series_gbps(&res.out.flow_goodput[&FlowId(1)], bin);
         let tail = steady_state_gbps(&series, 0.2);
@@ -199,11 +227,13 @@ pub fn fig09(duration_ms: u64) -> String {
     }
 
     // (c/d) 8-to-1 incast into the receiver of a long flow.
-    writeln!(s, "\n(c/d) 8-to-1 incast on top of a long flow (peak / 99p queue):").unwrap();
+    writeln!(
+        s,
+        "\n(c/d) 8-to-1 incast on top of a long flow (peak / 99p queue):"
+    )
+    .unwrap();
     for label in schemes {
-        let cc = scheme_by_label(label, BW100, Duration::from_us(13));
-        let exp = incast_on_star(label, cc, 8, 500_000, BW100, dur);
-        let res = exp.run();
+        let res = incast_on_star(label, CcSpec::by_label(label), 8, 500_000, BW100, dur).run();
         writeln!(
             s,
             "  {label:<8} peak queue {:>8.1} KB, 99p queue {:>8.1} KB, pause frames {}",
@@ -217,8 +247,7 @@ pub fn fig09(duration_ms: u64) -> String {
     // (e/f) Elephant + mice latency.
     writeln!(s, "\n(e/f) mice latency through a saturated link:").unwrap();
     for label in schemes {
-        let cc = scheme_by_label(label, BW100, Duration::from_us(13));
-        let res = elephant_mice(cc, BW100, Duration::from_us(100), dur).run();
+        let res = elephant_mice(CcSpec::by_label(label), BW100, Duration::from_us(100), dur).run();
         let mice: Vec<f64> = res
             .out
             .flows
@@ -240,11 +269,15 @@ pub fn fig09(duration_ms: u64) -> String {
     }
 
     // (g/h) Fairness of four staggered flows.
-    writeln!(s, "\n(g/h) fairness of four flows joining every {} us:", dur.as_us_f64() / 8.0).unwrap();
+    writeln!(
+        s,
+        "\n(g/h) fairness of four flows joining every {} us:",
+        dur.as_us_f64() / 8.0
+    )
+    .unwrap();
     for label in schemes {
-        let cc = scheme_by_label(label, BW100, Duration::from_us(13));
-        let exp = fairness(cc, BW100, dur / 8, dur);
-        let bin = exp.cfg.flow_throughput_bin.unwrap();
+        let exp = fairness(CcSpec::by_label(label), BW100, dur / 8, dur).build();
+        let bin = exp.config().flow_throughput_bin.unwrap();
         let res = exp.run();
         // Fairness index while all four flows are active (just after the
         // last join).
@@ -279,8 +312,8 @@ pub fn fig10(duration_ms: u64) -> String {
             .iter()
             .map(|label| {
                 testbed_websearch(
-                    label,
-                    scheme_by_label(label, BW25, Duration::from_us(9)),
+                    *label,
+                    CcSpec::by_label(*label),
                     load,
                     dur,
                     None,
@@ -319,6 +352,10 @@ pub fn fig10(duration_ms: u64) -> String {
 
 /// Figure 11: FB_Hadoop on the Clos fabric — 95p FCT slowdown per size
 /// bucket for the six schemes, plus PFC pause time, with and without incast.
+///
+/// The six schemes are declared as one [`hpcc_core::Campaign`] and executed
+/// in parallel (one OS thread per scheme, capped at the core count); the
+/// results are bit-identical to a serial run under the same seed.
 pub fn fig11(duration_ms: u64, load: f64, with_incast: bool, paper_scale: bool) -> String {
     let mut s = header("Figure 11 — FB_Hadoop on the Clos fabric (six schemes)");
     let params = if paper_scale {
@@ -327,29 +364,18 @@ pub fn fig11(duration_ms: u64, load: f64, with_incast: bool, paper_scale: bool) 
         FatTreeParams::small()
     };
     let dur = Duration::from_ms(duration_ms);
-    let results: Vec<ExperimentResults> = hpcc_core::SCHEME_SET_FIG11
-        .iter()
-        .map(|label| {
-            fattree_fb_hadoop(
-                label,
-                scheme_by_label(label, params.host_bw, Duration::from_us(13)),
-                params,
-                load,
-                dur,
-                with_incast,
-                FlowControlMode::Lossless,
-                42,
-            )
-            .run()
-        })
-        .collect();
-    let refs: Vec<&ExperimentResults> = results.iter().collect();
+    let campaign = fig11_campaign(params, load, dur, with_incast, 42);
+    let report_out = campaign.run();
+    let refs: Vec<&ExperimentResults> = report_out.results.iter().map(|r| &r.results).collect();
     writeln!(
         s,
-        "{} hosts, {}% load{}:",
+        "{} hosts, {}% load{} ({} scenarios on {} threads in {:.1} s):",
         params.total_hosts(),
         (load * 100.0) as u32,
-        if with_incast { " + 2% incast" } else { "" }
+        if with_incast { " + 2% incast" } else { "" },
+        report_out.results.len(),
+        report_out.threads,
+        report_out.wall.as_secs_f64()
     )
     .unwrap();
     writeln!(s, "95th-percentile FCT slowdown:").unwrap();
@@ -375,12 +401,10 @@ pub fn fig12(duration_ms: u64, load: f64) -> String {
     let mut results = Vec::new();
     for cc_label in ["DCQCN", "HPCC"] {
         for mode in modes {
-            let label = format!("{cc_label}+{}", mode.label());
-            let leaked: &'static str = Box::leak(label.into_boxed_str());
             results.push(
                 fattree_fb_hadoop(
-                    leaked,
-                    scheme_by_label(cc_label, params.host_bw, Duration::from_us(13)),
+                    format!("{cc_label}+{}", mode.label()),
+                    CcSpec::by_label(cc_label),
                     params,
                     load,
                     dur,
@@ -393,7 +417,12 @@ pub fn fig12(duration_ms: u64, load: f64) -> String {
         }
     }
     let refs: Vec<&ExperimentResults> = results.iter().collect();
-    writeln!(s, "95th-percentile FCT slowdown ({}% load + incast):", (load * 100.0) as u32).unwrap();
+    writeln!(
+        s,
+        "95th-percentile FCT slowdown ({}% load + incast):",
+        (load * 100.0) as u32
+    )
+    .unwrap();
     s.push_str(&report::slowdown_table(&refs, &fb_hadoop_buckets(), 95.0));
     s.push('\n');
     s.push_str(&report::pfc_table(&refs));
@@ -409,13 +438,21 @@ pub fn fig13(duration_ms: u64) -> String {
         ("per-RTT", HpccReactionMode::PerRtt),
         ("HPCC", HpccReactionMode::Combined),
     ] {
-        let cc = CcAlgorithm::Hpcc(HpccConfig {
+        let cc = CcSpec::Hpcc(HpccConfig {
             mode,
             ..HpccConfig::default()
         });
-        let exp = incast_on_star(label, cc, 16, 500_000, BW100, Duration::from_ms(duration_ms));
-        let port = star_egress_to(&exp.topo, exp.flows[0].dst);
-        let bin = exp.cfg.flow_throughput_bin.unwrap();
+        let exp = incast_on_star(
+            label,
+            cc,
+            16,
+            500_000,
+            BW100,
+            Duration::from_ms(duration_ms),
+        )
+        .build();
+        let port = star_egress_to(exp.topology(), exp.flows()[0].dst);
+        let bin = exp.config().flow_throughput_bin.unwrap();
         let res = exp.run();
         // Aggregate goodput.
         let mut total = vec![0u64; 0];
@@ -453,16 +490,25 @@ pub fn fig13(duration_ms: u64) -> String {
 pub fn fig14(duration_ms: u64) -> String {
     let mut s = header("Figure 14 — W_AI sweep (16 long flows on one bottleneck)");
     for wai in [25u64, 80, 150, 300, 1600] {
-        let cc = CcAlgorithm::Hpcc(HpccConfig {
+        let cc = CcSpec::Hpcc(HpccConfig {
             wai,
             ..HpccConfig::default()
         });
-        let label: &'static str = Box::leak(format!("WAI={wai}B").into_boxed_str());
-        let exp = incast_on_star(label, cc, 16, 10_000_000, BW100, Duration::from_ms(duration_ms));
-        let bin = exp.cfg.flow_throughput_bin.unwrap();
+        let label = format!("WAI={wai}B");
+        let exp = incast_on_star(
+            label.clone(),
+            cc,
+            16,
+            10_000_000,
+            BW100,
+            Duration::from_ms(duration_ms),
+        )
+        .build();
+        let bin = exp.config().flow_throughput_bin.unwrap();
         let res = exp.run();
         // Throughput of each flow near the end of the run → fairness.
-        let idx_end = ((Duration::from_ms(duration_ms).mul_f64(0.9)).as_ps() / bin.as_ps()) as usize;
+        let idx_end =
+            ((Duration::from_ms(duration_ms).mul_f64(0.9)).as_ps() / bin.as_ps()) as usize;
         let rates: Vec<f64> = res
             .out
             .flow_goodput
@@ -495,14 +541,26 @@ pub fn fig14(duration_ms: u64) -> String {
 /// 4.2% of a 1 KB packet).
 pub fn tab_int_overhead() -> String {
     let mut s = header("Table — INT header overhead (Figure 7 / §4.1)");
-    writeln!(s, "{:>6} {:>12} {:>16}", "hops", "INT bytes", "% of 1KB packet").unwrap();
+    writeln!(
+        s,
+        "{:>6} {:>12} {:>16}",
+        "hops", "INT bytes", "% of 1KB packet"
+    )
+    .unwrap();
     for hops in 0..=8u16 {
         let mut h = IntHeader::new();
         for i in 0..hops {
             h.push_hop(i + 1, IntHopRecord::default());
         }
         let size = h.wire_size();
-        writeln!(s, "{:>6} {:>12} {:>15.1}%", hops, size, size as f64 / 1000.0 * 100.0).unwrap();
+        writeln!(
+            s,
+            "{:>6} {:>12} {:>15.1}%",
+            hops,
+            size,
+            size as f64 / 1000.0 * 100.0
+        )
+        .unwrap();
     }
     let p = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1000, SimTime::ZERO);
     writeln!(
@@ -528,7 +586,12 @@ pub fn fluid_convergence() -> String {
         vec![100.0, 40.0, 60.0],
     );
     let trajectory = net.converge(&[80.0, 80.0, 80.0, 80.0], 1e-9, 30);
-    writeln!(s, "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10}", "step", "R1", "R2", "R3", "R4", "feasible").unwrap();
+    writeln!(
+        s,
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "step", "R1", "R2", "R3", "R4", "feasible"
+    )
+    .unwrap();
     for (i, r) in trajectory.iter().enumerate() {
         writeln!(
             s,

@@ -72,9 +72,7 @@ impl CcAlgorithm {
     pub fn needs_ecn(&self) -> bool {
         matches!(
             self,
-            CcAlgorithm::Dcqcn(_)
-                | CcAlgorithm::DcqcnWin(_)
-                | CcAlgorithm::Dctcp(_)
+            CcAlgorithm::Dcqcn(_) | CcAlgorithm::DcqcnWin(_) | CcAlgorithm::Dctcp(_)
         )
     }
 }

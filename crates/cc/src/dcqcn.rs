@@ -298,10 +298,8 @@ mod tests {
 
     #[test]
     fn decreases_are_rate_limited_by_td() {
-        let cfg = DcqcnConfig::vendor_default(LINE).with_timers(
-            Duration::from_us(300),
-            Duration::from_us(50),
-        );
+        let cfg = DcqcnConfig::vendor_default(LINE)
+            .with_timers(Duration::from_us(300), Duration::from_us(50));
         let mut d = Dcqcn::new(cfg, LINE);
         d.on_cnp(SimTime::from_us(100));
         let r1 = d.state().rate;
@@ -390,7 +388,7 @@ mod tests {
             now = d.next_timer().unwrap().max(now);
             d.on_timer(now);
             d.on_timer(now + Duration::from_us(10));
-            now = now + Duration::from_us(10);
+            now += Duration::from_us(10);
             d.on_ack(&ack(31 + i, 1_000, false, &int));
         }
         let before = d.target_rate();
@@ -398,8 +396,7 @@ mod tests {
         let after = d.target_rate();
         // The jump must be the hyper step (1 Gbps), not the 1 Mbps AI step.
         assert!(
-            after.as_bps().saturating_sub(before.as_bps()) >= 500_000_000
-                || after == LINE,
+            after.as_bps().saturating_sub(before.as_bps()) >= 500_000_000 || after == LINE,
             "expected hyper increase, {before} -> {after}"
         );
     }
@@ -476,7 +473,10 @@ mod tests {
         assert_eq!(cons.timer_ti, Duration::from_us(900));
         assert_eq!(cons.rate_decrease_interval_td, Duration::from_us(4));
         // AI step scales with line rate: 25G → 40 Mbps, 100G → 160 Mbps.
-        assert_eq!(DcqcnConfig::vendor_default(LINE).rai, Bandwidth::from_mbps(40));
+        assert_eq!(
+            DcqcnConfig::vendor_default(LINE).rai,
+            Bandwidth::from_mbps(40)
+        );
         assert_eq!(
             DcqcnConfig::vendor_default(Bandwidth::from_gbps(100)).rai,
             Bandwidth::from_mbps(160)

@@ -197,7 +197,11 @@ mod tests {
             d.on_ack(&ack(seq, seq + 10_000, 1000, true, &int));
             seq += 10_001;
         }
-        assert!(d.alpha() > 0.98, "alpha should approach 1, got {}", d.alpha());
+        assert!(
+            d.alpha() > 0.98,
+            "alpha should approach 1, got {}",
+            d.alpha()
+        );
         assert!(d.state().window < w0 / 4);
         assert!(d.decrease_events > 50);
     }

@@ -392,7 +392,10 @@ mod tests {
         let i1 = int_one_hop(23, bytes_at_line_rate(13), LINE.bdp_bytes(RTT));
         h.on_ack(&ack(23, 2000, 4000, &i1));
         let w1 = h.state().window;
-        assert!(w1 < w0 * 6 / 10, "expected strong decrease, got {w1} vs {w0}");
+        assert!(
+            w1 < w0 * 6 / 10,
+            "expected strong decrease, got {w1} vs {w0}"
+        );
         assert!(h.utilization_estimate() > 1.5);
         assert!(h.state().rate < LINE);
     }
@@ -466,7 +469,11 @@ mod tests {
         let i3 = int_one_hop(25, bytes_at_line_rate(15), q);
         h.on_ack(&ack(25, 4000, 200_000, &i3));
         let w_second = h.state().window;
-        assert_eq!(h.reference_window(), wc, "Wc must not change within a round");
+        assert_eq!(
+            h.reference_window(),
+            wc,
+            "Wc must not change within a round"
+        );
         let diff = w_first.abs_diff(w_second);
         assert!(
             diff * 100 <= w_first.max(1),
@@ -565,7 +572,9 @@ mod tests {
         let i0 = int_one_hop(ts, tx, 0);
         h.on_ack(&ack(ts, 1, 2, &i0));
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dt = 1 + (x >> 33) % 20;
             ts += dt;
             tx += (x >> 17) % (2 * bytes_at_line_rate(dt));

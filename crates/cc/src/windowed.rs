@@ -19,7 +19,13 @@ pub struct Windowed<C: CongestionControl> {
 
 impl<C: CongestionControl> Windowed<C> {
     /// Wrap `inner` with a static window of `line_rate * base_rtt` (+1 MTU).
-    pub fn new(inner: C, line_rate: Bandwidth, base_rtt: Duration, mtu: u64, name: &'static str) -> Self {
+    pub fn new(
+        inner: C,
+        line_rate: Bandwidth,
+        base_rtt: Duration,
+        mtu: u64,
+        name: &'static str,
+    ) -> Self {
         Windowed {
             inner,
             window: line_rate.bdp_bytes(base_rtt) + mtu,

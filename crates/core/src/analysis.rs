@@ -171,10 +171,7 @@ mod tests {
     /// paths 1 and 2 use one each.
     fn line_network() -> FluidNetwork {
         FluidNetwork::new(
-            vec![
-                vec![true, true, false],
-                vec![true, false, true],
-            ],
+            vec![vec![true, true, false], vec![true, false, true]],
             vec![10.0, 20.0],
         )
     }
@@ -185,7 +182,10 @@ mod tests {
         let start = vec![50.0, 50.0, 50.0];
         assert!(!net.is_feasible(&start, 1e-9));
         let after = net.step(&start);
-        assert!(net.is_feasible(&after, 1e-9), "lemma (i): feasible after one step");
+        assert!(
+            net.is_feasible(&after, 1e-9),
+            "lemma (i): feasible after one step"
+        );
     }
 
     #[test]
@@ -208,7 +208,10 @@ mod tests {
         assert!((net.loads(&after_one)[0] - 10.0).abs() < 1e-9);
         let trajectory = net.converge(&[50.0, 50.0, 50.0], 1e-9, 100);
         let last = trajectory.last().unwrap();
-        assert!(net.is_pareto_optimal(last, 1e-6), "lemma (iii): Pareto optimal");
+        assert!(
+            net.is_pareto_optimal(last, 1e-6),
+            "lemma (iii): Pareto optimal"
+        );
         // The expected fixed point: resource 0 saturates first (10 split
         // between paths 0 and 1), then path 2 grabs the slack on resource 1.
         assert!((last[0] - 5.0).abs() < 1e-6);
@@ -221,7 +224,9 @@ mod tests {
         // Deterministic pseudo-random sweep over many topologies.
         let mut x: u64 = 0xfeed_beef;
         let mut rand = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as f64 / (1u64 << 31) as f64
         };
         for case in 0..50 {
@@ -242,10 +247,16 @@ mod tests {
             let net = FluidNetwork::new(incidence, capacities);
             let initial: Vec<f64> = (0..paths).map(|_| 0.1 + rand() * 200.0).collect();
             let after_one = net.step(&initial);
-            assert!(net.is_feasible(&after_one, 1e-9), "case {case}: feasible after one step");
+            assert!(
+                net.is_feasible(&after_one, 1e-9),
+                "case {case}: feasible after one step"
+            );
             let trajectory = net.converge(&initial, 1e-10, 200);
             let last = trajectory.last().unwrap();
-            assert!(net.is_pareto_optimal(last, 1e-3), "case {case}: Pareto optimal");
+            assert!(
+                net.is_pareto_optimal(last, 1e-3),
+                "case {case}: Pareto optimal"
+            );
             assert!(net.is_feasible(last, 1e-6), "case {case}: final feasible");
         }
     }

@@ -1,0 +1,475 @@
+//! Batch execution of scenarios across OS threads.
+//!
+//! A [`Campaign`] is an ordered list of [`ScenarioSpec`]s. [`Campaign::run`]
+//! executes them across a pool of OS threads (scenarios are embarrassingly
+//! parallel: each builds its own topology and simulator from plain data) and
+//! collects a [`CampaignReport`] with one [`ScenarioResult`] per scenario,
+//! *in scenario order*.
+//!
+//! Determinism is a hard guarantee: every scenario derives all randomness
+//! from its own seed, so the per-scenario results — summarised metrics *and*
+//! the [`ScenarioResult::digest`] over the raw simulator output — are
+//! bit-identical whether the campaign runs serially, on 2 threads, or on 64.
+
+use crate::experiment::ExperimentResults;
+use crate::report::truncate;
+use crate::scenario::{CdfSpec, ScenarioSpec, WorkloadSpec};
+use hpcc_sim::SimOutput;
+use hpcc_stats::fct::{fb_hadoop_buckets, websearch_buckets, SizeBucketStats};
+use hpcc_stats::pfc::PfcSummary;
+use hpcc_stats::Percentiles;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// An ordered batch of scenarios to execute.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Campaign {
+    scenarios: Vec<ScenarioSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// A campaign over the given scenarios.
+    pub fn from_scenarios(scenarios: Vec<ScenarioSpec>) -> Self {
+        Campaign { scenarios }
+    }
+
+    /// Append a scenario (builder style).
+    pub fn with(mut self, spec: ScenarioSpec) -> Self {
+        self.scenarios.push(spec);
+        self
+    }
+
+    /// Append a scenario.
+    pub fn push(&mut self, spec: ScenarioSpec) {
+        self.scenarios.push(spec);
+    }
+
+    /// The scenarios, in execution-report order.
+    pub fn scenarios(&self) -> &[ScenarioSpec] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True if the campaign holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Run every scenario on the calling thread, in order.
+    pub fn run_serial(&self) -> CampaignReport {
+        let start = Instant::now();
+        let results = self.scenarios.iter().map(run_one).collect();
+        CampaignReport {
+            results,
+            wall: start.elapsed(),
+            threads: 1,
+        }
+    }
+
+    /// Run the scenarios across `threads` OS threads (clamped to the
+    /// scenario count; `<= 1` falls back to serial execution).
+    ///
+    /// Work is handed out through an atomic cursor, so long scenarios do not
+    /// serialize behind short ones. Results land in scenario order.
+    pub fn run_with_threads(&self, threads: usize) -> CampaignReport {
+        let n = self.scenarios.len();
+        let threads = threads.min(n);
+        if threads <= 1 {
+            return self.run_serial();
+        }
+        let start = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = run_one(&self.scenarios[i]);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect();
+        CampaignReport {
+            results,
+            wall: start.elapsed(),
+            threads,
+        }
+    }
+
+    /// Run with one thread per available core (capped at the scenario
+    /// count).
+    pub fn run(&self) -> CampaignReport {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.run_with_threads(cores)
+    }
+
+    /// Serialize every scenario into a JSON array (a campaign manifest).
+    pub fn to_json_string(&self) -> String {
+        crate::json::JsonValue::Array(self.scenarios.iter().map(|s| s.to_json()).collect()).render()
+    }
+
+    /// Parse a campaign manifest (a JSON array of scenarios).
+    pub fn from_json_str(text: &str) -> Result<Self, crate::json::JsonError> {
+        let doc = crate::json::JsonValue::parse(text)?;
+        let mut scenarios = Vec::new();
+        for item in doc.as_array()? {
+            scenarios.push(ScenarioSpec::from_json(item)?);
+        }
+        Ok(Campaign { scenarios })
+    }
+}
+
+fn run_one(spec: &ScenarioSpec) -> ScenarioResult {
+    let started = Instant::now();
+    let results = spec.build().run();
+    let wall = started.elapsed();
+    let buckets = match bucket_choice(spec) {
+        BucketChoice::FbHadoop => fb_hadoop_buckets(),
+        BucketChoice::WebSearch => websearch_buckets(),
+    };
+    ScenarioResult {
+        name: spec.name.clone(),
+        scheme: spec.scheme_label(),
+        slowdown: results.slowdown_overall(),
+        short_flow_slowdown: results.slowdown_for_sizes_up_to(30_000),
+        slowdown_buckets: results.slowdown_buckets(&buckets),
+        queue_p50: results.queue_percentile(50.0),
+        queue_p95: results.queue_percentile(95.0),
+        queue_p99: results.queue_percentile(99.0),
+        max_queue_bytes: results.out.max_queue_bytes(),
+        pfc: results.pfc_summary(),
+        drops: results.out.total_drops(),
+        completion: results.completion_fraction(),
+        flows_completed: results.out.flows.len(),
+        digest: digest_output(&results.out),
+        wall,
+        results,
+    }
+}
+
+enum BucketChoice {
+    WebSearch,
+    FbHadoop,
+}
+
+/// Pick the slowdown bucket set that matches the scenario's background
+/// trace (FB_Hadoop buckets for FB_Hadoop traffic, WebSearch buckets
+/// otherwise — the paper's figure convention).
+fn bucket_choice(spec: &ScenarioSpec) -> BucketChoice {
+    for w in &spec.workloads {
+        if let WorkloadSpec::Poisson {
+            cdf: CdfSpec::FbHadoop,
+            ..
+        } = w
+        {
+            return BucketChoice::FbHadoop;
+        }
+    }
+    BucketChoice::WebSearch
+}
+
+/// Everything measured for one scenario of a campaign.
+///
+/// The summary fields and `digest` are derived purely from the simulator's
+/// deterministic output; only `wall` depends on the host machine.
+pub struct ScenarioResult {
+    /// Scenario name (copied from the spec).
+    pub name: String,
+    /// Congestion-control scheme label.
+    pub scheme: String,
+    /// Overall FCT-slowdown percentiles (None when no flow completed).
+    pub slowdown: Option<Percentiles>,
+    /// FCT-slowdown percentiles of flows ≤ 30 KB.
+    pub short_flow_slowdown: Option<Percentiles>,
+    /// FCT slowdown per flow-size bucket (buckets chosen to match the
+    /// scenario's background trace).
+    pub slowdown_buckets: Vec<SizeBucketStats>,
+    /// Median sampled queue length in bytes.
+    pub queue_p50: Option<u64>,
+    /// 95th-percentile sampled queue length in bytes.
+    pub queue_p95: Option<u64>,
+    /// 99th-percentile sampled queue length in bytes.
+    pub queue_p99: Option<u64>,
+    /// Largest queue occupancy seen anywhere.
+    pub max_queue_bytes: u64,
+    /// PFC pause summary.
+    pub pfc: PfcSummary,
+    /// Total dropped data packets.
+    pub drops: u64,
+    /// Fraction of injected flows that completed.
+    pub completion: f64,
+    /// Number of flows that completed.
+    pub flows_completed: usize,
+    /// FNV-1a digest over the raw simulator output (flows, counters,
+    /// histograms, traces) — equal digests mean bit-identical runs.
+    pub digest: u64,
+    /// Wall-clock time this scenario took to build and run.
+    pub wall: std::time::Duration,
+    /// The full analysis wrapper, for figure-grade post-processing.
+    pub results: ExperimentResults,
+}
+
+/// The outcome of one campaign: per-scenario results in scenario order.
+pub struct CampaignReport {
+    /// One entry per scenario, in the campaign's order.
+    pub results: Vec<ScenarioResult>,
+    /// Wall-clock time of the whole campaign.
+    pub wall: std::time::Duration,
+    /// Number of OS threads used.
+    pub threads: usize,
+}
+
+impl CampaignReport {
+    /// The per-scenario digests, in scenario order.
+    pub fn digests(&self) -> Vec<u64> {
+        self.results.iter().map(|r| r.digest).collect()
+    }
+
+    /// Sum of per-scenario wall times (the serial cost the campaign would
+    /// have had).
+    pub fn total_scenario_wall(&self) -> std::time::Duration {
+        self.results.iter().map(|r| r.wall).sum()
+    }
+
+    /// Render a per-scenario summary table.
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        writeln!(
+            s,
+            "{:<26} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>9} {:>9}",
+            "scenario",
+            "slow p50",
+            "slow p95",
+            "slow p99",
+            "q p99 (KB)",
+            "pauses",
+            "drops",
+            "done %",
+            "wall (s)"
+        )
+        .unwrap();
+        for r in &self.results {
+            let (p50, p95, p99) = match &r.slowdown {
+                Some(p) => (
+                    format!("{:.2}", p.p50),
+                    format!("{:.2}", p.p95),
+                    format!("{:.2}", p.p99),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            writeln!(
+                s,
+                "{:<26} {:>9} {:>9} {:>9} {:>10.1} {:>8} {:>7} {:>9.1} {:>9.2}",
+                truncate(&r.name, 26),
+                p50,
+                p95,
+                p99,
+                r.queue_p99.unwrap_or(0) as f64 / 1000.0,
+                r.pfc.pause_frames,
+                r.drops,
+                r.completion * 100.0,
+                r.wall.as_secs_f64()
+            )
+            .unwrap();
+        }
+        writeln!(
+            s,
+            "campaign: {} scenarios on {} thread(s) in {:.2} s (sum of scenario walls {:.2} s)",
+            self.results.len(),
+            self.threads,
+            self.wall.as_secs_f64(),
+            self.total_scenario_wall().as_secs_f64()
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// FNV-1a digest over everything deterministic in a [`SimOutput`].
+///
+/// HashMap-backed fields are folded in sorted-key order, so the digest is a
+/// pure function of the simulation, not of hasher state.
+pub fn digest_output(out: &SimOutput) -> u64 {
+    let mut d = Fnv::new();
+    let mut flows = out.flows.clone();
+    flows.sort_by_key(|f| f.id);
+    for f in &flows {
+        d.write(f.id.raw());
+        d.write(f.src.0 as u64);
+        d.write(f.dst.0 as u64);
+        d.write(f.size);
+        d.write(f.start.as_ps());
+        d.write(f.finish.as_ps());
+    }
+    d.write(out.unfinished_flows as u64);
+    let mut port_keys: Vec<_> = out.ports.keys().copied().collect();
+    port_keys.sort();
+    for key in port_keys {
+        let c = &out.ports[&key];
+        d.write(key.0 .0 as u64);
+        d.write(key.1 .0 as u64);
+        d.write(c.tx_bytes);
+        d.write(c.dropped_bytes);
+        d.write(c.dropped_packets);
+        d.write(c.ecn_marked);
+        d.write(c.pause_duration.as_ps());
+        d.write(c.pause_events);
+        d.write(c.pause_frames_sent);
+        d.write(c.max_queue_bytes);
+    }
+    d.write(out.queue_histogram_bin);
+    for &count in &out.queue_histogram {
+        d.write(count);
+    }
+    let mut trace_keys: Vec<_> = out.port_traces.keys().copied().collect();
+    trace_keys.sort();
+    for key in trace_keys {
+        d.write(key.0 .0 as u64);
+        d.write(key.1 .0 as u64);
+        for &(t, q) in &out.port_traces[&key] {
+            d.write(t.as_ps());
+            d.write(q);
+        }
+    }
+    let mut goodput_keys: Vec<_> = out.flow_goodput.keys().copied().collect();
+    goodput_keys.sort();
+    for key in goodput_keys {
+        d.write(key.raw());
+        for &bytes in &out.flow_goodput[&key] {
+            d.write(bytes);
+        }
+    }
+    d.write(out.flow_goodput_bin.as_ps());
+    for e in &out.pfc_events {
+        d.write(e.time.as_ps());
+        d.write(e.node.0 as u64);
+        d.write(e.port.0 as u64);
+    }
+    d.write(out.pfc_events_truncated as u64);
+    d.write(out.elapsed.as_ps());
+    d.write(out.events_processed);
+    d.write(out.packets_delivered);
+    d.write(out.packets_sent);
+    d.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::fig11_campaign;
+    use crate::scenario::{CcSpec, TopologyChoice};
+    use hpcc_topology::FatTreeParams;
+    use hpcc_types::{Bandwidth, Duration};
+
+    fn small_campaign() -> Campaign {
+        // The Figure 11 scheme set (six schemes) on the scaled-down Clos
+        // fabric — small enough for a unit test, large enough to exercise
+        // real queueing and PFC.
+        fig11_campaign(FatTreeParams::small(), 0.3, Duration::from_ms(3), true, 42)
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let campaign = small_campaign();
+        assert!(campaign.len() >= 6);
+        let serial = campaign.run_serial();
+        let parallel = campaign.run_with_threads(campaign.len());
+        assert_eq!(serial.threads, 1);
+        assert!(parallel.threads > 1);
+        assert_eq!(serial.digests(), parallel.digests());
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.scheme, p.scheme);
+            assert_eq!(s.slowdown, p.slowdown);
+            assert_eq!(s.queue_p99, p.queue_p99);
+            assert_eq!(s.pfc, p.pfc);
+            assert_eq!(s.drops, p.drops);
+            assert_eq!(s.flows_completed, p.flows_completed);
+            assert_eq!(
+                s.results.out.events_processed,
+                p.results.out.events_processed
+            );
+        }
+        // The table renders every scenario.
+        let table = parallel.table();
+        for r in &parallel.results {
+            assert!(table.contains(&truncate(&r.name, 26)), "{table}");
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_different_runs() {
+        let campaign = small_campaign();
+        let report = campaign.run_with_threads(3);
+        let digests = report.digests();
+        // Six different schemes on the same workload must not collide.
+        let mut unique = digests.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), digests.len(), "digest collision: {digests:?}");
+    }
+
+    #[test]
+    fn campaign_manifest_round_trips() {
+        let campaign = small_campaign();
+        let manifest = campaign.to_json_string();
+        let back = Campaign::from_json_str(&manifest).unwrap();
+        assert_eq!(back, campaign);
+    }
+
+    #[test]
+    fn run_caps_threads_at_scenario_count() {
+        let one = Campaign::new().with(crate::scenario::ScenarioSpec::new(
+            "solo",
+            TopologyChoice::star(3, Bandwidth::from_gbps(25)),
+            CcSpec::by_label("HPCC"),
+            Duration::from_us(100),
+        ));
+        let report = one.run();
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.results.len(), 1);
+    }
+}

@@ -1,30 +1,74 @@
 //! Building, running and analysing one simulation.
+//!
+//! [`Experiment`] is deliberately opaque: it is constructed through
+//! [`ExperimentBuilder`] (or, one level up, from a declarative
+//! [`crate::scenario::ScenarioSpec`]) so that its invariants — a `SimConfig`
+//! consistent with the congestion-control scheme and the topology's base RTT
+//! — hold by construction instead of by caller discipline.
 
-use hpcc_sim::{SimConfig, SimOutput, Simulator};
+use hpcc_cc::CcAlgorithm;
+use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig, SimOutput, Simulator};
 use hpcc_stats::fct::{FlowFct, SizeBucketStats};
 use hpcc_stats::pfc::{pause_burst_spread, PfcSummary};
 use hpcc_stats::queue::{queue_cdf, queue_percentile};
 use hpcc_stats::series::goodput_series_gbps;
 use hpcc_stats::{FctAnalyzer, FctBucket, Percentiles};
 use hpcc_topology::{NodeKind, TopologySpec};
-use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, SimTime};
+use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, PortId, SimTime};
+
+/// Wire size of a full data packet with the INT budget — the MTU the base-RTT
+/// suggestion is computed against throughout the workspace.
+pub const MTU_WIRE_SIZE: u64 = 1106;
 
 /// One fully specified simulation: a topology, a behavioural configuration
 /// and a flow list, plus a label used in reports.
+///
+/// Construct with [`Experiment::builder`]; inspect with the accessors.
 pub struct Experiment {
-    /// Human-readable label ("HPCC", "DCQCN Kmin=100K", …).
-    pub label: String,
-    /// The network to simulate.
-    pub topo: TopologySpec,
-    /// Host/switch behaviour.
-    pub cfg: SimConfig,
-    /// Flows to inject.
-    pub flows: Vec<FlowSpec>,
-    /// Host NIC rate (used for ideal-FCT computation).
-    pub host_bw: Bandwidth,
+    label: String,
+    topo: TopologySpec,
+    cfg: SimConfig,
+    flows: Vec<FlowSpec>,
+    host_bw: Bandwidth,
 }
 
 impl Experiment {
+    /// Start building an experiment. The builder derives a [`SimConfig`] with
+    /// paper defaults for `cc` from the topology's suggested base RTT.
+    pub fn builder(
+        label: impl Into<String>,
+        topo: TopologySpec,
+        cc: CcAlgorithm,
+        host_bw: Bandwidth,
+    ) -> ExperimentBuilder {
+        ExperimentBuilder::new(label, topo, cc, host_bw)
+    }
+
+    /// Human-readable label ("HPCC", "DCQCN Kmin=100K", …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The network to simulate.
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topo
+    }
+
+    /// Host/switch behaviour.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Flows to inject.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// Host NIC rate (used for ideal-FCT computation).
+    pub fn host_bw(&self) -> Bandwidth {
+        self.host_bw
+    }
+
     /// Run the simulation and wrap the raw output with analysis helpers.
     pub fn run(self) -> ExperimentResults {
         let analyzer = FctAnalyzer::new(self.host_bw, self.cfg.base_rtt, self.cfg.int_enabled);
@@ -39,6 +83,159 @@ impl Experiment {
             out,
             flow_count,
             host_count,
+        }
+    }
+}
+
+/// Fluent constructor for [`Experiment`].
+///
+/// Created via [`Experiment::builder`]. Every setter returns `self`, so a
+/// full experiment reads as one expression:
+///
+/// ```
+/// use hpcc_cc::CcAlgorithm;
+/// use hpcc_core::Experiment;
+/// use hpcc_topology::star;
+/// use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, SimTime};
+///
+/// let bw = Bandwidth::from_gbps(100);
+/// let topo = star(3, bw, Duration::from_us(1));
+/// let hosts = topo.hosts().to_vec();
+/// let exp = Experiment::builder("2-to-1", topo, CcAlgorithm::hpcc_default(), bw)
+///     .duration(Duration::from_ms(1))
+///     .queue_sampling(Duration::from_us(2))
+///     .add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[2], 100_000, SimTime::ZERO))
+///     .add_flow(FlowSpec::new(FlowId(2), hosts[1], hosts[2], 100_000, SimTime::ZERO))
+///     .build();
+/// assert_eq!(exp.flows().len(), 2);
+/// let res = exp.run();
+/// assert_eq!(res.completion_fraction(), 1.0);
+/// ```
+pub struct ExperimentBuilder {
+    label: String,
+    topo: TopologySpec,
+    cfg: SimConfig,
+    flows: Vec<FlowSpec>,
+    host_bw: Bandwidth,
+}
+
+impl ExperimentBuilder {
+    fn new(
+        label: impl Into<String>,
+        topo: TopologySpec,
+        cc: CcAlgorithm,
+        host_bw: Bandwidth,
+    ) -> Self {
+        let base_rtt = topo.suggested_base_rtt(MTU_WIRE_SIZE);
+        let cfg = SimConfig::for_cc(cc, host_bw, base_rtt);
+        ExperimentBuilder {
+            label: label.into(),
+            topo,
+            cfg,
+            flows: Vec::new(),
+            host_bw,
+        }
+    }
+
+    /// Simulation horizon (events after `ZERO + d` are not processed).
+    pub fn duration(mut self, d: Duration) -> Self {
+        self.cfg.end_time = SimTime::ZERO + d;
+        self
+    }
+
+    /// Seed of the deterministic switch RNG (ECN marking, ECMP perturbation).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Loss prevention / recovery mode (PFC, go-back-N, IRN).
+    pub fn flow_control(mut self, mode: FlowControlMode) -> Self {
+        self.cfg.flow_control = mode;
+        self
+    }
+
+    /// Shared buffer per switch in bytes.
+    pub fn buffer_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.buffer_bytes = bytes;
+        self
+    }
+
+    /// Override the ECN marking thresholds.
+    pub fn ecn(mut self, ecn: EcnConfig) -> Self {
+        self.cfg.ecn = Some(ecn);
+        self
+    }
+
+    /// Override the base RTT handed to the congestion-control algorithms
+    /// (and the timers derived from it).
+    pub fn base_rtt(mut self, rtt: Duration) -> Self {
+        self.cfg.base_rtt = rtt;
+        self.cfg.nack_interval = rtt;
+        self.cfg.rto = rtt * 64;
+        self
+    }
+
+    /// Sample all switch data queues into a histogram at this period.
+    pub fn queue_sampling(mut self, interval: Duration) -> Self {
+        self.cfg.queue_sample_interval = Some(interval);
+        self
+    }
+
+    /// Trace one egress port's queue length as a time series.
+    pub fn trace_port(mut self, port: (NodeId, PortId), interval: Duration) -> Self {
+        self.cfg.trace_ports.push(port);
+        self.cfg.trace_interval = interval;
+        self
+    }
+
+    /// Trace the first switch's egress queue towards the given host (the
+    /// bottleneck port of star-shaped micro-benchmarks).
+    pub fn trace_bottleneck_to(self, host_index: usize, interval: Duration) -> Self {
+        let host = self.topo.hosts()[host_index];
+        let sw = self.topo.switches()[0];
+        let port = self.topo.next_hops(sw, host)[0];
+        self.trace_port((sw, port), interval)
+    }
+
+    /// Accumulate per-flow goodput into bins of this width.
+    pub fn goodput_bin(mut self, bin: Duration) -> Self {
+        self.cfg.flow_throughput_bin = Some(bin);
+        self
+    }
+
+    /// Append one flow.
+    pub fn add_flow(mut self, flow: FlowSpec) -> Self {
+        self.flows.push(flow);
+        self
+    }
+
+    /// Append many flows.
+    pub fn flows(mut self, flows: impl IntoIterator<Item = FlowSpec>) -> Self {
+        self.flows.extend(flows);
+        self
+    }
+
+    /// Escape hatch: mutate the underlying [`SimConfig`] directly for knobs
+    /// the builder does not model.
+    pub fn configure(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// The topology under construction (e.g. to pick flow endpoints).
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topo
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Experiment {
+        Experiment {
+            label: self.label,
+            topo: self.topo,
+            cfg: self.cfg,
+            flows: self.flows,
+            host_bw: self.host_bw,
         }
     }
 }
@@ -177,24 +374,17 @@ mod tests {
     fn tiny_experiment() -> Experiment {
         let bw = Bandwidth::from_gbps(100);
         let topo = star(3, bw, Duration::from_us(1));
-        let rtt = topo.suggested_base_rtt(1106);
-        let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), bw, rtt);
-        cfg.end_time = SimTime::from_ms(5);
-        cfg.queue_sample_interval = Some(Duration::from_us(2));
-        cfg.flow_throughput_bin = Some(Duration::from_us(50));
         let hosts = topo.hosts().to_vec();
-        let flows = vec![
-            FlowSpec::new(FlowId(1), hosts[0], hosts[2], 500_000, SimTime::ZERO),
-            FlowSpec::new(FlowId(2), hosts[1], hosts[2], 500_000, SimTime::ZERO),
-            FlowSpec::new(FlowId(3), hosts[0], hosts[1], 2_000, SimTime::from_us(50)),
-        ];
-        Experiment {
-            label: "tiny".to_string(),
-            topo,
-            cfg,
-            flows,
-            host_bw: bw,
-        }
+        Experiment::builder("tiny", topo, CcAlgorithm::hpcc_default(), bw)
+            .duration(Duration::from_ms(5))
+            .queue_sampling(Duration::from_us(2))
+            .goodput_bin(Duration::from_us(50))
+            .flows([
+                FlowSpec::new(FlowId(1), hosts[0], hosts[2], 500_000, SimTime::ZERO),
+                FlowSpec::new(FlowId(2), hosts[1], hosts[2], 500_000, SimTime::ZERO),
+                FlowSpec::new(FlowId(3), hosts[0], hosts[1], 2_000, SimTime::from_us(50)),
+            ])
+            .build()
     }
 
     #[test]

@@ -5,8 +5,13 @@
 //! (`hpcc-workload`), the packet-level simulator (`hpcc-sim`), congestion
 //! control (`hpcc-cc`) and metrics (`hpcc-stats`) — behind three things:
 //!
-//! * [`Experiment`] / [`ExperimentResults`] — build, run and analyse one
-//!   simulation,
+//! * [`scenario`] — the declarative [`ScenarioSpec`]: scenarios as plain,
+//!   serializable data (topology, scheme, workloads, duration, seed,
+//!   tracing),
+//! * [`campaign`] — the [`Campaign`] runner: execute batches of scenarios
+//!   across OS threads with deterministic, bit-identical-to-serial results,
+//! * [`Experiment`] / [`ExperimentResults`] — build (via
+//!   [`experiment::ExperimentBuilder`]), run and analyse one simulation,
 //! * [`presets`] — ready-made scenario builders for every figure in the
 //!   paper's evaluation (§5.2–§5.4),
 //! * [`analysis`] — the Appendix A fluid model (fast convergence to a
@@ -17,9 +22,16 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign;
 pub mod experiment;
+pub mod json;
 pub mod presets;
 pub mod report;
+pub mod scenario;
 
-pub use experiment::{Experiment, ExperimentResults};
+pub use campaign::{Campaign, CampaignReport, ScenarioResult};
+pub use experiment::{Experiment, ExperimentBuilder, ExperimentResults};
 pub use presets::SCHEME_SET_FIG11;
+pub use scenario::{
+    CcSpec, CdfSpec, FlowDecl, ScenarioSpec, TopologyChoice, TraceSpec, WorkloadSpec,
+};

@@ -1,14 +1,19 @@
-//! Ready-made experiment builders for every scenario in the paper's
-//! evaluation (§5.2–§5.4). Each builder takes explicit scale parameters
-//! (durations, sizes, topology scale) so that the figure harnesses can run
-//! laptop-sized versions by default and paper-sized versions on demand.
+//! Ready-made scenario builders for every figure in the paper's evaluation
+//! (§5.2–§5.4). Each builder takes explicit scale parameters (durations,
+//! sizes, topology scale) so that the figure harnesses can run laptop-sized
+//! versions by default and paper-sized versions on demand.
+//!
+//! Every preset returns a declarative [`ScenarioSpec`]: call
+//! [`ScenarioSpec::build`] for the concrete [`crate::Experiment`],
+//! [`ScenarioSpec::run`] to execute it directly, or queue specs into a
+//! [`Campaign`] to run them in parallel.
 
-use crate::experiment::Experiment;
+use crate::campaign::Campaign;
+use crate::scenario::{CcSpec, CdfSpec, FlowDecl, ScenarioSpec, TopologyChoice, WorkloadSpec};
 use hpcc_cc::{CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig};
-use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig};
-use hpcc_topology::{fat_tree, star, testbed_pod, FatTreeParams, TopologySpec};
-use hpcc_workload::{fb_hadoop, websearch, FlowSizeCdf, IncastGenerator, LoadGenerator};
-use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, PortId, SimTime};
+use hpcc_sim::{EcnConfig, FlowControlMode};
+use hpcc_topology::{FatTreeParams, TopologySpec};
+use hpcc_types::{Bandwidth, Duration, NodeId, PortId};
 
 /// The six schemes compared in Figure 11, built for a given line rate and
 /// base RTT.
@@ -34,15 +39,6 @@ pub fn scheme_by_label(label: &str, line_rate: Bandwidth, base_rtt: Duration) ->
     }
 }
 
-/// A `SimConfig` with paper defaults for the given CC on a topology,
-/// including the suggested base RTT.
-fn base_config(cc: CcAlgorithm, topo: &TopologySpec, host_bw: Bandwidth, end: Duration) -> SimConfig {
-    let base_rtt = topo.suggested_base_rtt(1106);
-    let mut cfg = SimConfig::for_cc(cc, host_bw, base_rtt);
-    cfg.end_time = SimTime::ZERO + end;
-    cfg
-}
-
 /// The bottleneck egress port of a star topology towards a given host (the
 /// port traced in the micro-benchmarks).
 pub fn star_egress_to(topo: &TopologySpec, host: NodeId) -> (NodeId, PortId) {
@@ -52,142 +48,116 @@ pub fn star_egress_to(topo: &TopologySpec, host: NodeId) -> (NodeId, PortId) {
 
 /// Figure 6: 2-to-1 congestion on a star, tracing the bottleneck queue.
 /// `use_rx_rate` selects the HPCC-rxRate ablation.
-pub fn two_to_one(use_rx_rate: bool, host_bw: Bandwidth, flow_size: u64, end: Duration) -> Experiment {
-    let topo = star(3, host_bw, Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let cc = CcAlgorithm::Hpcc(HpccConfig {
-        use_rx_rate,
-        ..HpccConfig::default()
-    });
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.trace_ports = vec![star_egress_to(&topo, hosts[2])];
-    cfg.trace_interval = Duration::from_us(1);
-    cfg.queue_sample_interval = Some(Duration::from_us(1));
-    let flows = vec![
-        FlowSpec::new(FlowId(1), hosts[0], hosts[2], flow_size, SimTime::ZERO),
-        FlowSpec::new(FlowId(2), hosts[1], hosts[2], flow_size, SimTime::ZERO),
-    ];
-    Experiment {
-        label: if use_rx_rate { "HPCC-rxRate" } else { "HPCC (txRate)" }.to_string(),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+pub fn two_to_one(
+    use_rx_rate: bool,
+    host_bw: Bandwidth,
+    flow_size: u64,
+    end: Duration,
+) -> ScenarioSpec {
+    let label = if use_rx_rate {
+        "HPCC-rxRate"
+    } else {
+        "HPCC (txRate)"
+    };
+    ScenarioSpec::new(
+        label,
+        TopologyChoice::star(3, host_bw),
+        CcSpec::Hpcc(HpccConfig {
+            use_rx_rate,
+            ..HpccConfig::default()
+        }),
+        end,
+    )
+    .with_workload(WorkloadSpec::Explicit(vec![
+        FlowDecl::new(1, 0, 2, flow_size, Duration::ZERO),
+        FlowDecl::new(2, 1, 2, flow_size, Duration::ZERO),
+    ]))
+    .with_bottleneck_trace(2, Duration::from_us(1))
+    .with_queue_sampling(Duration::from_us(1))
 }
 
 /// Figures 13/14 (and 9c/9d): an N-to-1 incast on a star topology, with the
 /// bottleneck queue traced and per-flow goodput recorded.
 pub fn incast_on_star(
-    label: &str,
-    cc: CcAlgorithm,
+    label: impl Into<String>,
+    cc: impl Into<CcSpec>,
     n_senders: usize,
     flow_size: u64,
     host_bw: Bandwidth,
     end: Duration,
-) -> Experiment {
-    let topo = star(n_senders + 1, host_bw, Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let receiver = hosts[n_senders];
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.trace_ports = vec![star_egress_to(&topo, receiver)];
-    cfg.trace_interval = Duration::from_us(1);
-    cfg.queue_sample_interval = Some(Duration::from_us(1));
-    cfg.flow_throughput_bin = Some(Duration::from_us(10));
-    let flows = hpcc_workload::incast(&hosts[..n_senders], receiver, flow_size, SimTime::ZERO, 1);
-    Experiment {
-        label: label.to_string(),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+) -> ScenarioSpec {
+    let flows = (0..n_senders)
+        .map(|i| FlowDecl::new(1 + i as u64, i, n_senders, flow_size, Duration::ZERO))
+        .collect();
+    ScenarioSpec::new(label, TopologyChoice::star(n_senders + 1, host_bw), cc, end)
+        .with_workload(WorkloadSpec::Explicit(flows))
+        .with_bottleneck_trace(n_senders, Duration::from_us(1))
+        .with_queue_sampling(Duration::from_us(1))
+        .with_goodput_bin(Duration::from_us(10))
 }
 
 /// Figure 9a/9b: a long flow at line rate, a 1 MB short flow joins on the
 /// same bottleneck and leaves; goodput of both is recorded.
-pub fn long_short(cc: CcAlgorithm, host_bw: Bandwidth, end: Duration) -> Experiment {
-    let topo = star(3, host_bw, Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.trace_ports = vec![star_egress_to(&topo, hosts[2])];
-    cfg.trace_interval = Duration::from_us(2);
-    cfg.flow_throughput_bin = Some(Duration::from_us(20));
-    cfg.queue_sample_interval = Some(Duration::from_us(2));
+pub fn long_short(cc: impl Into<CcSpec>, host_bw: Bandwidth, end: Duration) -> ScenarioSpec {
+    let cc = cc.into();
     // The long flow occupies the whole run; the short 1 MB flow joins at 25%
     // of the horizon.
     let long_size = host_bw.bytes_in(end);
-    let flows = vec![
-        FlowSpec::new(FlowId(1), hosts[0], hosts[2], long_size, SimTime::ZERO),
-        FlowSpec::new(
-            FlowId(2),
-            hosts[1],
-            hosts[2],
-            1_000_000,
-            SimTime::ZERO + end.mul_f64(0.25),
-        ),
-    ];
-    Experiment {
-        label: format!("long-short {}", cc.label()),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+    ScenarioSpec::new(
+        format!("long-short {}", cc.scheme_label()),
+        TopologyChoice::star(3, host_bw),
+        cc,
+        end,
+    )
+    .with_workload(WorkloadSpec::Explicit(vec![
+        FlowDecl::new(1, 0, 2, long_size, Duration::ZERO),
+        FlowDecl::new(2, 1, 2, 1_000_000, end.mul_f64(0.25)),
+    ]))
+    .with_bottleneck_trace(2, Duration::from_us(2))
+    .with_queue_sampling(Duration::from_us(2))
+    .with_goodput_bin(Duration::from_us(20))
 }
 
 /// Figure 9e/9f: two elephant flows saturate a link while a third host sends
 /// a stream of 1 KB mice through it; the mice FCTs give the latency CDF.
 pub fn elephant_mice(
-    cc: CcAlgorithm,
+    cc: impl Into<CcSpec>,
     host_bw: Bandwidth,
     mice_interval: Duration,
     end: Duration,
-) -> Experiment {
-    let topo = star(4, host_bw, Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.queue_sample_interval = Some(Duration::from_us(1));
+) -> ScenarioSpec {
+    let cc = cc.into();
     let elephant_size = host_bw.bytes_in(end);
     let mut flows = vec![
-        FlowSpec::new(FlowId(1), hosts[0], hosts[3], elephant_size, SimTime::ZERO),
-        FlowSpec::new(FlowId(2), hosts[1], hosts[3], elephant_size, SimTime::ZERO),
+        FlowDecl::new(1, 0, 3, elephant_size, Duration::ZERO),
+        FlowDecl::new(2, 1, 3, elephant_size, Duration::ZERO),
     ];
     let mut t = Duration::from_us(50);
     let mut id = 100;
     while t < end {
-        flows.push(FlowSpec::new(
-            FlowId(id),
-            hosts[2],
-            hosts[3],
-            1_000,
-            SimTime::ZERO + t,
-        ));
+        flows.push(FlowDecl::new(id, 2, 3, 1_000, t));
         id += 1;
         t += mice_interval;
     }
-    Experiment {
-        label: format!("elephant-mice {}", cc.label()),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+    ScenarioSpec::new(
+        format!("elephant-mice {}", cc.scheme_label()),
+        TopologyChoice::star(4, host_bw),
+        cc,
+        end,
+    )
+    .with_workload(WorkloadSpec::Explicit(flows))
+    .with_queue_sampling(Duration::from_us(1))
 }
 
 /// Figure 9g/9h: four flows join a bottleneck one after another; their
 /// goodput over time shows (or fails to show) fair sharing.
 pub fn fairness(
-    cc: CcAlgorithm,
+    cc: impl Into<CcSpec>,
     host_bw: Bandwidth,
     join_interval: Duration,
     end: Duration,
-) -> Experiment {
-    let topo = star(5, host_bw, Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.flow_throughput_bin = Some(join_interval / 20);
-    cfg.queue_sample_interval = Some(Duration::from_us(2));
+) -> ScenarioSpec {
+    let cc = cc.into();
     let mut flows = Vec::new();
     for i in 0..4u64 {
         // Each flow is sized so that, under a fair share, it stays active
@@ -195,21 +165,23 @@ pub fn fairness(
         let start = join_interval * i;
         let active = end.saturating_sub(start);
         let size = (host_bw.bytes_in(active) as f64 * 0.4) as u64;
-        flows.push(FlowSpec::new(
-            FlowId(i + 1),
-            hosts[i as usize],
-            hosts[4],
+        flows.push(FlowDecl::new(
+            i + 1,
+            i as usize,
+            4,
             size.max(1_000_000),
-            SimTime::ZERO + start,
+            start,
         ));
     }
-    Experiment {
-        label: format!("fairness {}", cc.label()),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+    ScenarioSpec::new(
+        format!("fairness {}", cc.scheme_label()),
+        TopologyChoice::star(5, host_bw),
+        cc,
+        end,
+    )
+    .with_workload(WorkloadSpec::Explicit(flows))
+    .with_queue_sampling(Duration::from_us(2))
+    .with_goodput_bin(join_interval / 20)
 }
 
 /// Background + optional incast workload on the testbed PoD (§5.1/§5.2,
@@ -217,135 +189,122 @@ pub fn fairness(
 /// Agg switch, driven by the WebSearch trace.
 #[allow(clippy::too_many_arguments)]
 pub fn testbed_websearch(
-    label: &str,
-    cc: CcAlgorithm,
+    label: impl Into<String>,
+    cc: impl Into<CcSpec>,
     load: f64,
     end: Duration,
     incast_fan_in: Option<usize>,
     ecn_override: Option<EcnConfig>,
     flow_control: FlowControlMode,
     seed: u64,
-) -> Experiment {
-    let host_bw = Bandwidth::from_gbps(25);
-    let topo = testbed_pod(Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.flow_control = flow_control;
-    cfg.queue_sample_interval = Some(Duration::from_us(5));
-    if let Some(ecn) = ecn_override {
-        cfg.ecn = Some(ecn);
-    }
-    let mut flows = LoadGenerator::new(hosts.clone(), host_bw, load, websearch(), seed)
-        .generate(end);
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(label, TopologyChoice::testbed_pod(), cc, end)
+        .with_seed(seed)
+        .with_flow_control(flow_control)
+        .with_queue_sampling(Duration::from_us(5))
+        .with_workload(WorkloadSpec::poisson(CdfSpec::WebSearch, load));
     if let Some(fan_in) = incast_fan_in {
-        let inc = IncastGenerator::paper_default(hosts, host_bw, seed ^ 0xabcd)
-            .with_fan_in(fan_in)
-            .with_flow_size(500_000)
-            .with_capacity_fraction(0.02);
-        flows.extend(inc.generate(end));
+        spec = spec.with_workload(WorkloadSpec::incast(fan_in, 500_000, 0.02));
     }
-    Experiment {
-        label: label.to_string(),
-        topo,
-        cfg,
-        flows,
-        host_bw,
+    if let Some(ecn) = ecn_override {
+        spec = spec.with_ecn(ecn);
     }
+    spec
 }
 
 /// Background + optional incast workload on the three-tier Clos fabric
 /// (§5.3, Figures 11/12), driven by the FB_Hadoop trace.
 #[allow(clippy::too_many_arguments)]
 pub fn fattree_fb_hadoop(
-    label: &str,
-    cc: CcAlgorithm,
+    label: impl Into<String>,
+    cc: impl Into<CcSpec>,
     params: FatTreeParams,
     load: f64,
     end: Duration,
     with_incast: bool,
     flow_control: FlowControlMode,
     seed: u64,
-) -> Experiment {
-    let topo = fat_tree(params);
-    let host_bw = params.host_bw;
-    let hosts = topo.hosts().to_vec();
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.flow_control = flow_control;
-    cfg.queue_sample_interval = Some(Duration::from_us(5));
-    let mut flows =
-        LoadGenerator::new(hosts.clone(), host_bw, load, fb_hadoop(), seed).generate(end);
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(label, TopologyChoice::FatTree(params), cc, end)
+        .with_seed(seed)
+        .with_flow_control(flow_control)
+        .with_queue_sampling(Duration::from_us(5))
+        .with_workload(WorkloadSpec::poisson(CdfSpec::FbHadoop, load));
     if with_incast {
-        let fan_in = 60.min(hosts.len().saturating_sub(1));
-        let inc = IncastGenerator::paper_default(hosts, host_bw, seed ^ 0x5151)
-            .with_fan_in(fan_in)
-            .with_flow_size(500_000)
-            .with_capacity_fraction(0.02);
-        flows.extend(inc.generate(end));
+        let fan_in = 60.min(params.total_hosts().saturating_sub(1));
+        spec = spec.with_workload(WorkloadSpec::incast(fan_in, 500_000, 0.02));
     }
-    Experiment {
-        label: label.to_string(),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+    spec
+}
+
+/// The Figure 11 comparison as a campaign: the six-scheme set on the Clos
+/// fabric under FB_Hadoop background load (optionally plus 2% incast), one
+/// scenario per scheme, sharing one seed. Run it with
+/// [`Campaign::run`] for a parallel sweep or [`Campaign::run_serial`] for
+/// the reference execution — the results are bit-identical.
+pub fn fig11_campaign(
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    with_incast: bool,
+    seed: u64,
+) -> Campaign {
+    Campaign::from_scenarios(
+        SCHEME_SET_FIG11
+            .iter()
+            .map(|label| {
+                fattree_fb_hadoop(
+                    *label,
+                    CcSpec::by_label(*label),
+                    params,
+                    load,
+                    end,
+                    with_incast,
+                    FlowControlMode::Lossless,
+                    seed,
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Figure 1 (production PFC telemetry, reproduced in simulation): DCQCN on
 /// the testbed PoD with a small buffer and repeated large incasts, so that
 /// PFC pauses propagate from the ToRs towards hosts and the Agg switch.
-pub fn pfc_storm(load: f64, fan_in: usize, end: Duration, seed: u64) -> Experiment {
-    let host_bw = Bandwidth::from_gbps(25);
-    let topo = testbed_pod(Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let cc = CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(host_bw));
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.buffer_bytes = 4_000_000;
-    cfg.queue_sample_interval = Some(Duration::from_us(5));
-    let mut flows = LoadGenerator::new(hosts.clone(), host_bw, load, websearch(), seed)
-        .generate(end);
-    let inc = IncastGenerator::paper_default(hosts, host_bw, seed ^ 0x77)
-        .with_fan_in(fan_in)
-        .with_flow_size(500_000)
-        .with_capacity_fraction(0.05);
-    flows.extend(inc.generate(end));
-    Experiment {
-        label: "PFC storm (DCQCN)".to_string(),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+pub fn pfc_storm(load: f64, fan_in: usize, end: Duration, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "PFC storm (DCQCN)",
+        TopologyChoice::testbed_pod(),
+        CcSpec::by_label("DCQCN"),
+        end,
+    )
+    .with_seed(seed)
+    .with_buffer_bytes(4_000_000)
+    .with_queue_sampling(Duration::from_us(5))
+    .with_workload(WorkloadSpec::poisson(CdfSpec::WebSearch, load))
+    .with_workload(WorkloadSpec::incast(fan_in, 500_000, 0.05))
 }
 
 /// Custom flow-size distribution variant of [`testbed_websearch`] used by
 /// sensitivity studies.
 pub fn testbed_with_cdf(
-    label: &str,
-    cc: CcAlgorithm,
-    cdf: FlowSizeCdf,
+    label: impl Into<String>,
+    cc: impl Into<CcSpec>,
+    cdf: CdfSpec,
     load: f64,
     end: Duration,
     seed: u64,
-) -> Experiment {
-    let host_bw = Bandwidth::from_gbps(25);
-    let topo = testbed_pod(Duration::from_us(1));
-    let hosts = topo.hosts().to_vec();
-    let mut cfg = base_config(cc, &topo, host_bw, end);
-    cfg.queue_sample_interval = Some(Duration::from_us(5));
-    let flows = LoadGenerator::new(hosts, host_bw, load, cdf, seed).generate(end);
-    Experiment {
-        label: label.to_string(),
-        topo,
-        cfg,
-        flows,
-        host_bw,
-    }
+) -> ScenarioSpec {
+    ScenarioSpec::new(label, TopologyChoice::testbed_pod(), cc, end)
+        .with_seed(seed)
+        .with_queue_sampling(Duration::from_us(5))
+        .with_workload(WorkloadSpec::poisson(cdf, load))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpcc_types::FlowId;
 
     #[test]
     fn scheme_labels_round_trip() {
@@ -365,110 +324,163 @@ mod tests {
 
     #[test]
     fn two_to_one_preset_shape() {
-        let e = two_to_one(false, Bandwidth::from_gbps(100), 1_000_000, Duration::from_ms(1));
-        assert_eq!(e.flows.len(), 2);
-        assert_eq!(e.topo.hosts().len(), 3);
-        assert_eq!(e.cfg.trace_ports.len(), 1);
-        assert!(e.cfg.int_enabled);
-        let rx = two_to_one(true, Bandwidth::from_gbps(100), 1_000_000, Duration::from_ms(1));
-        assert_eq!(rx.label, "HPCC-rxRate");
+        let spec = two_to_one(
+            false,
+            Bandwidth::from_gbps(100),
+            1_000_000,
+            Duration::from_ms(1),
+        );
+        let e = spec.build();
+        assert_eq!(e.flows().len(), 2);
+        assert_eq!(e.topology().hosts().len(), 3);
+        assert_eq!(e.config().trace_ports.len(), 1);
+        assert!(e.config().int_enabled);
+        let rx = two_to_one(
+            true,
+            Bandwidth::from_gbps(100),
+            1_000_000,
+            Duration::from_ms(1),
+        );
+        assert_eq!(rx.name, "HPCC-rxRate");
     }
 
     #[test]
     fn incast_preset_has_n_flows_to_one_receiver() {
         let e = incast_on_star(
             "HPCC",
-            CcAlgorithm::hpcc_default(),
+            CcSpec::by_label("HPCC"),
             16,
             500_000,
             Bandwidth::from_gbps(100),
             Duration::from_ms(1),
-        );
-        assert_eq!(e.flows.len(), 16);
-        let recv = e.flows[0].dst;
-        assert!(e.flows.iter().all(|f| f.dst == recv));
+        )
+        .build();
+        assert_eq!(e.flows().len(), 16);
+        let recv = e.flows()[0].dst;
+        assert!(e.flows().iter().all(|f| f.dst == recv));
+        assert_eq!(e.flows()[0].id, FlowId(1));
     }
 
     #[test]
     fn testbed_preset_generates_background_and_incast() {
         let plain = testbed_websearch(
             "DCQCN",
-            scheme_by_label("DCQCN", Bandwidth::from_gbps(25), Duration::from_us(9)),
+            CcSpec::by_label("DCQCN"),
             0.3,
             Duration::from_ms(20),
             None,
             None,
             FlowControlMode::Lossless,
             7,
-        );
-        assert!(plain.flows.len() > 10);
+        )
+        .build();
+        assert!(plain.flows().len() > 10);
         let with_incast = testbed_websearch(
             "DCQCN+incast",
-            scheme_by_label("DCQCN", Bandwidth::from_gbps(25), Duration::from_us(9)),
+            CcSpec::by_label("DCQCN"),
             0.3,
             Duration::from_ms(20),
             Some(16),
             None,
             FlowControlMode::Lossless,
             7,
-        );
-        assert!(with_incast.flows.len() > plain.flows.len());
+        )
+        .build();
+        assert!(with_incast.flows().len() > plain.flows().len());
+        // The background workload is unchanged by adding the incast.
+        let background = |e: &crate::Experiment| {
+            e.flows()
+                .iter()
+                .filter(|f| f.id.raw() < 10_000_000)
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(background(&plain), background(&with_incast));
         // ECN thresholds can be swept (Figure 3).
         let swept = testbed_websearch(
             "DCQCN Kmin=12K",
-            scheme_by_label("DCQCN", Bandwidth::from_gbps(25), Duration::from_us(9)),
+            CcSpec::by_label("DCQCN"),
             0.3,
             Duration::from_ms(10),
             None,
             Some(EcnConfig::thresholds_kb(12, 50)),
             FlowControlMode::Lossless,
             7,
-        );
-        assert_eq!(swept.cfg.ecn.unwrap().kmin_bytes, 12_000);
+        )
+        .build();
+        assert_eq!(swept.config().ecn.unwrap().kmin_bytes, 12_000);
     }
 
     #[test]
     fn fattree_preset_small_scale() {
         let e = fattree_fb_hadoop(
             "HPCC",
-            CcAlgorithm::hpcc_default(),
+            CcSpec::by_label("HPCC"),
             FatTreeParams::small(),
             0.3,
             Duration::from_ms(10),
             true,
             FlowControlMode::Lossless,
             3,
+        )
+        .build();
+        assert_eq!(
+            e.topology().hosts().len(),
+            FatTreeParams::small().total_hosts()
         );
-        assert_eq!(e.topo.hosts().len(), FatTreeParams::small().total_hosts());
-        assert!(e.flows.len() > 10);
-        assert!(e.flows.iter().any(|f| f.size == 500_000), "incast flows present");
+        assert!(e.flows().len() > 10);
+        assert!(
+            e.flows().iter().any(|f| f.size == 500_000),
+            "incast flows present"
+        );
+    }
+
+    #[test]
+    fn fig11_campaign_covers_the_scheme_set() {
+        let campaign = fig11_campaign(FatTreeParams::small(), 0.3, Duration::from_ms(1), true, 5);
+        assert_eq!(campaign.len(), SCHEME_SET_FIG11.len());
+        for (spec, label) in campaign.scenarios().iter().zip(SCHEME_SET_FIG11) {
+            assert_eq!(spec.name, label);
+            assert_eq!(spec.scheme_label(), label);
+            assert_eq!(spec.seed, 5);
+            assert_eq!(spec.workloads.len(), 2);
+        }
     }
 
     #[test]
     fn micro_benchmark_presets_build() {
         let bw = Bandwidth::from_gbps(100);
-        let ls = long_short(CcAlgorithm::hpcc_default(), bw, Duration::from_ms(2));
-        assert_eq!(ls.flows.len(), 2);
-        assert!(ls.flows[1].start > ls.flows[0].start);
+        let ls = long_short(CcSpec::by_label("HPCC"), bw, Duration::from_ms(2)).build();
+        assert_eq!(ls.flows().len(), 2);
+        assert!(ls.flows()[1].start > ls.flows()[0].start);
         let em = elephant_mice(
-            CcAlgorithm::hpcc_default(),
+            CcSpec::by_label("HPCC"),
             bw,
             Duration::from_us(100),
             Duration::from_ms(1),
-        );
-        assert!(em.flows.len() > 5);
-        let fair = fairness(CcAlgorithm::hpcc_default(), bw, Duration::from_ms(1), Duration::from_ms(5));
-        assert_eq!(fair.flows.len(), 4);
-        let storm = pfc_storm(0.3, 16, Duration::from_ms(5), 1);
-        assert!(!storm.flows.is_empty());
+        )
+        .build();
+        assert!(em.flows().len() > 5);
+        let fair = fairness(
+            CcSpec::by_label("HPCC"),
+            bw,
+            Duration::from_ms(1),
+            Duration::from_ms(5),
+        )
+        .build();
+        assert_eq!(fair.flows().len(), 4);
+        let storm = pfc_storm(0.3, 16, Duration::from_ms(5), 1).build();
+        assert!(!storm.flows().is_empty());
+        assert_eq!(storm.config().buffer_bytes, 4_000_000);
         let custom = testbed_with_cdf(
             "custom",
-            CcAlgorithm::hpcc_default(),
-            hpcc_workload::fixed_size(10_000),
+            CcSpec::by_label("HPCC"),
+            CdfSpec::Fixed(10_000),
             0.2,
             Duration::from_ms(5),
             2,
-        );
-        assert!(custom.flows.iter().all(|f| f.size == 10_000));
+        )
+        .build();
+        assert!(custom.flows().iter().all(|f| f.size == 10_000));
     }
 }

@@ -120,31 +120,42 @@ pub fn goodput_trace(series_gbps: &[f64], bin: Duration, max_points: usize) -> S
     writeln!(s, "{:>12} {:>12}", "time (us)", "Gbps").unwrap();
     let step = (series_gbps.len() / max_points.max(1)).max(1);
     for (i, g) in series_gbps.iter().enumerate().step_by(step) {
-        writeln!(s, "{:>12.1} {:>12.2}", (i as u64 * bin.as_ns()) as f64 / 1000.0, g).unwrap();
+        writeln!(
+            s,
+            "{:>12.1} {:>12.2}",
+            (i as u64 * bin.as_ns()) as f64 / 1000.0,
+            g
+        )
+        .unwrap();
     }
     s
 }
 
-fn truncate(s: &str, n: usize) -> String {
+/// Truncate a label to at most `n` bytes without splitting a UTF-8
+/// character (shared by the report tables and the campaign table).
+pub(crate) fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
-        s.to_string()
-    } else {
-        s[..n].to_string()
+        return s.to_string();
     }
+    let mut end = n;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    s[..end].to_string()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::presets::incast_on_star;
-    use hpcc_cc::CcAlgorithm;
+    use crate::scenario::CcSpec;
     use hpcc_stats::fct::websearch_buckets;
     use hpcc_types::{Bandwidth, SimTime};
 
     fn quick_result() -> ExperimentResults {
         incast_on_star(
             "HPCC",
-            CcAlgorithm::hpcc_default(),
+            CcSpec::by_label("HPCC"),
             4,
             200_000,
             Bandwidth::from_gbps(100),
@@ -169,9 +180,8 @@ mod tests {
 
     #[test]
     fn traces_are_downsampled() {
-        let series: Vec<(SimTime, u64)> = (0..1000)
-            .map(|i| (SimTime::from_us(i), (i * 100) as u64))
-            .collect();
+        let series: Vec<(SimTime, u64)> =
+            (0..1000).map(|i| (SimTime::from_us(i), i * 100)).collect();
         let txt = queue_trace(&series, 50);
         let lines = txt.lines().count();
         assert!(lines <= 52, "got {lines} lines");
@@ -183,5 +193,8 @@ mod tests {
     fn label_truncation() {
         assert_eq!(truncate("short", 10), "short");
         assert_eq!(truncate("averyverylonglabel", 6), "averyv");
+        // Never splits a multi-byte character ("µ" is 2 bytes).
+        assert_eq!(truncate("µµµµ", 5), "µµ");
+        assert_eq!(truncate("aµb", 2), "a");
     }
 }

@@ -1,0 +1,1086 @@
+//! The declarative scenario API.
+//!
+//! A [`ScenarioSpec`] is a plain-data description of one simulation — which
+//! network ([`TopologyChoice`]), which congestion control ([`CcSpec`]), which
+//! traffic ([`WorkloadSpec`]), for how long, under which seed, with which
+//! tracing options ([`TraceSpec`]). Because it is data, a scenario can be
+//! cloned, swept over, serialized to JSON (campaign manifests), queued into a
+//! [`crate::campaign::Campaign`] and executed on any thread — the paper's
+//! whole evaluation grid (six schemes × topologies × workloads × parameter
+//! sweeps) becomes a list of values.
+//!
+//! [`ScenarioSpec::build`] resolves the description into a concrete
+//! [`Experiment`] through [`ExperimentBuilder`]: the topology is
+//! instantiated, the CC label is resolved against the line rate and the
+//! topology's suggested base RTT, and every workload draws from its own
+//! deterministic seed stream derived from the scenario seed — so the same
+//! spec always yields the bit-identical experiment, no matter where or when
+//! it is built.
+
+use crate::experiment::{Experiment, ExperimentBuilder, ExperimentResults, MTU_WIRE_SIZE};
+use crate::json::{obj, JsonError, JsonValue};
+use crate::presets::scheme_by_label;
+use hpcc_cc::{CcAlgorithm, DcqcnConfig, HpccConfig, HpccReactionMode};
+use hpcc_sim::{EcnConfig, FlowControlMode};
+use hpcc_topology::{
+    dumbbell, fat_tree, leaf_spine, star, testbed_pod, FatTreeParams, TopologySpec,
+};
+use hpcc_types::rng::derive_seed;
+use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, SimTime};
+use hpcc_workload::{
+    fb_hadoop, fixed_size, websearch, FlowSizeCdf, IncastGenerator, LoadGenerator,
+};
+
+/// Which network a scenario runs on, as plain data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyChoice {
+    /// A single switch with `hosts` hosts.
+    Star {
+        /// Number of hosts.
+        hosts: usize,
+        /// Host NIC bandwidth.
+        host_bw: Bandwidth,
+        /// One-way propagation delay of every link.
+        link_delay: Duration,
+    },
+    /// Two switches joined by one bottleneck link.
+    Dumbbell {
+        /// Hosts on the left switch.
+        left: usize,
+        /// Hosts on the right switch.
+        right: usize,
+        /// Host NIC bandwidth.
+        host_bw: Bandwidth,
+        /// Bandwidth of the switch-to-switch bottleneck.
+        core_bw: Bandwidth,
+        /// One-way propagation delay of every link.
+        link_delay: Duration,
+    },
+    /// The paper's 32-server / 4-ToR / 1-Agg testbed PoD (§5.1), 25 Gbps
+    /// NICs.
+    TestbedPod {
+        /// One-way propagation delay of every link.
+        link_delay: Duration,
+    },
+    /// A two-tier leaf-spine fabric.
+    LeafSpine {
+        /// Number of leaf (ToR) switches.
+        leaves: usize,
+        /// Number of spine switches.
+        spines: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+        /// Host NIC bandwidth.
+        host_bw: Bandwidth,
+        /// Leaf-spine link bandwidth.
+        fabric_bw: Bandwidth,
+        /// One-way propagation delay of every link.
+        link_delay: Duration,
+    },
+    /// The three-tier Clos fabric of §5.1 ("FatTree" in the paper).
+    FatTree(FatTreeParams),
+}
+
+impl TopologyChoice {
+    /// A star with the conventional 1 µs link delay.
+    pub fn star(hosts: usize, host_bw: Bandwidth) -> Self {
+        TopologyChoice::Star {
+            hosts,
+            host_bw,
+            link_delay: Duration::from_us(1),
+        }
+    }
+
+    /// The testbed PoD with the conventional 1 µs link delay.
+    pub fn testbed_pod() -> Self {
+        TopologyChoice::TestbedPod {
+            link_delay: Duration::from_us(1),
+        }
+    }
+
+    /// Instantiate the topology.
+    pub fn build(&self) -> TopologySpec {
+        match *self {
+            TopologyChoice::Star {
+                hosts,
+                host_bw,
+                link_delay,
+            } => star(hosts, host_bw, link_delay),
+            TopologyChoice::Dumbbell {
+                left,
+                right,
+                host_bw,
+                core_bw,
+                link_delay,
+            } => dumbbell(left, right, host_bw, core_bw, link_delay),
+            TopologyChoice::TestbedPod { link_delay } => testbed_pod(link_delay),
+            TopologyChoice::LeafSpine {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                host_bw,
+                fabric_bw,
+                link_delay,
+            } => leaf_spine(
+                leaves,
+                spines,
+                hosts_per_leaf,
+                host_bw,
+                fabric_bw,
+                link_delay,
+            ),
+            TopologyChoice::FatTree(params) => fat_tree(params),
+        }
+    }
+
+    /// Host NIC bandwidth of this topology.
+    pub fn host_bw(&self) -> Bandwidth {
+        match *self {
+            TopologyChoice::Star { host_bw, .. }
+            | TopologyChoice::Dumbbell { host_bw, .. }
+            | TopologyChoice::LeafSpine { host_bw, .. } => host_bw,
+            TopologyChoice::TestbedPod { .. } => Bandwidth::from_gbps(25),
+            TopologyChoice::FatTree(params) => params.host_bw,
+        }
+    }
+}
+
+/// Which congestion control the hosts run, as plain data.
+///
+/// `Label` names one of the paper's six schemes and is resolved against the
+/// scenario's line rate and base RTT at build time; the other variants carry
+/// the explicit parameters the paper's sweeps vary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CcSpec {
+    /// A scheme from [`crate::presets::SCHEME_SET_FIG11`] with paper-default
+    /// parameters.
+    Label(String),
+    /// HPCC with explicit parameters (the §3.4/§5.4 ablations and the W_AI
+    /// sweep).
+    Hpcc(HpccConfig),
+    /// DCQCN with explicit rate-timer settings (the Figure 2 sweep).
+    DcqcnTimers {
+        /// Rate-increase timer `Ti`.
+        ti: Duration,
+        /// Rate-decrease minimum interval `Td`.
+        td: Duration,
+    },
+}
+
+impl CcSpec {
+    /// Scheme by Figure-11 label ("HPCC", "DCQCN", "DCQCN+win", "TIMELY",
+    /// "TIMELY+win", "DCTCP").
+    pub fn by_label(label: impl Into<String>) -> Self {
+        CcSpec::Label(label.into())
+    }
+
+    /// The display label this spec resolves to.
+    pub fn scheme_label(&self) -> String {
+        match self {
+            CcSpec::Label(l) => l.clone(),
+            CcSpec::Hpcc(cfg) => CcAlgorithm::Hpcc(*cfg).label().to_string(),
+            CcSpec::DcqcnTimers { .. } => "DCQCN".to_string(),
+        }
+    }
+
+    /// Resolve into a concrete algorithm for the given line rate and base
+    /// RTT.
+    pub fn resolve(&self, line_rate: Bandwidth, base_rtt: Duration) -> CcAlgorithm {
+        match self {
+            CcSpec::Label(label) => scheme_by_label(label, line_rate, base_rtt),
+            CcSpec::Hpcc(cfg) => CcAlgorithm::Hpcc(*cfg),
+            CcSpec::DcqcnTimers { ti, td } => {
+                CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(line_rate).with_timers(*ti, *td))
+            }
+        }
+    }
+}
+
+impl From<&str> for CcSpec {
+    fn from(label: &str) -> Self {
+        CcSpec::by_label(label)
+    }
+}
+
+impl From<HpccConfig> for CcSpec {
+    fn from(cfg: HpccConfig) -> Self {
+        CcSpec::Hpcc(cfg)
+    }
+}
+
+/// A flow-size distribution, as plain data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CdfSpec {
+    /// The DCTCP WebSearch trace (§5.1).
+    WebSearch,
+    /// The FB_Hadoop trace (§5.1).
+    FbHadoop,
+    /// Every flow has the same size.
+    Fixed(u64),
+    /// Explicit `(size, cumulative probability)` knee points.
+    Custom(Vec<(u64, f64)>),
+}
+
+impl CdfSpec {
+    /// Instantiate the sampler.
+    pub fn build(&self) -> FlowSizeCdf {
+        match self {
+            CdfSpec::WebSearch => websearch(),
+            CdfSpec::FbHadoop => fb_hadoop(),
+            CdfSpec::Fixed(size) => fixed_size(*size),
+            CdfSpec::Custom(points) => FlowSizeCdf::new("Custom", points.clone()),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CdfSpec::WebSearch => "WebSearch",
+            CdfSpec::FbHadoop => "FB_Hadoop",
+            CdfSpec::Fixed(_) => "Fixed",
+            CdfSpec::Custom(_) => "Custom",
+        }
+    }
+}
+
+/// One explicitly placed flow, endpoints given as host *indices* into the
+/// topology's host list (so the declaration stays valid before the topology
+/// is instantiated).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowDecl {
+    /// Flow identifier.
+    pub id: u64,
+    /// Index of the sending host.
+    pub src_host: usize,
+    /// Index of the receiving host.
+    pub dst_host: usize,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Start time, relative to the scenario start.
+    pub start: Duration,
+}
+
+impl FlowDecl {
+    /// Declare one flow.
+    pub fn new(id: u64, src_host: usize, dst_host: usize, size: u64, start: Duration) -> Self {
+        FlowDecl {
+            id,
+            src_host,
+            dst_host,
+            size,
+            start,
+        }
+    }
+}
+
+/// Traffic injected into a scenario, as plain data. A scenario carries a
+/// list of workloads whose flows are merged; each workload draws from its
+/// own seed stream derived from the scenario seed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// Poisson flow arrivals between uniformly random distinct host pairs at
+    /// a target fraction of aggregate host capacity.
+    Poisson {
+        /// Flow-size distribution.
+        cdf: CdfSpec,
+        /// Target average load in `(0, 1]`.
+        load: f64,
+        /// First flow id assigned.
+        first_flow_id: u64,
+    },
+    /// Repeating N-to-1 bursts at a target fraction of network capacity
+    /// (§5.3's "incast traffic load is 2% of the network capacity").
+    Incast {
+        /// Senders per burst.
+        fan_in: usize,
+        /// Bytes per sender per burst.
+        flow_size: u64,
+        /// Fraction of aggregate host capacity consumed by incast traffic.
+        capacity_fraction: f64,
+        /// First flow id assigned.
+        first_flow_id: u64,
+    },
+    /// Explicitly placed flows (micro-benchmarks).
+    Explicit(Vec<FlowDecl>),
+}
+
+impl WorkloadSpec {
+    /// Poisson background load with the conventional id range (from 0).
+    pub fn poisson(cdf: CdfSpec, load: f64) -> Self {
+        WorkloadSpec::Poisson {
+            cdf,
+            load,
+            first_flow_id: 0,
+        }
+    }
+
+    /// Repeating incast bursts with the conventional id range (from 10M, so
+    /// ids never collide with background flows).
+    pub fn incast(fan_in: usize, flow_size: u64, capacity_fraction: f64) -> Self {
+        WorkloadSpec::Incast {
+            fan_in,
+            flow_size,
+            capacity_fraction,
+            first_flow_id: 10_000_000,
+        }
+    }
+
+    /// Generate this workload's flows for a concrete host list.
+    fn generate(
+        &self,
+        topo: &TopologySpec,
+        host_bw: Bandwidth,
+        duration: Duration,
+        seed: u64,
+    ) -> Vec<FlowSpec> {
+        let hosts = topo.hosts();
+        match self {
+            WorkloadSpec::Poisson {
+                cdf,
+                load,
+                first_flow_id,
+            } => LoadGenerator::new(hosts.to_vec(), host_bw, *load, cdf.build(), seed)
+                .with_first_flow_id(*first_flow_id)
+                .generate(duration),
+            WorkloadSpec::Incast {
+                fan_in,
+                flow_size,
+                capacity_fraction,
+                first_flow_id,
+            } => IncastGenerator::paper_default(hosts.to_vec(), host_bw, seed)
+                .with_fan_in(*fan_in)
+                .with_flow_size(*flow_size)
+                .with_capacity_fraction(*capacity_fraction)
+                .with_first_flow_id(*first_flow_id)
+                .generate(duration),
+            WorkloadSpec::Explicit(decls) => decls
+                .iter()
+                .map(|d| {
+                    FlowSpec::new(
+                        FlowId(d.id),
+                        hosts[d.src_host],
+                        hosts[d.dst_host],
+                        d.size,
+                        SimTime::ZERO + d.start,
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Measurement options of a scenario, as plain data.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSpec {
+    /// Sample all switch data queues into a histogram at this period.
+    pub queue_sample_interval: Option<Duration>,
+    /// Trace the first switch's egress queue towards this host index (the
+    /// bottleneck port of star micro-benchmarks).
+    pub bottleneck_host: Option<usize>,
+    /// Sampling period of traced ports (defaults to 1 µs).
+    pub trace_interval: Option<Duration>,
+    /// Accumulate per-flow goodput into bins of this width.
+    pub goodput_bin: Option<Duration>,
+}
+
+/// A complete, declarative, serializable description of one simulation.
+///
+/// See the [module docs](self) for the design rationale. Construct with
+/// [`ScenarioSpec::new`] plus the `with_*` helpers, or deserialize a
+/// campaign manifest with [`ScenarioSpec::from_json_str`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Label used in reports.
+    pub name: String,
+    /// The network.
+    pub topology: TopologyChoice,
+    /// The congestion control scheme.
+    pub cc: CcSpec,
+    /// Traffic; flows of all workloads are merged.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Simulation horizon.
+    pub duration: Duration,
+    /// Master seed; workload and switch randomness derive from it.
+    pub seed: u64,
+    /// Loss prevention / recovery mode.
+    pub flow_control: FlowControlMode,
+    /// Shared buffer per switch in bytes (`None` keeps the 32 MB default).
+    pub buffer_bytes: Option<u64>,
+    /// ECN threshold override (`None` keeps the scheme's default).
+    pub ecn: Option<EcnConfig>,
+    /// Measurement options.
+    pub trace: TraceSpec,
+}
+
+impl ScenarioSpec {
+    /// A scenario with no workloads yet, seed 1, lossless fabric, default
+    /// buffers and no tracing.
+    pub fn new(
+        name: impl Into<String>,
+        topology: TopologyChoice,
+        cc: impl Into<CcSpec>,
+        duration: Duration,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology,
+            cc: cc.into(),
+            workloads: Vec::new(),
+            duration,
+            seed: 1,
+            flow_control: FlowControlMode::Lossless,
+            buffer_bytes: None,
+            ecn: None,
+            trace: TraceSpec::default(),
+        }
+    }
+
+    /// Append a workload.
+    pub fn with_workload(mut self, w: WorkloadSpec) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the flow-control mode.
+    pub fn with_flow_control(mut self, mode: FlowControlMode) -> Self {
+        self.flow_control = mode;
+        self
+    }
+
+    /// Override the per-switch shared buffer.
+    pub fn with_buffer_bytes(mut self, bytes: u64) -> Self {
+        self.buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Override the ECN thresholds.
+    pub fn with_ecn(mut self, ecn: EcnConfig) -> Self {
+        self.ecn = Some(ecn);
+        self
+    }
+
+    /// Enable queue-histogram sampling.
+    pub fn with_queue_sampling(mut self, interval: Duration) -> Self {
+        self.trace.queue_sample_interval = Some(interval);
+        self
+    }
+
+    /// Trace the bottleneck egress towards a host index.
+    pub fn with_bottleneck_trace(mut self, host_index: usize, interval: Duration) -> Self {
+        self.trace.bottleneck_host = Some(host_index);
+        self.trace.trace_interval = Some(interval);
+        self
+    }
+
+    /// Enable per-flow goodput accumulation.
+    pub fn with_goodput_bin(mut self, bin: Duration) -> Self {
+        self.trace.goodput_bin = Some(bin);
+        self
+    }
+
+    /// The display label of the congestion control scheme.
+    pub fn scheme_label(&self) -> String {
+        self.cc.scheme_label()
+    }
+
+    /// Resolve the declaration into a runnable [`Experiment`].
+    ///
+    /// Deterministic: the same spec always produces the bit-identical
+    /// experiment (topology, config, flow list), regardless of thread or
+    /// process.
+    pub fn build(&self) -> Experiment {
+        let topo = self.topology.build();
+        let host_bw = self.topology.host_bw();
+        let base_rtt = topo.suggested_base_rtt(MTU_WIRE_SIZE);
+        let cc = self.cc.resolve(host_bw, base_rtt);
+        let mut flows = Vec::new();
+        for (stream, workload) in self.workloads.iter().enumerate() {
+            flows.extend(workload.generate(
+                &topo,
+                host_bw,
+                self.duration,
+                derive_seed(self.seed, stream as u64),
+            ));
+        }
+        let mut b: ExperimentBuilder = Experiment::builder(self.name.clone(), topo, cc, host_bw)
+            .duration(self.duration)
+            .seed(self.seed)
+            .flow_control(self.flow_control);
+        if let Some(bytes) = self.buffer_bytes {
+            b = b.buffer_bytes(bytes);
+        }
+        if let Some(ecn) = self.ecn {
+            b = b.ecn(ecn);
+        }
+        if let Some(interval) = self.trace.queue_sample_interval {
+            b = b.queue_sampling(interval);
+        }
+        if let Some(host) = self.trace.bottleneck_host {
+            let interval = self.trace.trace_interval.unwrap_or(Duration::from_us(1));
+            b = b.trace_bottleneck_to(host, interval);
+        }
+        if let Some(bin) = self.trace.goodput_bin {
+            b = b.goodput_bin(bin);
+        }
+        b.flows(flows).build()
+    }
+
+    /// Build and run in one step.
+    pub fn run(&self) -> ExperimentResults {
+        self.build().run()
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("name", JsonValue::Str(self.name.clone())),
+            ("topology", topology_to_json(&self.topology)),
+            ("cc", cc_to_json(&self.cc)),
+            (
+                "workloads",
+                JsonValue::Array(self.workloads.iter().map(workload_to_json).collect()),
+            ),
+            ("duration_ps", JsonValue::UInt(self.duration.as_ps())),
+            ("seed", JsonValue::UInt(self.seed)),
+            (
+                "flow_control",
+                JsonValue::Str(self.flow_control.label().to_string()),
+            ),
+        ];
+        if let Some(bytes) = self.buffer_bytes {
+            pairs.push(("buffer_bytes", JsonValue::UInt(bytes)));
+        }
+        if let Some(ecn) = self.ecn {
+            pairs.push((
+                "ecn",
+                obj(vec![
+                    ("kmin_bytes", JsonValue::UInt(ecn.kmin_bytes)),
+                    ("kmax_bytes", JsonValue::UInt(ecn.kmax_bytes)),
+                    ("pmax", JsonValue::Float(ecn.pmax)),
+                ]),
+            ));
+        }
+        pairs.push(("trace", trace_to_json(&self.trace)));
+        obj(pairs)
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Deserialize from a JSON value.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let mut spec = ScenarioSpec::new(
+            v.require("name")?.as_str()?,
+            topology_from_json(v.require("topology")?)?,
+            cc_from_json(v.require("cc")?)?,
+            Duration::from_ps(v.require("duration_ps")?.as_u64()?),
+        );
+        for w in v.require("workloads")?.as_array()? {
+            spec.workloads.push(workload_from_json(w)?);
+        }
+        spec.seed = v.require("seed")?.as_u64()?;
+        spec.flow_control = match v.require("flow_control")?.as_str()? {
+            "PFC" => FlowControlMode::Lossless,
+            "GBN" => FlowControlMode::LossyGoBackN,
+            "IRN" => FlowControlMode::LossyIrn,
+            other => return Err(JsonError(format!("unknown flow control {other:?}"))),
+        };
+        if let Some(bytes) = v.get("buffer_bytes") {
+            spec.buffer_bytes = Some(bytes.as_u64()?);
+        }
+        if let Some(ecn) = v.get("ecn") {
+            spec.ecn = Some(EcnConfig {
+                kmin_bytes: ecn.require("kmin_bytes")?.as_u64()?,
+                kmax_bytes: ecn.require("kmax_bytes")?.as_u64()?,
+                pmax: ecn.require("pmax")?.as_f64()?,
+            });
+        }
+        if let Some(trace) = v.get("trace") {
+            spec.trace = trace_from_json(trace)?;
+        }
+        Ok(spec)
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+fn bw_json(bw: Bandwidth) -> JsonValue {
+    JsonValue::UInt(bw.as_bps())
+}
+
+fn bw_from(v: &JsonValue) -> Result<Bandwidth, JsonError> {
+    Ok(Bandwidth::from_bps(v.as_u64()?))
+}
+
+fn dur_json(d: Duration) -> JsonValue {
+    JsonValue::UInt(d.as_ps())
+}
+
+fn dur_from(v: &JsonValue) -> Result<Duration, JsonError> {
+    Ok(Duration::from_ps(v.as_u64()?))
+}
+
+fn topology_to_json(t: &TopologyChoice) -> JsonValue {
+    match *t {
+        TopologyChoice::Star {
+            hosts,
+            host_bw,
+            link_delay,
+        } => obj(vec![
+            ("kind", JsonValue::Str("Star".into())),
+            ("hosts", JsonValue::UInt(hosts as u64)),
+            ("host_bw_bps", bw_json(host_bw)),
+            ("link_delay_ps", dur_json(link_delay)),
+        ]),
+        TopologyChoice::Dumbbell {
+            left,
+            right,
+            host_bw,
+            core_bw,
+            link_delay,
+        } => obj(vec![
+            ("kind", JsonValue::Str("Dumbbell".into())),
+            ("left", JsonValue::UInt(left as u64)),
+            ("right", JsonValue::UInt(right as u64)),
+            ("host_bw_bps", bw_json(host_bw)),
+            ("core_bw_bps", bw_json(core_bw)),
+            ("link_delay_ps", dur_json(link_delay)),
+        ]),
+        TopologyChoice::TestbedPod { link_delay } => obj(vec![
+            ("kind", JsonValue::Str("TestbedPod".into())),
+            ("link_delay_ps", dur_json(link_delay)),
+        ]),
+        TopologyChoice::LeafSpine {
+            leaves,
+            spines,
+            hosts_per_leaf,
+            host_bw,
+            fabric_bw,
+            link_delay,
+        } => obj(vec![
+            ("kind", JsonValue::Str("LeafSpine".into())),
+            ("leaves", JsonValue::UInt(leaves as u64)),
+            ("spines", JsonValue::UInt(spines as u64)),
+            ("hosts_per_leaf", JsonValue::UInt(hosts_per_leaf as u64)),
+            ("host_bw_bps", bw_json(host_bw)),
+            ("fabric_bw_bps", bw_json(fabric_bw)),
+            ("link_delay_ps", dur_json(link_delay)),
+        ]),
+        TopologyChoice::FatTree(p) => obj(vec![
+            ("kind", JsonValue::Str("FatTree".into())),
+            ("pods", JsonValue::UInt(p.pods as u64)),
+            ("tors_per_pod", JsonValue::UInt(p.tors_per_pod as u64)),
+            ("aggs_per_pod", JsonValue::UInt(p.aggs_per_pod as u64)),
+            ("cores", JsonValue::UInt(p.cores as u64)),
+            ("hosts_per_tor", JsonValue::UInt(p.hosts_per_tor as u64)),
+            ("host_bw_bps", bw_json(p.host_bw)),
+            ("fabric_bw_bps", bw_json(p.fabric_bw)),
+            ("link_delay_ps", dur_json(p.link_delay)),
+        ]),
+    }
+}
+
+fn topology_from_json(v: &JsonValue) -> Result<TopologyChoice, JsonError> {
+    match v.require("kind")?.as_str()? {
+        "Star" => Ok(TopologyChoice::Star {
+            hosts: v.require("hosts")?.as_usize()?,
+            host_bw: bw_from(v.require("host_bw_bps")?)?,
+            link_delay: dur_from(v.require("link_delay_ps")?)?,
+        }),
+        "Dumbbell" => Ok(TopologyChoice::Dumbbell {
+            left: v.require("left")?.as_usize()?,
+            right: v.require("right")?.as_usize()?,
+            host_bw: bw_from(v.require("host_bw_bps")?)?,
+            core_bw: bw_from(v.require("core_bw_bps")?)?,
+            link_delay: dur_from(v.require("link_delay_ps")?)?,
+        }),
+        "TestbedPod" => Ok(TopologyChoice::TestbedPod {
+            link_delay: dur_from(v.require("link_delay_ps")?)?,
+        }),
+        "LeafSpine" => Ok(TopologyChoice::LeafSpine {
+            leaves: v.require("leaves")?.as_usize()?,
+            spines: v.require("spines")?.as_usize()?,
+            hosts_per_leaf: v.require("hosts_per_leaf")?.as_usize()?,
+            host_bw: bw_from(v.require("host_bw_bps")?)?,
+            fabric_bw: bw_from(v.require("fabric_bw_bps")?)?,
+            link_delay: dur_from(v.require("link_delay_ps")?)?,
+        }),
+        "FatTree" => Ok(TopologyChoice::FatTree(FatTreeParams {
+            pods: v.require("pods")?.as_usize()?,
+            tors_per_pod: v.require("tors_per_pod")?.as_usize()?,
+            aggs_per_pod: v.require("aggs_per_pod")?.as_usize()?,
+            cores: v.require("cores")?.as_usize()?,
+            hosts_per_tor: v.require("hosts_per_tor")?.as_usize()?,
+            host_bw: bw_from(v.require("host_bw_bps")?)?,
+            fabric_bw: bw_from(v.require("fabric_bw_bps")?)?,
+            link_delay: dur_from(v.require("link_delay_ps")?)?,
+        })),
+        other => Err(JsonError(format!("unknown topology kind {other:?}"))),
+    }
+}
+
+fn cc_to_json(cc: &CcSpec) -> JsonValue {
+    match cc {
+        CcSpec::Label(label) => obj(vec![
+            ("kind", JsonValue::Str("Label".into())),
+            ("label", JsonValue::Str(label.clone())),
+        ]),
+        CcSpec::Hpcc(cfg) => obj(vec![
+            ("kind", JsonValue::Str("Hpcc".into())),
+            ("eta", JsonValue::Float(cfg.eta)),
+            ("max_stage", JsonValue::UInt(cfg.max_stage as u64)),
+            ("wai", JsonValue::UInt(cfg.wai)),
+            (
+                "mode",
+                JsonValue::Str(
+                    match cfg.mode {
+                        HpccReactionMode::Combined => "Combined",
+                        HpccReactionMode::PerAck => "PerAck",
+                        HpccReactionMode::PerRtt => "PerRtt",
+                    }
+                    .into(),
+                ),
+            ),
+            ("use_rx_rate", JsonValue::Bool(cfg.use_rx_rate)),
+            ("min_rate_bps", bw_json(cfg.min_rate)),
+        ]),
+        CcSpec::DcqcnTimers { ti, td } => obj(vec![
+            ("kind", JsonValue::Str("DcqcnTimers".into())),
+            ("ti_ps", dur_json(*ti)),
+            ("td_ps", dur_json(*td)),
+        ]),
+    }
+}
+
+fn cc_from_json(v: &JsonValue) -> Result<CcSpec, JsonError> {
+    match v.require("kind")?.as_str()? {
+        "Label" => Ok(CcSpec::Label(v.require("label")?.as_str()?.to_string())),
+        "Hpcc" => Ok(CcSpec::Hpcc(HpccConfig {
+            eta: v.require("eta")?.as_f64()?,
+            max_stage: v.require("max_stage")?.as_u64()? as u32,
+            wai: v.require("wai")?.as_u64()?,
+            mode: match v.require("mode")?.as_str()? {
+                "Combined" => HpccReactionMode::Combined,
+                "PerAck" => HpccReactionMode::PerAck,
+                "PerRtt" => HpccReactionMode::PerRtt,
+                other => return Err(JsonError(format!("unknown HPCC mode {other:?}"))),
+            },
+            use_rx_rate: v.require("use_rx_rate")?.as_bool()?,
+            min_rate: bw_from(v.require("min_rate_bps")?)?,
+        })),
+        "DcqcnTimers" => Ok(CcSpec::DcqcnTimers {
+            ti: dur_from(v.require("ti_ps")?)?,
+            td: dur_from(v.require("td_ps")?)?,
+        }),
+        other => Err(JsonError(format!("unknown cc kind {other:?}"))),
+    }
+}
+
+fn cdf_to_json(cdf: &CdfSpec) -> JsonValue {
+    match cdf {
+        CdfSpec::WebSearch => JsonValue::Str("WebSearch".into()),
+        CdfSpec::FbHadoop => JsonValue::Str("FB_Hadoop".into()),
+        CdfSpec::Fixed(size) => obj(vec![("fixed", JsonValue::UInt(*size))]),
+        CdfSpec::Custom(points) => obj(vec![(
+            "custom",
+            JsonValue::Array(
+                points
+                    .iter()
+                    .map(|(size, p)| {
+                        JsonValue::Array(vec![JsonValue::UInt(*size), JsonValue::Float(*p)])
+                    })
+                    .collect(),
+            ),
+        )]),
+    }
+}
+
+fn cdf_from_json(v: &JsonValue) -> Result<CdfSpec, JsonError> {
+    if let Ok(name) = v.as_str() {
+        return match name {
+            "WebSearch" => Ok(CdfSpec::WebSearch),
+            "FB_Hadoop" => Ok(CdfSpec::FbHadoop),
+            other => Err(JsonError(format!("unknown cdf {other:?}"))),
+        };
+    }
+    if let Some(size) = v.get("fixed") {
+        return Ok(CdfSpec::Fixed(size.as_u64()?));
+    }
+    if let Some(points) = v.get("custom") {
+        let mut out = Vec::new();
+        for p in points.as_array()? {
+            let pair = p.as_array()?;
+            if pair.len() != 2 {
+                return Err(JsonError("cdf point must be [size, prob]".into()));
+            }
+            out.push((pair[0].as_u64()?, pair[1].as_f64()?));
+        }
+        return Ok(CdfSpec::Custom(out));
+    }
+    Err(JsonError("unrecognized cdf spec".into()))
+}
+
+fn workload_to_json(w: &WorkloadSpec) -> JsonValue {
+    match w {
+        WorkloadSpec::Poisson {
+            cdf,
+            load,
+            first_flow_id,
+        } => obj(vec![
+            ("kind", JsonValue::Str("Poisson".into())),
+            ("cdf", cdf_to_json(cdf)),
+            ("load", JsonValue::Float(*load)),
+            ("first_flow_id", JsonValue::UInt(*first_flow_id)),
+        ]),
+        WorkloadSpec::Incast {
+            fan_in,
+            flow_size,
+            capacity_fraction,
+            first_flow_id,
+        } => obj(vec![
+            ("kind", JsonValue::Str("Incast".into())),
+            ("fan_in", JsonValue::UInt(*fan_in as u64)),
+            ("flow_size", JsonValue::UInt(*flow_size)),
+            ("capacity_fraction", JsonValue::Float(*capacity_fraction)),
+            ("first_flow_id", JsonValue::UInt(*first_flow_id)),
+        ]),
+        WorkloadSpec::Explicit(decls) => obj(vec![
+            ("kind", JsonValue::Str("Explicit".into())),
+            (
+                "flows",
+                JsonValue::Array(
+                    decls
+                        .iter()
+                        .map(|d| {
+                            obj(vec![
+                                ("id", JsonValue::UInt(d.id)),
+                                ("src_host", JsonValue::UInt(d.src_host as u64)),
+                                ("dst_host", JsonValue::UInt(d.dst_host as u64)),
+                                ("size", JsonValue::UInt(d.size)),
+                                ("start_ps", dur_json(d.start)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn workload_from_json(v: &JsonValue) -> Result<WorkloadSpec, JsonError> {
+    match v.require("kind")?.as_str()? {
+        "Poisson" => Ok(WorkloadSpec::Poisson {
+            cdf: cdf_from_json(v.require("cdf")?)?,
+            load: v.require("load")?.as_f64()?,
+            first_flow_id: v.require("first_flow_id")?.as_u64()?,
+        }),
+        "Incast" => Ok(WorkloadSpec::Incast {
+            fan_in: v.require("fan_in")?.as_usize()?,
+            flow_size: v.require("flow_size")?.as_u64()?,
+            capacity_fraction: v.require("capacity_fraction")?.as_f64()?,
+            first_flow_id: v.require("first_flow_id")?.as_u64()?,
+        }),
+        "Explicit" => {
+            let mut decls = Vec::new();
+            for d in v.require("flows")?.as_array()? {
+                decls.push(FlowDecl::new(
+                    d.require("id")?.as_u64()?,
+                    d.require("src_host")?.as_usize()?,
+                    d.require("dst_host")?.as_usize()?,
+                    d.require("size")?.as_u64()?,
+                    dur_from(d.require("start_ps")?)?,
+                ));
+            }
+            Ok(WorkloadSpec::Explicit(decls))
+        }
+        other => Err(JsonError(format!("unknown workload kind {other:?}"))),
+    }
+}
+
+fn trace_to_json(t: &TraceSpec) -> JsonValue {
+    let mut pairs = Vec::new();
+    if let Some(d) = t.queue_sample_interval {
+        pairs.push(("queue_sample_interval_ps", dur_json(d)));
+    }
+    if let Some(h) = t.bottleneck_host {
+        pairs.push(("bottleneck_host", JsonValue::UInt(h as u64)));
+    }
+    if let Some(d) = t.trace_interval {
+        pairs.push(("trace_interval_ps", dur_json(d)));
+    }
+    if let Some(d) = t.goodput_bin {
+        pairs.push(("goodput_bin_ps", dur_json(d)));
+    }
+    obj(pairs)
+}
+
+fn trace_from_json(v: &JsonValue) -> Result<TraceSpec, JsonError> {
+    let mut t = TraceSpec::default();
+    if let Some(d) = v.get("queue_sample_interval_ps") {
+        t.queue_sample_interval = Some(dur_from(d)?);
+    }
+    if let Some(h) = v.get("bottleneck_host") {
+        t.bottleneck_host = Some(h.as_usize()?);
+    }
+    if let Some(d) = v.get("trace_interval_ps") {
+        t.trace_interval = Some(dur_from(d)?);
+    }
+    if let Some(d) = v.get("goodput_bin_ps") {
+        t.goodput_bin = Some(dur_from(d)?);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "fig11 HPCC",
+            TopologyChoice::FatTree(FatTreeParams::small()),
+            CcSpec::by_label("HPCC"),
+            Duration::from_ms(10),
+        )
+        .with_workload(WorkloadSpec::poisson(CdfSpec::FbHadoop, 0.3))
+        .with_workload(WorkloadSpec::incast(16, 500_000, 0.02))
+        .with_seed(42)
+        .with_flow_control(FlowControlMode::LossyIrn)
+        .with_buffer_bytes(16_000_000)
+        .with_ecn(EcnConfig::thresholds_kb(12, 50))
+        .with_queue_sampling(Duration::from_us(5))
+        .with_goodput_bin(Duration::from_us(50))
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let specs = vec![
+            rich_spec(),
+            ScenarioSpec::new(
+                "2-to-1",
+                TopologyChoice::star(3, Bandwidth::from_gbps(100)),
+                CcSpec::Hpcc(HpccConfig {
+                    use_rx_rate: true,
+                    ..HpccConfig::default()
+                }),
+                Duration::from_ms(2),
+            )
+            .with_workload(WorkloadSpec::Explicit(vec![
+                FlowDecl::new(1, 0, 2, 4_000_000, Duration::ZERO),
+                FlowDecl::new(2, 1, 2, 4_000_000, Duration::from_us(50)),
+            ]))
+            .with_bottleneck_trace(2, Duration::from_us(1)),
+            ScenarioSpec::new(
+                "dcqcn timers",
+                TopologyChoice::testbed_pod(),
+                CcSpec::DcqcnTimers {
+                    ti: Duration::from_us(300),
+                    td: Duration::from_us(4),
+                },
+                Duration::from_ms(5),
+            )
+            .with_workload(WorkloadSpec::poisson(CdfSpec::Fixed(10_000), 0.2))
+            .with_workload(WorkloadSpec::poisson(
+                CdfSpec::Custom(vec![(1_000, 0.5), (2_000, 1.0)]),
+                0.1,
+            )),
+        ];
+        for spec in specs {
+            let text = spec.to_json_string();
+            let back = ScenarioSpec::from_json_str(&text).unwrap_or_else(|e| {
+                panic!("{e} while parsing {text}");
+            });
+            assert_eq!(back, spec, "round trip changed {text}");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_across_calls() {
+        let spec = rich_spec();
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.flows(), b.flows());
+        assert_eq!(a.label(), b.label());
+        assert_eq!(a.config().seed, 42);
+        assert_eq!(a.config().buffer_bytes, 16_000_000);
+        assert_eq!(a.config().ecn.unwrap().kmin_bytes, 12_000);
+        assert!(!a.flows().is_empty());
+    }
+
+    #[test]
+    fn workload_streams_are_independent() {
+        // Each workload draws from its own seed stream (derived from the
+        // scenario seed and the workload's index), so changing the *content*
+        // of workload 0 must not perturb the flows workload 1 generates.
+        let incast_flows = |background_load: f64| {
+            let mut s = rich_spec();
+            s.workloads = vec![
+                WorkloadSpec::poisson(CdfSpec::FbHadoop, background_load),
+                WorkloadSpec::incast(16, 500_000, 0.02),
+            ];
+            let exp = s.build();
+            let mut flows: Vec<_> = exp
+                .flows()
+                .iter()
+                .filter(|f| f.id.raw() >= 10_000_000)
+                .copied()
+                .collect();
+            flows.sort_by_key(|f| f.id);
+            flows
+        };
+        let a = incast_flows(0.3);
+        let b = incast_flows(0.5);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_resolution_uses_topology_line_rate() {
+        let spec = ScenarioSpec::new(
+            "dcqcn",
+            TopologyChoice::testbed_pod(),
+            CcSpec::by_label("DCQCN"),
+            Duration::from_ms(1),
+        );
+        let exp = spec.build();
+        // DCQCN on a 25G pod gets the 25G-scaled ECN thresholds.
+        assert_eq!(exp.config().ecn.unwrap().kmin_bytes, 100_000);
+        assert_eq!(spec.scheme_label(), "DCQCN");
+    }
+
+    #[test]
+    fn explicit_flows_resolve_host_indices() {
+        let spec = ScenarioSpec::new(
+            "pair",
+            TopologyChoice::star(4, Bandwidth::from_gbps(25)),
+            CcSpec::by_label("HPCC"),
+            Duration::from_ms(1),
+        )
+        .with_workload(WorkloadSpec::Explicit(vec![FlowDecl::new(
+            7,
+            1,
+            3,
+            1_000,
+            Duration::from_us(3),
+        )]));
+        let exp = spec.build();
+        let hosts = exp.topology().hosts();
+        assert_eq!(exp.flows().len(), 1);
+        let f = exp.flows()[0];
+        assert_eq!(f.id, FlowId(7));
+        assert_eq!(f.src, hosts[1]);
+        assert_eq!(f.dst, hosts[3]);
+        assert_eq!(f.start, SimTime::ZERO + Duration::from_us(3));
+    }
+}

@@ -355,10 +355,7 @@ impl Host {
                 if pkt.seq <= r.expected {
                     r.expected = r.expected.max(seq_end);
                     // Absorb any stored blocks now contiguous with `expected`.
-                    loop {
-                        let Some((&s, &e)) = r.ooo.range(..=r.expected).next_back() else {
-                            break;
-                        };
+                    while let Some((&s, &e)) = r.ooo.range(..=r.expected).next_back() {
                         r.ooo.remove(&s);
                         if e > r.expected {
                             r.expected = e;
@@ -368,7 +365,12 @@ impl Host {
                     to_send.push(Packet::ack_for(&pkt, r.expected, finished));
                 } else {
                     r.ooo.insert(pkt.seq, seq_end);
-                    to_send.push(Packet::sack_nack_for(&pkt, r.expected, pkt.seq, pkt.payload));
+                    to_send.push(Packet::sack_nack_for(
+                        &pkt,
+                        r.expected,
+                        pkt.seq,
+                        pkt.payload,
+                    ));
                 }
             } else {
                 // Go-back-N: out-of-order data is dropped and NACKed.
@@ -487,14 +489,12 @@ impl Host {
                         flow.snd_una = pkt.seq;
                         flow.last_progress = now;
                     }
-                    let mut off = flow.sacked.range(..=pkt.sack_start).next_back().map_or(
-                        flow.snd_una,
-                        |_| flow.snd_una,
-                    );
                     flow.sacked.insert(pkt.sack_start);
                     // Queue the missing packets between snd_una and the
-                    // sacked block for retransmission.
-                    off = off.max(flow.snd_una);
+                    // sacked block for retransmission (blocks below earlier
+                    // sacks were already queued when those sacks arrived;
+                    // the `sacked.contains` check below skips them).
+                    let mut off = flow.snd_una;
                     while off < pkt.sack_start {
                         if !flow.sacked.contains(&off) && off < flow.snd_nxt {
                             flow.rtx_queue.insert(off);
@@ -733,7 +733,7 @@ mod tests {
         h.try_transmit(SimTime::from_ns(100), &cfg, &mut e);
         h.port_ready();
         assert_eq!(e.packets_sent + 1, 3); // 2 data packets total (1 in first eff)
-        // ACK the full flow.
+                                           // ACK the full flow.
         let mut data = Packet::data(FlowId(1), NodeId(0), NodeId(1), 1000, 1000, SimTime::ZERO);
         data.ack_flags.flow_finished = true;
         let ack = Packet::ack_for(&data, 2000, true);
@@ -750,7 +750,14 @@ mod tests {
     fn receiver_acks_in_order_data_and_echoes_int_and_ecn() {
         let cfg = hpcc_cfg();
         let mut h = build_host(1);
-        let mut pkt = Packet::data(FlowId(9), NodeId(0), NodeId(1), 0, 1000, SimTime::from_us(1));
+        let mut pkt = Packet::data(
+            FlowId(9),
+            NodeId(0),
+            NodeId(1),
+            0,
+            1000,
+            SimTime::from_us(1),
+        );
         pkt.ecn_ce = true;
         pkt.int.push_hop(
             4,
@@ -809,7 +816,7 @@ mod tests {
         for _ in 0..5 {
             let mut e2 = Effects::default();
             sender.try_transmit(now, &cfg, &mut e2);
-            now = now + Duration::from_ns(100);
+            now += Duration::from_ns(100);
             sender.port_ready();
         }
         let nack = {
@@ -856,7 +863,7 @@ mod tests {
         for _ in 0..4 {
             let mut e2 = Effects::default();
             sender.try_transmit(now, &cfg, &mut e2);
-            now = now + Duration::from_ns(200);
+            now += Duration::from_ns(200);
             sender.port_ready();
         }
         assert_eq!(sender.flows[0].snd_nxt, 4000);
@@ -894,8 +901,14 @@ mod tests {
         let mut rx = build_host(1);
         let mut eff = Effects::default();
         for i in 0..5u64 {
-            let mut p =
-                Packet::data(FlowId(9), NodeId(0), NodeId(1), i * 1000, 1000, SimTime::ZERO);
+            let mut p = Packet::data(
+                FlowId(9),
+                NodeId(0),
+                NodeId(1),
+                i * 1000,
+                1000,
+                SimTime::ZERO,
+            );
             p.ecn_ce = true;
             rx.handle_arrival(SimTime::from_us(1 + i), PortId(0), p, &cfg, &mut eff);
         }

@@ -161,7 +161,11 @@ impl SimOutput {
 
     /// Largest data-queue occupancy seen anywhere.
     pub fn max_queue_bytes(&self) -> u64 {
-        self.ports.values().map(|c| c.max_queue_bytes).max().unwrap_or(0)
+        self.ports
+            .values()
+            .map(|c| c.max_queue_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The queue-length value at a given percentile of the sampled histogram

@@ -63,10 +63,7 @@ impl Simulator {
         if !cfg.trace_ports.is_empty() {
             events.push(SimTime::ZERO + cfg.trace_interval, Event::TraceSample);
         }
-        let out = SimOutput::new(
-            1024,
-            cfg.flow_throughput_bin.unwrap_or(Duration::ZERO),
-        );
+        let out = SimOutput::new(1024, cfg.flow_throughput_bin.unwrap_or(Duration::ZERO));
         Simulator {
             time: SimTime::ZERO,
             events,
@@ -181,7 +178,11 @@ impl Simulator {
                         Node::Switch(s) => s.ports()[p.index()].data_queue_bytes(),
                         Node::Host(_) => 0,
                     };
-                    self.out.port_traces.entry((n, p)).or_default().push((t, qlen));
+                    self.out
+                        .port_traces
+                        .entry((n, p))
+                        .or_default()
+                        .push((t, qlen));
                 }
                 let next = t + self.cfg.trace_interval;
                 if next <= self.cfg.end_time {
@@ -205,7 +206,14 @@ impl Simulator {
             packets_delivered,
             packets_sent,
         } = eff;
-        self.absorb(events, completions, pfc_events, goodput, packets_delivered, packets_sent);
+        self.absorb(
+            events,
+            completions,
+            pfc_events,
+            goodput,
+            packets_delivered,
+            packets_sent,
+        );
         while let Some((n, p)) = kicks.pop() {
             let mut e = Effects::default();
             match &mut self.nodes[n.index()] {
@@ -259,7 +267,9 @@ impl Simulator {
                 Node::Switch(s) => {
                     s.finalize(now);
                     for (pi, port) in s.ports().iter().enumerate() {
-                        self.out.ports.insert((id, PortId(pi as u32)), port.counters);
+                        self.out
+                            .ports
+                            .insert((id, PortId(pi as u32)), port.counters);
                     }
                 }
                 Node::Host(h) => {
@@ -310,7 +320,13 @@ mod tests {
         let hosts = topo.hosts().to_vec();
         let mut sim = Simulator::new(topo, cfg);
         let size = 1_000_000u64;
-        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[1], size, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            size,
+            SimTime::ZERO,
+        ));
         let out = sim.run();
         assert_eq!(out.flows.len(), 1);
         assert_eq!(out.unfinished_flows, 0);
@@ -332,8 +348,20 @@ mod tests {
         let hosts = topo.hosts().to_vec();
         let mut sim = Simulator::new(topo, cfg);
         // Two 2 MB flows into host 2.
-        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[2], 2_000_000, SimTime::ZERO));
-        sim.add_flow(FlowSpec::new(FlowId(2), hosts[1], hosts[2], 2_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[2],
+            2_000_000,
+            SimTime::ZERO,
+        ));
+        sim.add_flow(FlowSpec::new(
+            FlowId(2),
+            hosts[1],
+            hosts[2],
+            2_000_000,
+            SimTime::ZERO,
+        ));
         let out = sim.run();
         assert_eq!(out.flows.len(), 2);
         // HPCC's 99th-percentile queue stays far below one BDP (~50 KB here);
@@ -394,10 +422,8 @@ mod tests {
     fn incast_under_pfc_never_drops_and_under_lossy_gbn_recovers() {
         // 8-to-1 incast with a deliberately small buffer.
         let run = |mode: FlowControlMode| {
-            let (topo, mut cfg) = star_cfg(
-                CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)),
-                9,
-            );
+            let (topo, mut cfg) =
+                star_cfg(CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(LINE)), 9);
             cfg.flow_control = mode;
             cfg.buffer_bytes = 500_000;
             cfg.end_time = SimTime::from_ms(30);
@@ -416,12 +442,22 @@ mod tests {
         };
         let lossless = run(FlowControlMode::Lossless);
         assert_eq!(lossless.total_drops(), 0, "PFC must prevent drops");
-        assert!(lossless.total_pause_duration() > Duration::ZERO, "incast should trigger PFC");
+        assert!(
+            lossless.total_pause_duration() > Duration::ZERO,
+            "incast should trigger PFC"
+        );
         assert_eq!(lossless.flows.len(), 8);
 
         let lossy = run(FlowControlMode::LossyGoBackN);
-        assert!(lossy.total_drops() > 0, "small buffer without PFC must drop");
-        assert_eq!(lossy.flows.len(), 8, "go-back-N must still complete all flows");
+        assert!(
+            lossy.total_drops() > 0,
+            "small buffer without PFC must drop"
+        );
+        assert_eq!(
+            lossy.flows.len(),
+            8,
+            "go-back-N must still complete all flows"
+        );
         assert_eq!(lossy.total_pause_duration(), Duration::ZERO);
 
         let irn = run(FlowControlMode::LossyIrn);
@@ -485,14 +521,30 @@ mod tests {
     fn cross_rack_flows_work_on_the_testbed_pod() {
         let topo = testbed_pod(Duration::from_us(1));
         let base_rtt = topo.suggested_base_rtt(1106);
-        let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), Bandwidth::from_gbps(25), base_rtt);
+        let mut cfg = SimConfig::for_cc(
+            CcAlgorithm::hpcc_default(),
+            Bandwidth::from_gbps(25),
+            base_rtt,
+        );
         cfg.end_time = SimTime::from_ms(30);
         let hosts = topo.hosts().to_vec();
         let mut sim = Simulator::new(topo, cfg);
         // Host 0 (rack 0) to host 31 (rack 3): crosses ToR→Agg→ToR.
-        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[31], 2_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[31],
+            2_000_000,
+            SimTime::ZERO,
+        ));
         // And a same-rack flow.
-        sim.add_flow(FlowSpec::new(FlowId(2), hosts[8], hosts[9], 2_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(
+            FlowId(2),
+            hosts[8],
+            hosts[9],
+            2_000_000,
+            SimTime::ZERO,
+        ));
         let out = sim.run();
         assert_eq!(out.flows.len(), 2);
         assert_eq!(out.unfinished_flows, 0);
@@ -516,12 +568,27 @@ mod tests {
         cfg.trace_interval = Duration::from_us(5);
         cfg.flow_throughput_bin = Some(Duration::from_us(100));
         let mut sim = Simulator::new(topo, cfg);
-        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[2], 3_000_000, SimTime::ZERO));
-        sim.add_flow(FlowSpec::new(FlowId(2), hosts[1], hosts[2], 3_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[2],
+            3_000_000,
+            SimTime::ZERO,
+        ));
+        sim.add_flow(FlowSpec::new(
+            FlowId(2),
+            hosts[1],
+            hosts[2],
+            3_000_000,
+            SimTime::ZERO,
+        ));
         let out = sim.run();
         let trace = &out.port_traces[&(switch, egress_to_h2)];
         assert!(trace.len() > 10);
-        assert!(trace.windows(2).all(|w| w[0].0 < w[1].0), "trace times increase");
+        assert!(
+            trace.windows(2).all(|w| w[0].0 < w[1].0),
+            "trace times increase"
+        );
         let g1 = &out.flow_goodput[&FlowId(1)];
         let total1: u64 = g1.iter().sum();
         assert_eq!(total1, 3_000_000);
@@ -533,16 +600,31 @@ mod tests {
     fn int_headers_reach_back_to_senders_through_multiple_hops() {
         let topo = testbed_pod(Duration::from_us(1));
         let base_rtt = topo.suggested_base_rtt(1106);
-        let mut cfg =
-            SimConfig::for_cc(CcAlgorithm::hpcc_default(), Bandwidth::from_gbps(25), base_rtt);
+        let mut cfg = SimConfig::for_cc(
+            CcAlgorithm::hpcc_default(),
+            Bandwidth::from_gbps(25),
+            base_rtt,
+        );
         cfg.end_time = SimTime::from_ms(10);
         cfg.queue_sample_interval = Some(Duration::from_us(2));
         let hosts = topo.hosts().to_vec();
         let mut sim = Simulator::new(topo, cfg);
         // Two cross-rack senders share the ToR uplink of the receiver's rack,
         // so HPCC must throttle below line rate without building deep queues.
-        sim.add_flow(FlowSpec::new(FlowId(1), hosts[0], hosts[16], 1_000_000, SimTime::ZERO));
-        sim.add_flow(FlowSpec::new(FlowId(2), hosts[8], hosts[17], 1_000_000, SimTime::ZERO));
+        sim.add_flow(FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[16],
+            1_000_000,
+            SimTime::ZERO,
+        ));
+        sim.add_flow(FlowSpec::new(
+            FlowId(2),
+            hosts[8],
+            hosts[17],
+            1_000_000,
+            SimTime::ZERO,
+        ));
         let out = sim.run();
         assert_eq!(out.flows.len(), 2);
         assert_eq!(out.total_drops(), 0);

@@ -20,10 +20,10 @@ use crate::config::SimConfig;
 use crate::engine::{Effects, Event};
 use crate::output::{PfcEvent, PortCounters};
 use crate::rng::SplitMix64;
+use hpcc_topology::{PortDesc, TopologySpec};
 use hpcc_types::{
     Bandwidth, Duration, IntHopRecord, NodeId, Packet, PacketKind, PortId, Priority, SimTime,
 };
-use hpcc_topology::{PortDesc, TopologySpec};
 use std::collections::VecDeque;
 
 /// A packet sitting in an egress queue, remembering the ingress it came from
@@ -250,8 +250,10 @@ impl Switch {
             port.queue_bytes[class.index()] += wire;
             port.rx_enqueued_cum += wire;
             if class == Priority::DATA {
-                port.counters.max_queue_bytes =
-                    port.counters.max_queue_bytes.max(port.queue_bytes[class.index()]);
+                port.counters.max_queue_bytes = port
+                    .counters
+                    .max_queue_bytes
+                    .max(port.queue_bytes[class.index()]);
             }
         }
         self.buffer_used += wire;
@@ -453,7 +455,14 @@ mod tests {
         let mut sw = new_switch(&topo);
         let mut eff = Effects::default();
         // Arrives from host0 (switch port 0), destined to host1 (port 1).
-        sw.handle_arrival(SimTime::from_us(5), PortId(0), data_packet(0), &cfg, &topo, &mut eff);
+        sw.handle_arrival(
+            SimTime::from_us(5),
+            PortId(0),
+            data_packet(0),
+            &cfg,
+            &topo,
+            &mut eff,
+        );
         assert_eq!(eff.kicks, vec![(sw.id, PortId(1))]);
         let mut eff2 = Effects::default();
         sw.try_transmit(SimTime::from_us(5), PortId(1), &cfg, &mut eff2);
@@ -530,7 +539,10 @@ mod tests {
         // The first two packets (queue < kmin at enqueue) are never marked.
         assert!(sw.ports()[1].counters.ecn_marked <= 10);
         assert!(sw.ports()[1].data_queue_bytes() > 10_000);
-        assert_eq!(sw.ports()[1].counters.max_queue_bytes, sw.ports()[1].data_queue_bytes());
+        assert_eq!(
+            sw.ports()[1].counters.max_queue_bytes,
+            sw.ports()[1].data_queue_bytes()
+        );
     }
 
     #[test]
@@ -556,7 +568,11 @@ mod tests {
         pause_seen |= !eff.pfc_events.is_empty();
         assert!(pause_seen, "expected a PFC pause frame");
         assert_eq!(eff.pfc_events[0].node, sw.id);
-        assert_eq!(eff.pfc_events[0].port, PortId(0), "pause goes to the congested ingress");
+        assert_eq!(
+            eff.pfc_events[0].port,
+            PortId(0),
+            "pause goes to the congested ingress"
+        );
         assert_eq!(sw.ports()[0].counters.pause_frames_sent, 1);
         // The pause frame sits in the control queue of port 0.
         let mut eff2 = Effects::default();
@@ -582,7 +598,14 @@ mod tests {
         let cfg = cfg();
         let mut sw = new_switch(&topo);
         let mut eff = Effects::default();
-        sw.handle_arrival(SimTime::from_us(1), PortId(0), data_packet(0), &cfg, &topo, &mut eff);
+        sw.handle_arrival(
+            SimTime::from_us(1),
+            PortId(0),
+            data_packet(0),
+            &cfg,
+            &topo,
+            &mut eff,
+        );
         // Peer on port 1 pauses us.
         sw.handle_arrival(
             SimTime::from_us(2),
@@ -595,7 +618,10 @@ mod tests {
         assert!(sw.ports()[1].is_paused());
         let mut eff2 = Effects::default();
         sw.try_transmit(SimTime::from_us(3), PortId(1), &cfg, &mut eff2);
-        assert!(eff2.events.is_empty(), "paused data class must not transmit");
+        assert!(
+            eff2.events.is_empty(),
+            "paused data class must not transmit"
+        );
         // Resume unblocks it.
         let mut eff3 = Effects::default();
         sw.handle_arrival(
@@ -683,7 +709,10 @@ mod tests {
             let slot = candidates.iter().position(|c| *c == p).unwrap();
             uses[slot] += 1;
         }
-        assert!(uses[0] > 64 && uses[1] > 64, "ECMP should spread flows: {uses:?}");
+        assert!(
+            uses[0] > 64 && uses[1] > 64,
+            "ECMP should spread flows: {uses:?}"
+        );
     }
 
     #[test]

@@ -116,33 +116,96 @@ pub struct SizeBucketStats {
 /// The WebSearch flow-size buckets of Figures 2/3/10.
 pub fn websearch_buckets() -> Vec<FctBucket> {
     vec![
-        FctBucket { max_size: 3_000, label: "<3K" },
-        FctBucket { max_size: 6_700, label: "6.7K" },
-        FctBucket { max_size: 20_000, label: "20K" },
-        FctBucket { max_size: 30_000, label: "30K" },
-        FctBucket { max_size: 50_000, label: "50K" },
-        FctBucket { max_size: 73_000, label: "73K" },
-        FctBucket { max_size: 200_000, label: "200K" },
-        FctBucket { max_size: 1_000_000, label: "1M" },
-        FctBucket { max_size: 2_000_000, label: "2M" },
-        FctBucket { max_size: 5_000_000, label: "5M" },
-        FctBucket { max_size: 30_000_000, label: "30M" },
+        FctBucket {
+            max_size: 3_000,
+            label: "<3K",
+        },
+        FctBucket {
+            max_size: 6_700,
+            label: "6.7K",
+        },
+        FctBucket {
+            max_size: 20_000,
+            label: "20K",
+        },
+        FctBucket {
+            max_size: 30_000,
+            label: "30K",
+        },
+        FctBucket {
+            max_size: 50_000,
+            label: "50K",
+        },
+        FctBucket {
+            max_size: 73_000,
+            label: "73K",
+        },
+        FctBucket {
+            max_size: 200_000,
+            label: "200K",
+        },
+        FctBucket {
+            max_size: 1_000_000,
+            label: "1M",
+        },
+        FctBucket {
+            max_size: 2_000_000,
+            label: "2M",
+        },
+        FctBucket {
+            max_size: 5_000_000,
+            label: "5M",
+        },
+        FctBucket {
+            max_size: 30_000_000,
+            label: "30M",
+        },
     ]
 }
 
 /// The FB_Hadoop flow-size buckets of Figures 11/12.
 pub fn fb_hadoop_buckets() -> Vec<FctBucket> {
     vec![
-        FctBucket { max_size: 324, label: "324" },
-        FctBucket { max_size: 400, label: "400" },
-        FctBucket { max_size: 500, label: "500" },
-        FctBucket { max_size: 600, label: "600" },
-        FctBucket { max_size: 700, label: "700" },
-        FctBucket { max_size: 1_000, label: "1K" },
-        FctBucket { max_size: 7_000, label: "7K" },
-        FctBucket { max_size: 46_000, label: "46K" },
-        FctBucket { max_size: 120_000, label: "120K" },
-        FctBucket { max_size: 10_000_000, label: "10M" },
+        FctBucket {
+            max_size: 324,
+            label: "324",
+        },
+        FctBucket {
+            max_size: 400,
+            label: "400",
+        },
+        FctBucket {
+            max_size: 500,
+            label: "500",
+        },
+        FctBucket {
+            max_size: 600,
+            label: "600",
+        },
+        FctBucket {
+            max_size: 700,
+            label: "700",
+        },
+        FctBucket {
+            max_size: 1_000,
+            label: "1K",
+        },
+        FctBucket {
+            max_size: 7_000,
+            label: "7K",
+        },
+        FctBucket {
+            max_size: 46_000,
+            label: "46K",
+        },
+        FctBucket {
+            max_size: 120_000,
+            label: "120K",
+        },
+        FctBucket {
+            max_size: 10_000_000,
+            label: "10M",
+        },
     ]
 }
 
@@ -173,10 +236,16 @@ mod tests {
     fn slowdown_is_relative_to_ideal_and_clamped() {
         let a = FctAnalyzer::new(LINE, RTT, true);
         let ideal = a.ideal_fct(1000);
-        let s = a.slowdown(&FlowFct { size: 1000, fct: ideal * 10 });
+        let s = a.slowdown(&FlowFct {
+            size: 1000,
+            fct: ideal * 10,
+        });
         assert!((s - 10.0).abs() < 0.01);
         // Faster than ideal (measurement noise) clamps to 1.
-        let s = a.slowdown(&FlowFct { size: 1000, fct: ideal / 2 });
+        let s = a.slowdown(&FlowFct {
+            size: 1000,
+            fct: ideal / 2,
+        });
         assert_eq!(s, 1.0);
     }
 
@@ -187,10 +256,16 @@ mod tests {
         let mut flows = Vec::new();
         // 10 small flows with slowdown 2, 5 large flows with slowdown 4.
         for _ in 0..10 {
-            flows.push(FlowFct { size: 2_000, fct: a.ideal_fct(2_000) * 2 });
+            flows.push(FlowFct {
+                size: 2_000,
+                fct: a.ideal_fct(2_000) * 2,
+            });
         }
         for _ in 0..5 {
-            flows.push(FlowFct { size: 4_000_000, fct: a.ideal_fct(4_000_000) * 4 });
+            flows.push(FlowFct {
+                size: 4_000_000,
+                fct: a.ideal_fct(4_000_000) * 4,
+            });
         }
         let rows = a.bucketed_slowdowns(&flows, &buckets);
         assert_eq!(rows.len(), buckets.len());
@@ -208,7 +283,10 @@ mod tests {
     fn flows_larger_than_every_bucket_go_to_the_last_one() {
         let a = FctAnalyzer::new(LINE, RTT, true);
         let buckets = fb_hadoop_buckets();
-        let flows = vec![FlowFct { size: 50_000_000, fct: a.ideal_fct(50_000_000) * 3 }];
+        let flows = vec![FlowFct {
+            size: 50_000_000,
+            fct: a.ideal_fct(50_000_000) * 3,
+        }];
         let rows = a.bucketed_slowdowns(&flows, &buckets);
         assert_eq!(rows.last().unwrap().stats.unwrap().count, 1);
     }
@@ -225,7 +303,10 @@ mod tests {
     fn overall_summary() {
         let a = FctAnalyzer::new(LINE, RTT, true);
         let flows: Vec<FlowFct> = (1..=100)
-            .map(|k| FlowFct { size: 1000, fct: a.ideal_fct(1000) * k })
+            .map(|k| FlowFct {
+                size: 1000,
+                fct: a.ideal_fct(1000) * k,
+            })
             .collect();
         let s = a.overall(&flows).unwrap();
         assert_eq!(s.count, 100);

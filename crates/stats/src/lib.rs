@@ -18,13 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod fct;
-pub mod pfc;
 pub mod percentile;
+pub mod pfc;
 pub mod queue;
 pub mod series;
 
 pub use fct::{FctAnalyzer, FctBucket, SizeBucketStats};
-pub use pfc::PfcSummary;
 pub use percentile::{percentile, Percentiles};
+pub use pfc::PfcSummary;
 pub use queue::queue_cdf;
 pub use series::{goodput_series_gbps, jain_fairness_index};

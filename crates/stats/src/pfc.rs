@@ -25,11 +25,7 @@ pub struct PfcSummary {
 
 impl PfcSummary {
     /// Build a summary from per-port pause durations.
-    pub fn new(
-        per_port_pause: &[Duration],
-        pause_frames: u64,
-        elapsed: Duration,
-    ) -> Self {
+    pub fn new(per_port_pause: &[Duration], pause_frames: u64, elapsed: Duration) -> Self {
         PfcSummary {
             total_pause: per_port_pause
                 .iter()
@@ -139,10 +135,18 @@ mod tests {
 
     #[test]
     fn suppressed_bandwidth() {
-        let pauses = vec![Duration::from_ms(1), Duration::ZERO, Duration::ZERO, Duration::ZERO];
+        let pauses = vec![
+            Duration::from_ms(1),
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::ZERO,
+        ];
         // One of four hosts paused for a quarter of the run: 1/16 suppressed.
         let f = suppressed_bandwidth_fraction(&pauses, Duration::from_ms(4));
         assert!((f - 0.0625).abs() < 1e-9);
-        assert_eq!(suppressed_bandwidth_fraction(&[], Duration::from_ms(1)), 0.0);
+        assert_eq!(
+            suppressed_bandwidth_fraction(&[], Duration::from_ms(1)),
+            0.0
+        );
     }
 }

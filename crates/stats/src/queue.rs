@@ -33,7 +33,9 @@ pub fn queue_percentile(histogram: &[u64], bin_width: u64, p: f64) -> Option<u64
     if total == 0 {
         return None;
     }
-    let target = ((p.clamp(0.0, 100.0) / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let target = ((p.clamp(0.0, 100.0) / 100.0) * total as f64)
+        .ceil()
+        .max(1.0) as u64;
     let mut acc = 0u64;
     for (i, &count) in histogram.iter().enumerate() {
         acc += count;

@@ -320,7 +320,10 @@ mod tests {
         // One way: 2 us propagation + 2 hops of ~85 ns serialization for a
         // 1064-byte frame at 100 Gbps; doubled and rounded up -> 5-6 us.
         let rtt = t.suggested_base_rtt(1064);
-        assert!(rtt >= Duration::from_us(5) && rtt <= Duration::from_us(6), "rtt={rtt}");
+        assert!(
+            rtt >= Duration::from_us(5) && rtt <= Duration::from_us(6),
+            "rtt={rtt}"
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ mod tests {
         let bdp = Bandwidth::from_gbps(100).bdp_bytes(Duration::from_us(13));
         assert_eq!(bdp, 162_500);
         // 25 Gbps x 9 us (testbed T) = 28.125 KB.
-        assert_eq!(Bandwidth::from_gbps(25).bdp_bytes(Duration::from_us(9)), 28_125);
+        assert_eq!(
+            Bandwidth::from_gbps(25).bdp_bytes(Duration::from_us(9)),
+            28_125
+        );
     }
 
     #[test]
@@ -181,10 +184,7 @@ mod tests {
         assert_eq!(b.mul_f64(0.5), Bandwidth::from_gbps(50));
         assert_eq!(b.min(Bandwidth::from_gbps(25)), Bandwidth::from_gbps(25));
         assert_eq!(b.max(Bandwidth::from_gbps(25)), b);
-        assert_eq!(
-            Bandwidth::from_gbps(25).saturating_sub(b),
-            Bandwidth::ZERO
-        );
+        assert_eq!(Bandwidth::from_gbps(25).saturating_sub(b), Bandwidth::ZERO);
     }
 
     #[test]

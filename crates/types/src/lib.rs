@@ -22,6 +22,7 @@ pub mod bandwidth;
 pub mod flow;
 pub mod ids;
 pub mod packet;
+pub mod rng;
 pub mod time;
 
 pub use bandwidth::Bandwidth;
@@ -31,4 +32,5 @@ pub use packet::{
     AckFlags, IntHeader, IntHopRecord, Packet, PacketKind, ACK_BASE_SIZE, DATA_HEADER_SIZE,
     INT_HOP_SIZE, MAX_INT_HOPS, PFC_FRAME_SIZE,
 };
+pub use rng::SplitMix64;
 pub use time::{Duration, SimTime};

@@ -9,7 +9,7 @@
 //! 120 KB) is preserved, which is what the FCT-slowdown comparisons depend
 //! on.
 
-use rand::Rng;
+use hpcc_types::rng::SplitMix64;
 
 /// A piecewise-linear flow-size CDF that can be sampled.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,8 +71,8 @@ impl FlowSizeCdf {
     }
 
     /// Draw one flow size.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        self.quantile(rng.gen::<f64>())
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        self.quantile(rng.next_f64())
     }
 
     /// Mean flow size implied by the piecewise-linear CDF.
@@ -158,8 +158,6 @@ pub fn fixed_size(size: u64) -> FlowSizeCdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn quantile_interpolates_and_clamps() {
@@ -203,7 +201,7 @@ mod tests {
     #[test]
     fn sampling_matches_the_cdf_statistically() {
         let cdf = fb_hadoop();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let n = 50_000;
         let mut below_1k = 0;
         let mut sum = 0f64;
@@ -216,15 +214,36 @@ mod tests {
             sum += s as f64;
         }
         let frac = below_1k as f64 / n as f64;
-        assert!((frac - cdf.fraction_below(1_000)).abs() < 0.02, "frac = {frac}");
+        assert!(
+            (frac - cdf.fraction_below(1_000)).abs() < 0.02,
+            "frac = {frac}"
+        );
         let mean = sum / n as f64;
-        assert!((mean - cdf.mean()).abs() / cdf.mean() < 0.1, "mean = {mean}");
+        assert!(
+            (mean - cdf.mean()).abs() / cdf.mean() < 0.1,
+            "mean = {mean}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let cdf = websearch();
+        let draw = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            (0..1000)
+                .map(|_| cdf.sample(&mut rng))
+                .collect::<Vec<u64>>()
+        };
+        // The same seed reproduces the exact sample sequence…
+        assert_eq!(draw(42), draw(42));
+        // …and different seeds give different sequences.
+        assert_ne!(draw(42), draw(43));
     }
 
     #[test]
     fn fixed_distribution_always_returns_its_size() {
         let cdf = fixed_size(500_000);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         for _ in 0..10 {
             assert_eq!(cdf.sample(&mut rng), 500_000);
         }

@@ -6,9 +6,8 @@
 //! Source and destination hosts are drawn uniformly at random (distinct).
 
 use crate::cdf::FlowSizeCdf;
+use hpcc_types::rng::SplitMix64;
 use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates background flows at a target average load.
 #[derive(Clone, Debug)]
@@ -36,7 +35,10 @@ impl LoadGenerator {
         seed: u64,
     ) -> Self {
         assert!(hosts.len() >= 2, "need at least two hosts");
-        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1], got {load}");
+        assert!(
+            load > 0.0 && load <= 1.0,
+            "load must be in (0, 1], got {load}"
+        );
         LoadGenerator {
             hosts,
             host_bandwidth,
@@ -60,27 +62,26 @@ impl LoadGenerator {
     /// `arrival_rate * mean_flow_size` bytes/s, which we set to
     /// `load * n_hosts * host_bandwidth / 8`.
     pub fn arrival_rate_per_sec(&self) -> f64 {
-        let capacity_bytes_per_sec =
-            self.hosts.len() as f64 * self.host_bandwidth.bytes_per_sec();
+        let capacity_bytes_per_sec = self.hosts.len() as f64 * self.host_bandwidth.bytes_per_sec();
         self.load * capacity_bytes_per_sec / self.cdf.mean()
     }
 
     /// Generate all flows arriving within `[0, duration)`.
     pub fn generate(&mut self, duration: Duration) -> Vec<FlowSpec> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let lambda = self.arrival_rate_per_sec();
         let mut flows = Vec::new();
         let mut t = 0.0f64; // seconds
         let horizon = duration.as_secs_f64();
         loop {
             // Exponential inter-arrival.
-            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let u: f64 = rng.next_f64().max(1e-12);
             t += -u.ln() / lambda;
             if t >= horizon {
                 break;
             }
-            let src_i = rng.gen_range(0..self.hosts.len());
-            let mut dst_i = rng.gen_range(0..self.hosts.len() - 1);
+            let src_i = rng.next_below(self.hosts.len() as u64) as usize;
+            let mut dst_i = rng.next_below(self.hosts.len() as u64 - 1) as usize;
             if dst_i >= src_i {
                 dst_i += 1;
             }
@@ -160,9 +161,55 @@ mod tests {
     }
 
     #[test]
+    fn poisson_inter_arrival_mean_matches_the_rate() {
+        // With a fixed flow size the arrival rate is exactly
+        // load * n * bw / (8 * size); the empirical mean inter-arrival gap
+        // must match 1/lambda within a few percent over many arrivals.
+        let bw = Bandwidth::from_gbps(25);
+        let mut g = LoadGenerator::new(hosts(16), bw, 0.4, fixed_size(20_000), 5);
+        let lambda = g.arrival_rate_per_sec();
+        let expected_gap = 1.0 / lambda;
+        let flows = g.generate(Duration::from_ms(400));
+        assert!(
+            flows.len() > 2_000,
+            "need many arrivals, got {}",
+            flows.len()
+        );
+        let gaps: Vec<f64> = flows
+            .windows(2)
+            .map(|w| (w[1].start - w[0].start).as_secs_f64())
+            .collect();
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (mean_gap - expected_gap).abs() / expected_gap < 0.05,
+            "mean gap {mean_gap:e} vs expected {expected_gap:e}"
+        );
+        // Exponential inter-arrivals: the standard deviation is close to the
+        // mean (coefficient of variation ~ 1), unlike a periodic process.
+        let var = gaps
+            .iter()
+            .map(|g| (g - mean_gap) * (g - mean_gap))
+            .sum::<f64>()
+            / gaps.len() as f64;
+        let cv = var.sqrt() / mean_gap;
+        assert!((cv - 1.0).abs() < 0.1, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let make = |seed: u64| {
+            LoadGenerator::new(hosts(8), Bandwidth::from_gbps(25), 0.3, websearch(), seed)
+                .generate(Duration::from_ms(20))
+        };
+        assert_eq!(make(11), make(11));
+        assert_ne!(make(11), make(12));
+    }
+
+    #[test]
     fn flow_id_offset_is_respected() {
-        let mut g = LoadGenerator::new(hosts(4), Bandwidth::from_gbps(25), 0.2, fixed_size(1000), 3)
-            .with_first_flow_id(1_000_000);
+        let mut g =
+            LoadGenerator::new(hosts(4), Bandwidth::from_gbps(25), 0.2, fixed_size(1000), 3)
+                .with_first_flow_id(1_000_000);
         let flows = g.generate(Duration::from_ms(10));
         assert!(flows.iter().all(|f| f.id.raw() >= 1_000_000));
     }

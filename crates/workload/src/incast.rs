@@ -8,9 +8,8 @@
 //! ([`IncastGenerator`], mirroring §5.3's "incast traffic load is 2% of the
 //! network capacity").
 
+use hpcc_types::rng::SplitMix64;
 use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One incast burst: every host in `senders` sends `size` bytes to
 /// `receiver` starting at `start`. Flow ids are `first_id..`.
@@ -97,18 +96,18 @@ impl IncastGenerator {
 
     /// Generate all bursts within `[0, duration)`.
     pub fn generate(&self, duration: Duration) -> Vec<FlowSpec> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let period = self.burst_period();
         let mut flows = Vec::new();
         let mut id = self.first_id;
         let mut t = period; // first burst after one period, not at t=0
         while t < duration {
             // Pick a receiver and `fan_in` distinct senders.
-            let recv_i = rng.gen_range(0..self.hosts.len());
+            let recv_i = rng.next_below(self.hosts.len() as u64) as usize;
             let receiver = self.hosts[recv_i];
             let mut senders = Vec::with_capacity(self.fan_in);
             while senders.len() < self.fan_in.min(self.hosts.len() - 1) {
-                let s = self.hosts[rng.gen_range(0..self.hosts.len())];
+                let s = self.hosts[rng.next_below(self.hosts.len() as u64) as usize];
                 if s != receiver && !senders.contains(&s) {
                     senders.push(s);
                 }
@@ -181,6 +180,36 @@ mod tests {
         }
         // Flow ids don't collide with the background generator convention.
         assert!(flows.iter().all(|f| f.id.raw() >= 10_000_000));
+    }
+
+    #[test]
+    fn burst_count_and_flow_count_match_the_period() {
+        let g = IncastGenerator::paper_default(hosts(64), Bandwidth::from_gbps(25), 9)
+            .with_fan_in(12)
+            .with_flow_size(250_000)
+            .with_capacity_fraction(0.04);
+        let d = Duration::from_ms(150);
+        let flows = g.generate(d);
+        // Bursts fire at period, 2*period, … while t < duration, each
+        // contributing exactly fan_in flows.
+        let period = g.burst_period();
+        let expected_bursts = ((d.as_ps() - 1) / period.as_ps()) as usize;
+        assert!(expected_bursts > 0);
+        assert_eq!(flows.len(), expected_bursts * 12);
+        let starts: std::collections::BTreeSet<_> = flows.iter().map(|f| f.start).collect();
+        assert_eq!(starts.len(), expected_bursts);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let make = |seed: u64| {
+            IncastGenerator::paper_default(hosts(32), Bandwidth::from_gbps(25), seed)
+                .with_fan_in(8)
+                .with_capacity_fraction(0.05)
+                .generate(Duration::from_ms(100))
+        };
+        assert_eq!(make(3), make(3));
+        assert_ne!(make(3), make(4));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cargo run --release --example datacenter_load -- 0.5 40  # 50% load, 40 ms
 //! ```
 
-use hpcc::core::presets::{scheme_by_label, testbed_websearch};
+use hpcc::core::presets::testbed_websearch;
 use hpcc::core::report;
 use hpcc::prelude::*;
 use hpcc::stats::fct::websearch_buckets;
@@ -18,7 +18,6 @@ fn main() {
     let load: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.3);
     let millis: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
     let duration = Duration::from_ms(millis);
-    let host_bw = Bandwidth::from_gbps(25);
 
     println!(
         "== testbed PoD (32 x 25G hosts, 4 ToR + 1 Agg), WebSearch at {:.0}% load, {} ms ==\n",
@@ -28,18 +27,18 @@ fn main() {
 
     let mut results = Vec::new();
     for label in ["HPCC", "DCQCN"] {
-        let cc = scheme_by_label(label, host_bw, Duration::from_us(9));
         let exp = testbed_websearch(
             label,
-            cc,
+            CcSpec::by_label(label),
             load,
             duration,
             None,
             None,
             FlowControlMode::Lossless,
             42,
-        );
-        let n_flows = exp.flows.len();
+        )
+        .build();
+        let n_flows = exp.flows().len();
         let res = exp.run();
         println!(
             "{label:>8}: {}/{} flows finished, 99p queue {:.1} KB, PFC pause time {:.3}%",
@@ -53,7 +52,10 @@ fn main() {
     let refs: Vec<&ExperimentResults> = results.iter().collect();
 
     println!("\n-- 95th-percentile FCT slowdown per flow size (Figure 10a/10c shape) --");
-    print!("{}", report::slowdown_table(&refs, &websearch_buckets(), 95.0));
+    print!(
+        "{}",
+        report::slowdown_table(&refs, &websearch_buckets(), 95.0)
+    );
 
     println!("\n-- switch queue occupancy (Figure 10b/10d shape) --");
     print!("{}", report::queue_table(&refs));

@@ -16,9 +16,8 @@ fn main() {
     let duration = Duration::from_ms(6);
 
     for label in ["HPCC", "DCQCN"] {
-        let cc = hpcc::core::presets::scheme_by_label(label, host_bw, Duration::from_us(13));
-        let exp = fairness(cc, host_bw, join_interval, duration);
-        let bin = exp.cfg.flow_throughput_bin.unwrap();
+        let exp = fairness(CcSpec::by_label(label), host_bw, join_interval, duration).build();
+        let bin = exp.config().flow_throughput_bin.unwrap();
         let res = exp.run();
 
         println!("== {label}: four flows join every {join_interval} ==");

@@ -24,13 +24,13 @@ fn main() {
         ("per-ACK", HpccReactionMode::PerAck),
         ("per-RTT", HpccReactionMode::PerRtt),
     ] {
-        let cc = CcAlgorithm::Hpcc(HpccConfig {
+        let cc = CcSpec::Hpcc(HpccConfig {
             mode,
             ..HpccConfig::default()
         });
-        let exp = incast_on_star(label, cc, n_senders, flow_size, host_bw, duration);
-        let trace_port = star_egress_to(&exp.topo, exp.flows[0].dst);
-        let bin = exp.cfg.flow_throughput_bin.unwrap();
+        let exp = incast_on_star(label, cc, n_senders, flow_size, host_bw, duration).build();
+        let trace_port = star_egress_to(exp.topology(), exp.flows()[0].dst);
+        let bin = exp.config().flow_throughput_bin.unwrap();
         let res = exp.run();
 
         // Peak queue and time to drain it.

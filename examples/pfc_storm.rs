@@ -15,15 +15,11 @@ fn main() {
 
     // DCQCN on the testbed PoD with a small shared buffer and 16-to-1
     // incast bursts on top of 30% background load.
-    let exp = pfc_storm(0.3, 16, duration, 7);
-    let res = exp.run();
+    let res = pfc_storm(0.3, 16, duration, 7).run();
     let pfc = res.pfc_summary();
     let spread = res.pfc_burst_spread(Duration::from_us(200));
     println!("== DCQCN + incast bursts on the PoD (small buffer) ==");
-    println!(
-        "  pause frames sent      : {}",
-        pfc.pause_frames
-    );
+    println!("  pause frames sent      : {}", pfc.pause_frames);
     println!(
         "  ports ever paused      : {}/{}",
         pfc.paused_ports, pfc.total_ports
@@ -49,17 +45,17 @@ fn main() {
     );
 
     // The same kind of workload with HPCC on a small Clos fabric: no pauses.
-    let exp = fattree_fb_hadoop(
+    let res = fattree_fb_hadoop(
         "HPCC",
-        CcAlgorithm::hpcc_default(),
+        CcSpec::by_label("HPCC"),
         FatTreeParams::small(),
         0.3,
         duration,
         true,
         FlowControlMode::Lossless,
         7,
-    );
-    let res = exp.run();
+    )
+    .run();
     let pfc = res.pfc_summary();
     println!("\n== HPCC + incast bursts on a small Clos fabric ==");
     println!("  pause frames sent      : {}", pfc.pause_frames);

@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hpcc::core::presets::{incast_on_star, scheme_by_label};
+use hpcc::core::presets::incast_on_star;
 use hpcc::core::report;
 use hpcc::prelude::*;
 
@@ -19,9 +19,15 @@ fn main() {
 
     let mut results = Vec::new();
     for label in ["HPCC", "DCQCN"] {
-        let cc = scheme_by_label(label, host_bw, Duration::from_us(13));
-        let exp = incast_on_star(label, cc, 2, flow_size, host_bw, duration);
-        let res = exp.run();
+        let spec = incast_on_star(
+            label,
+            CcSpec::by_label(label),
+            2,
+            flow_size,
+            host_bw,
+            duration,
+        );
+        let res = spec.run();
         println!(
             "{label:>8}: {} flows finished, 99p queue = {:.1} KB, max queue = {:.1} KB, \
              PFC pause frames = {}",

@@ -17,17 +17,31 @@
 //!
 //! ## Quick start
 //!
+//! Scenarios are declared as plain data ([`ScenarioSpec`]), built into
+//! experiments, and run — one at a time or as a parallel [`Campaign`]:
+//!
 //! ```
 //! use hpcc::prelude::*;
 //!
-//! // A 16-to-1 incast on a single switch, HPCC vs DCQCN.
+//! // An 8-to-1 incast on a single switch, HPCC vs DCQCN, as a campaign.
 //! let bw = Bandwidth::from_gbps(25);
-//! let exp = hpcc::core::presets::incast_on_star(
-//!     "HPCC", CcAlgorithm::hpcc_default(), 8, 100_000, bw, Duration::from_ms(5));
-//! let results = exp.run();
-//! assert_eq!(results.completion_fraction(), 1.0);
-//! assert_eq!(results.pfc_summary().pause_frames, 0);
+//! let campaign = Campaign::from_scenarios(
+//!     ["HPCC", "DCQCN"]
+//!         .map(|label| hpcc::core::presets::incast_on_star(
+//!             label, CcSpec::by_label(label), 8, 100_000, bw, Duration::from_ms(5)))
+//!         .to_vec(),
+//! );
+//! let report = campaign.run(); // one OS thread per scenario
+//! assert_eq!(report.results.len(), 2);
+//! let hpcc_run = &report.results[0];
+//! assert_eq!(hpcc_run.completion, 1.0);
+//! assert_eq!(hpcc_run.pfc.pause_frames, 0);
+//! // Bit-identical to a serial run of the same specs:
+//! assert_eq!(campaign.run_serial().digests(), report.digests());
 //! ```
+//!
+//! [`ScenarioSpec`]: crate::core::ScenarioSpec
+//! [`Campaign`]: crate::core::Campaign
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,16 +56,24 @@ pub use hpcc_workload as workload;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use hpcc_cc::{CcAlgorithm, CongestionControl, DcqcnConfig, DctcpConfig, HpccConfig,
-        HpccReactionMode, TimelyConfig};
-    pub use hpcc_core::{Experiment, ExperimentResults};
+    pub use hpcc_cc::{
+        CcAlgorithm, CongestionControl, DcqcnConfig, DctcpConfig, HpccConfig, HpccReactionMode,
+        TimelyConfig,
+    };
+    pub use hpcc_core::{
+        Campaign, CampaignReport, CcSpec, CdfSpec, Experiment, ExperimentBuilder,
+        ExperimentResults, FlowDecl, ScenarioResult, ScenarioSpec, TopologyChoice, WorkloadSpec,
+    };
     pub use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig, SimOutput, Simulator};
     pub use hpcc_stats::{FctAnalyzer, Percentiles};
-    pub use hpcc_topology::{dumbbell, fat_tree, leaf_spine, star, testbed_pod, FatTreeParams,
-        TopologyBuilder, TopologySpec};
+    pub use hpcc_topology::{
+        dumbbell, fat_tree, leaf_spine, star, testbed_pod, FatTreeParams, TopologyBuilder,
+        TopologySpec,
+    };
     pub use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, Packet, SimTime};
-    pub use hpcc_workload::{fb_hadoop, fixed_size, incast, websearch, IncastGenerator,
-        LoadGenerator};
+    pub use hpcc_workload::{
+        fb_hadoop, fixed_size, incast, websearch, IncastGenerator, LoadGenerator,
+    };
 }
 
 #[cfg(test)]

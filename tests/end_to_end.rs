@@ -2,8 +2,7 @@
 //! the high-level API and check the paper's qualitative claims end to end.
 
 use hpcc::core::presets::{
-    elephant_mice, fattree_fb_hadoop, incast_on_star, long_short, scheme_by_label,
-    testbed_websearch, two_to_one,
+    elephant_mice, incast_on_star, long_short, testbed_websearch, two_to_one,
 };
 use hpcc::prelude::*;
 use hpcc::stats::series::{goodput_series_gbps, steady_state_gbps};
@@ -16,8 +15,13 @@ const BW100: Bandwidth = Bandwidth::from_gbps(100);
 #[test]
 fn mice_latency_is_much_lower_with_hpcc_than_dcqcn() {
     let run = |label: &str| {
-        let cc = scheme_by_label(label, BW100, Duration::from_us(13));
-        elephant_mice(cc, BW100, Duration::from_us(100), Duration::from_ms(3)).run()
+        elephant_mice(
+            CcSpec::by_label(label),
+            BW100,
+            Duration::from_us(100),
+            Duration::from_ms(3),
+        )
+        .run()
     };
     let hpcc = run("HPCC");
     let dcqcn = run("DCQCN");
@@ -49,8 +53,8 @@ fn mice_latency_is_much_lower_with_hpcc_than_dcqcn() {
 /// immediately with HPCC.
 #[test]
 fn long_flow_recovers_quickly_after_short_flow_leaves() {
-    let exp = long_short(CcAlgorithm::hpcc_default(), BW100, Duration::from_ms(3));
-    let bin = exp.cfg.flow_throughput_bin.unwrap();
+    let exp = long_short(CcSpec::by_label("HPCC"), BW100, Duration::from_ms(3)).build();
+    let bin = exp.config().flow_throughput_bin.unwrap();
     let res = exp.run();
     let series = goodput_series_gbps(&res.out.flow_goodput[&FlowId(1)], bin);
     // Steady state at the end of the run is back above 85 Gbps (eta = 95% of
@@ -67,8 +71,8 @@ fn long_flow_recovers_quickly_after_short_flow_leaves() {
 #[test]
 fn tx_rate_signal_is_more_stable_than_rx_rate() {
     let run = |use_rx: bool| {
-        let exp = two_to_one(use_rx, BW100, 4_000_000, Duration::from_ms(2));
-        let port = hpcc::core::presets::star_egress_to(&exp.topo, exp.flows[0].dst);
+        let exp = two_to_one(use_rx, BW100, 4_000_000, Duration::from_ms(2)).build();
+        let port = hpcc::core::presets::star_egress_to(exp.topology(), exp.flows()[0].dst);
         let res = exp.run();
         let trace = &res.out.port_traces[&port];
         // Skip the first 200 us transient, look at the rest of the transfer.
@@ -96,24 +100,23 @@ fn tx_rate_signal_is_more_stable_than_rx_rate() {
 #[test]
 fn incast_pfc_pauses_appear_with_dcqcn_but_not_hpcc_or_windowed() {
     let run = |label: &str| {
-        let cc = scheme_by_label(label, Bandwidth::from_gbps(25), Duration::from_us(9));
         // 24-to-1 incast on the PoD: most senders are in other racks, so the
         // burst funnels through the receiving ToR's single Agg-facing
         // ingress. DCQCN's unlimited inflight bytes push that ingress past
         // the 11%-of-free-buffer PFC threshold; HPCC's BDP-bounded windows
         // stay far below it.
-        let mut exp = testbed_websearch(
+        testbed_websearch(
             label,
-            cc,
+            CcSpec::by_label(label),
             0.3,
             Duration::from_ms(15),
             Some(24),
             None,
             FlowControlMode::Lossless,
             11,
-        );
-        exp.cfg.buffer_bytes = 16_000_000;
-        exp.run()
+        )
+        .with_buffer_bytes(16_000_000)
+        .run()
     };
     let dcqcn = run("DCQCN");
     let dcqcn_win = run("DCQCN+win");
@@ -122,7 +125,11 @@ fn incast_pfc_pauses_appear_with_dcqcn_but_not_hpcc_or_windowed() {
         dcqcn.pfc_summary().pause_frames > 0,
         "DCQCN under incast should trigger PFC"
     );
-    assert_eq!(hpcc.pfc_summary().pause_frames, 0, "HPCC must not trigger PFC");
+    assert_eq!(
+        hpcc.pfc_summary().pause_frames,
+        0,
+        "HPCC must not trigger PFC"
+    );
     assert!(
         dcqcn_win.pfc_summary().pause_frames < dcqcn.pfc_summary().pause_frames / 2,
         "adding a window must cut PFC pauses drastically ({} vs {})",
@@ -131,9 +138,18 @@ fn incast_pfc_pauses_appear_with_dcqcn_but_not_hpcc_or_windowed() {
     );
     // HPCC finishes almost everything within the horizon; DCQCN, throttled
     // by CNPs and PFC pauses, finishes fewer but still makes progress.
-    assert!(hpcc.completion_fraction() > 0.75, "HPCC {}", hpcc.completion_fraction());
+    assert!(
+        hpcc.completion_fraction() > 0.75,
+        "HPCC {}",
+        hpcc.completion_fraction()
+    );
     for res in [&dcqcn, &dcqcn_win] {
-        assert!(res.completion_fraction() > 0.5, "{} {}", res.label, res.completion_fraction());
+        assert!(
+            res.completion_fraction() > 0.5,
+            "{} {}",
+            res.label,
+            res.completion_fraction()
+        );
         assert!(
             hpcc.completion_fraction() >= res.completion_fraction() - 0.02,
             "HPCC should finish at least as large a fraction as {}",
@@ -150,10 +166,9 @@ fn incast_pfc_pauses_appear_with_dcqcn_but_not_hpcc_or_windowed() {
 #[test]
 fn websearch_short_flow_tail_and_queues_favor_hpcc() {
     let run = |label: &str| {
-        let cc = scheme_by_label(label, Bandwidth::from_gbps(25), Duration::from_us(9));
         testbed_websearch(
             label,
-            cc,
+            CcSpec::by_label(label),
             0.3,
             Duration::from_ms(15),
             None,
@@ -174,7 +189,11 @@ fn websearch_short_flow_tail_and_queues_favor_hpcc() {
         s_hpcc.p95,
         s_dcqcn.p95
     );
-    assert!(s_hpcc.p50 < 2.5, "HPCC median short-flow slowdown {:.2}", s_hpcc.p50);
+    assert!(
+        s_hpcc.p50 < 2.5,
+        "HPCC median short-flow slowdown {:.2}",
+        s_hpcc.p50
+    );
     // Time-average queue occupancy: DCQCN's standing queues (held near its
     // ECN threshold whenever flows share a link) dominate HPCC's.
     let mean_queue = |res: &ExperimentResults| {
@@ -202,17 +221,73 @@ fn websearch_short_flow_tail_and_queues_favor_hpcc() {
     assert_eq!(dcqcn.out.total_drops(), 0);
 }
 
+/// The declarative API end to end: the Figure 11 scheme set declared as a
+/// campaign, serialized to a JSON manifest, parsed back, and run both
+/// serially and in parallel — with bit-identical per-scenario results.
+#[test]
+fn campaign_of_six_schemes_is_deterministic_across_threads_and_serialization() {
+    let scenarios: Vec<ScenarioSpec> = hpcc::core::SCHEME_SET_FIG11
+        .iter()
+        .map(|label| {
+            incast_on_star(
+                *label,
+                CcSpec::by_label(*label),
+                12,
+                300_000,
+                Bandwidth::from_gbps(25),
+                Duration::from_ms(4),
+            )
+            .with_seed(9)
+        })
+        .collect();
+    let campaign = Campaign::from_scenarios(scenarios);
+    assert_eq!(campaign.len(), 6);
+
+    // The manifest round-trips.
+    let manifest = campaign.to_json_string();
+    let parsed = Campaign::from_json_str(&manifest).expect("manifest parses");
+    assert_eq!(parsed, campaign);
+
+    // Parallel == serial == run-from-parsed-manifest, bit for bit.
+    let serial = campaign.run_serial();
+    let parallel = campaign.run_with_threads(6);
+    let from_manifest = parsed.run();
+    assert_eq!(serial.digests(), parallel.digests());
+    assert_eq!(serial.digests(), from_manifest.digests());
+    for r in &parallel.results {
+        assert!(r.completion > 0.0, "{} made no progress", r.name);
+    }
+    // HPCC keeps the incast queue far below DCQCN's (§5.4).
+    let by_name = |name: &str| {
+        parallel
+            .results
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .queue_p99
+            .unwrap_or(0)
+    };
+    assert!(by_name("HPCC") < by_name("DCQCN"));
+}
+
 /// §3.3 / Figure 14: a too-large W_AI builds queues; the rule-of-thumb value
 /// keeps them tiny while still sharing fairly.
 #[test]
 fn wai_rule_of_thumb_keeps_incast_queue_small() {
     let run = |wai: u64| {
-        let cc = CcAlgorithm::Hpcc(HpccConfig {
+        let cc = CcSpec::Hpcc(HpccConfig {
             wai,
             ..HpccConfig::default()
         });
-        let label = Box::leak(format!("WAI={wai}").into_boxed_str());
-        incast_on_star(label, cc, 16, 2_000_000, BW100, Duration::from_ms(3)).run()
+        incast_on_star(
+            format!("WAI={wai}"),
+            cc,
+            16,
+            2_000_000,
+            BW100,
+            Duration::from_ms(3),
+        )
+        .run()
     };
     // Rule of thumb for 16 flows at 100 Gbps with the star's ~4-6 us RTT is
     // on the order of 100-200 bytes; 16 KB is far beyond it.

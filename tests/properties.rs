@@ -1,11 +1,17 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants that the rest of the system leans on.
+//! Property-style tests on the core data structures and invariants that the
+//! rest of the system leans on.
+//!
+//! The original proptest harness is replaced by deterministic seeded
+//! sampling (the build environment vendors no external crates): each
+//! property is checked against a few hundred pseudo-random cases drawn from
+//! a fixed-seed [`SplitMix64`] stream, so failures reproduce exactly.
 
-use hpcc::cc::{build_cc, AckEvent, CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig,
-    TimelyConfig};
+use hpcc::cc::{
+    build_cc, AckEvent, CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig,
+};
 use hpcc::prelude::*;
+use hpcc::types::rng::SplitMix64;
 use hpcc::types::{IntHeader, IntHopRecord};
-use proptest::prelude::*;
 
 const LINE: Bandwidth = Bandwidth::from_gbps(100);
 const RTT: Duration = Duration::from_us(13);
@@ -21,91 +27,104 @@ fn all_schemes() -> Vec<CcAlgorithm> {
     ]
 }
 
-proptest! {
-    /// Time arithmetic: (t + d) - d == t and durations add commutatively,
-    /// for any representable values.
-    #[test]
-    fn time_arithmetic_roundtrips(t_ns in 0u64..u64::MAX / 4_000, d_ns in 0u64..u64::MAX / 4_000) {
-        let t = SimTime::from_ns(t_ns);
-        let d = Duration::from_ns(d_ns);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!(t.saturating_since(t + d), Duration::ZERO);
+/// Time arithmetic: (t + d) - d == t and durations add commutatively, for
+/// any representable values.
+#[test]
+fn time_arithmetic_roundtrips() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..500 {
+        let t = SimTime::from_ns(rng.next_below(u64::MAX / 4_000));
+        let d = Duration::from_ns(rng.next_below(u64::MAX / 4_000));
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.saturating_since(t + d), Duration::ZERO);
     }
+}
 
-    /// Bandwidth: tx_time and bytes_in invert each other (within one byte of
-    /// rounding) for realistic link speeds and packet sizes.
-    #[test]
-    fn bandwidth_tx_time_inverts(gbps in 1u64..800, bytes in 1u64..1_000_000) {
+/// Bandwidth: tx_time and bytes_in invert each other (within one byte of
+/// rounding) for realistic link speeds and packet sizes.
+#[test]
+fn bandwidth_tx_time_inverts() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..500 {
+        let gbps = 1 + rng.next_below(799);
+        let bytes = 1 + rng.next_below(999_999);
         let b = Bandwidth::from_gbps(gbps);
         let d = b.tx_time(bytes);
         let back = b.bytes_in(d);
-        prop_assert!(back.abs_diff(bytes) <= 1, "{} -> {} -> {}", bytes, d, back);
+        assert!(back.abs_diff(bytes) <= 1, "{bytes} -> {d} -> {back}");
     }
+}
 
-    /// The INT header's wire size always matches 2 + 8 * hops, and the path
-    /// id is the XOR of all pushed switch ids regardless of overflow.
-    #[test]
-    fn int_header_size_and_path_id(ids in proptest::collection::vec(0u16..4096, 0..12)) {
+/// The INT header's wire size always matches 2 + 8 * hops, and the path id
+/// is the XOR of all pushed switch ids regardless of overflow.
+#[test]
+fn int_header_size_and_path_id() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..200 {
+        let n = rng.next_below(12) as usize;
+        let ids: Vec<u16> = (0..n).map(|_| rng.next_below(4096) as u16).collect();
         let mut h = IntHeader::new();
         for (i, id) in ids.iter().enumerate() {
-            h.push_hop(*id, IntHopRecord {
-                bandwidth: LINE,
-                ts: SimTime::from_ns(i as u64),
-                tx_bytes: i as u64 * 1000,
-                rx_bytes: i as u64 * 1000,
-                qlen: i as u64,
-            });
+            h.push_hop(
+                *id,
+                IntHopRecord {
+                    bandwidth: LINE,
+                    ts: SimTime::from_ns(i as u64),
+                    tx_bytes: i as u64 * 1000,
+                    rx_bytes: i as u64 * 1000,
+                    qlen: i as u64,
+                },
+            );
         }
         let expected_hops = ids.len().min(hpcc::types::MAX_INT_HOPS);
-        prop_assert_eq!(h.n_hops as usize, expected_hops);
-        prop_assert_eq!(h.wire_size(), 2 + 8 * expected_hops as u64);
+        assert_eq!(h.n_hops as usize, expected_hops);
+        assert_eq!(h.wire_size(), 2 + 8 * expected_hops as u64);
         let xor = ids.iter().fold(0u16, |acc, id| acc ^ id);
-        prop_assert_eq!(h.path_id, xor);
+        assert_eq!(h.path_id, xor);
     }
+}
 
-    /// Every congestion-control algorithm keeps its rate within
-    /// [min, line rate] and its window positive, no matter what sequence of
-    /// ACK / ECN / CNP / loss / timer events it sees.
-    #[test]
-    fn cc_state_stays_bounded(
-        seed in 0u64..u64::MAX,
-        steps in 10usize..200,
-    ) {
-        let mut x = seed | 1;
-        let mut next = move || {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            x
-        };
+/// Every congestion-control algorithm keeps its rate within [min, line rate]
+/// and its window positive, no matter what sequence of ACK / ECN / CNP /
+/// loss / timer events it sees.
+#[test]
+fn cc_state_stays_bounded() {
+    let mut seeds = SplitMix64::new(0xD1CE);
+    for _ in 0..25 {
+        let seed = seeds.next_u64();
+        let steps = 10 + seeds.next_below(190) as usize;
+        let mut rng = SplitMix64::new(seed);
         for alg in all_schemes() {
             let mut cc = build_cc(&alg, LINE, RTT, 1000);
             let mut now = SimTime::ZERO;
             let mut tx_bytes = 0u64;
             let mut seq = 0u64;
             for _ in 0..steps {
-                now = now + Duration::from_ns(1 + next() % 20_000);
-                let r = next() % 100;
+                now += Duration::from_ns(1 + rng.next_below(20_000));
+                let r = rng.next_below(100);
                 if r < 60 {
                     // ACK with plausible INT contents.
-                    tx_bytes += next() % 200_000;
-                    seq += 1000 + next() % 50_000;
+                    tx_bytes += rng.next_below(200_000);
+                    seq += 1000 + rng.next_below(50_000);
                     let mut int = IntHeader::new();
-                    int.push_hop(1, IntHopRecord {
-                        bandwidth: LINE,
-                        ts: now,
-                        tx_bytes,
-                        rx_bytes: tx_bytes,
-                        qlen: next() % 2_000_000,
-                    });
+                    int.push_hop(
+                        1,
+                        IntHopRecord {
+                            bandwidth: LINE,
+                            ts: now,
+                            tx_bytes,
+                            rx_bytes: tx_bytes,
+                            qlen: rng.next_below(2_000_000),
+                        },
+                    );
                     let ack = AckEvent {
                         now,
                         ack_seq: seq,
-                        snd_nxt: seq + next() % 200_000,
+                        snd_nxt: seq + rng.next_below(200_000),
                         newly_acked: 1000,
-                        ecn_echo: next() % 4 == 0,
-                        rtt: Duration::from_us(5 + next() % 500),
+                        ecn_echo: rng.next_below(4) == 0,
+                        rtt: Duration::from_us(5 + rng.next_below(500)),
                         int: &int,
                     };
                     cc.on_ack(&ack);
@@ -119,32 +138,42 @@ proptest! {
                     }
                 }
                 let st = cc.state();
-                prop_assert!(st.rate.as_bps() > 0, "{}: zero rate", cc.name());
-                prop_assert!(st.rate <= LINE, "{}: rate above line", cc.name());
-                prop_assert!(st.window > 0, "{}: zero window", cc.name());
+                assert!(st.rate.as_bps() > 0, "{}: zero rate", cc.name());
+                assert!(st.rate <= LINE, "{}: rate above line", cc.name());
+                assert!(st.window > 0, "{}: zero window", cc.name());
             }
         }
     }
+}
 
-    /// The workload CDFs always return sizes inside their support and the
-    /// quantile function is monotone.
-    #[test]
-    fn flow_size_cdfs_are_well_behaved(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+/// The workload CDFs always return sizes inside their support and the
+/// quantile function is monotone.
+#[test]
+fn flow_size_cdfs_are_well_behaved() {
+    let mut rng = SplitMix64::new(0xFACADE);
+    for _ in 0..500 {
+        let (u1, u2) = (rng.next_f64(), rng.next_f64());
         for cdf in [websearch(), fb_hadoop()] {
             let (lo, hi) = (u1.min(u2), u1.max(u2));
             let a = cdf.quantile(lo);
             let b = cdf.quantile(hi);
-            prop_assert!(a >= 1);
-            prop_assert!(b <= cdf.points().last().unwrap().0);
-            prop_assert!(a <= b, "{}: quantile not monotone", cdf.name());
+            assert!(a >= 1);
+            assert!(b <= cdf.points().last().unwrap().0);
+            assert!(a <= b, "{}: quantile not monotone", cdf.name());
         }
     }
+}
 
-    /// ECMP routing: every host pair in a leaf-spine fabric has at least one
-    /// route from every node on the path, and the path length is bounded by
-    /// 4 hops (host-ToR-spine-ToR-host).
-    #[test]
-    fn leaf_spine_routing_is_complete(n_leaf in 2usize..5, n_spine in 1usize..4, hosts_per in 1usize..4) {
+/// ECMP routing: every host pair in a leaf-spine fabric has at least one
+/// route from every node on the path, and the path length is bounded by
+/// 4 hops (host-ToR-spine-ToR-host).
+#[test]
+fn leaf_spine_routing_is_complete() {
+    let mut rng = SplitMix64::new(0x5EED);
+    for _ in 0..12 {
+        let n_leaf = 2 + rng.next_below(3) as usize;
+        let n_spine = 1 + rng.next_below(3) as usize;
+        let hosts_per = 1 + rng.next_below(3) as usize;
         let topo = leaf_spine(
             n_leaf,
             n_spine,
@@ -160,8 +189,8 @@ proptest! {
                     continue;
                 }
                 let hops = topo.path_hops(src, dst);
-                prop_assert!(hops.is_some());
-                prop_assert!(hops.unwrap() <= 4);
+                assert!(hops.is_some());
+                assert!(hops.unwrap() <= 4);
             }
         }
     }
