@@ -8,19 +8,89 @@
 //!   cargo run --release -p hpcc-bench --bin campaign [duration_ms] [load]
 //!   cargo run --release -p hpcc-bench --bin campaign -- --manifest file.json
 //!   cargo run --release -p hpcc-bench --bin campaign -- --dump-manifest [duration_ms] [load]
+//!   cargo run --release -p hpcc-bench --bin campaign -- --events-per-sec [out.json]
 //!
 //! `--manifest` runs a JSON campaign manifest (an array of ScenarioSpec
 //! objects, see `hpcc_core::scenario`) instead of the built-in scheme set;
 //! `--dump-manifest` prints the built-in campaign as such a manifest (a
-//! starting point for hand-edited grids).
+//! starting point for hand-edited grids); `--events-per-sec` runs the fixed
+//! hot-path smoke scenario and writes engine-throughput numbers to
+//! `BENCH_hotpath.json` (or the given path) so CI can track the perf
+//! trajectory.
 
-use hpcc_core::presets::fig11_campaign;
-use hpcc_core::Campaign;
+use hpcc_core::campaign::digest_output;
+use hpcc_core::presets::{fattree_fb_hadoop, fig11_campaign};
+use hpcc_core::{Campaign, CcSpec};
+use hpcc_sim::FlowControlMode;
 use hpcc_topology::FatTreeParams;
 use hpcc_types::Duration;
+use std::time::Instant;
+
+/// Events/sec of the `BinaryHeap` event queue on the smoke scenario, measured
+/// on the CI reference machine before the indexed-wheel engine landed. Kept
+/// so every BENCH_hotpath.json records the speedup against the same baseline.
+const BASELINE_BINARYHEAP_EVENTS_PER_SEC: f64 = 3_350_000.0;
+
+/// Run the fixed hot-path smoke scenario and write throughput numbers as
+/// JSON: events/sec, wall-clock, peak event-queue length.
+///
+/// The scenario is deliberately frozen (HPCC on the scaled-down Clos fabric,
+/// 0.5 load plus incast, 5 ms, seed 42): the numbers are only comparable over
+/// time if the workload never moves.
+fn run_hotpath_smoke(out_path: &str) {
+    let spec = fattree_fb_hadoop(
+        "hotpath-smoke",
+        CcSpec::by_label("HPCC"),
+        FatTreeParams::small(),
+        0.5,
+        Duration::from_ms(5),
+        true,
+        FlowControlMode::Lossless,
+        42,
+    );
+    // Untimed warm-up run (page cache, branch predictors, allocator pools).
+    let warmup = spec.build().run();
+    let started = Instant::now();
+    let results = spec.build().run();
+    let wall = started.elapsed();
+    let out = &results.out;
+    assert_eq!(
+        digest_output(&warmup.out),
+        digest_output(out),
+        "smoke scenario must be deterministic"
+    );
+    let events_per_sec = out.events_processed as f64 / wall.as_secs_f64().max(1e-9);
+    let speedup = if BASELINE_BINARYHEAP_EVENTS_PER_SEC > 0.0 {
+        events_per_sec / BASELINE_BINARYHEAP_EVENTS_PER_SEC
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath-smoke\",\n  \"scenario\": \"fig11 HPCC, small Clos, load 0.5 + incast, 5 ms, seed 42\",\n  \"events_processed\": {},\n  \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.0},\n  \"peak_event_queue_len\": {},\n  \"flows_completed\": {},\n  \"digest\": \"{:016x}\",\n  \"baseline_binaryheap_events_per_sec\": {:.0},\n  \"baseline_note\": \"heap engine on the machine that recorded the baseline; speedup is only meaningful on comparable hardware\",\n  \"speedup_vs_baseline\": {:.3}\n}}\n",
+        out.events_processed,
+        wall.as_secs_f64(),
+        events_per_sec,
+        out.peak_event_queue,
+        out.flows.len(),
+        digest_output(out),
+        BASELINE_BINARYHEAP_EVENTS_PER_SEC,
+        speedup,
+    );
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    println!("wrote {out_path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--events-per-sec") {
+        let out_path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_hotpath.json");
+        run_hotpath_smoke(out_path);
+        return;
+    }
     if args.iter().any(|a| a == "--dump-manifest") {
         let positional: Vec<String> = args
             .iter()

@@ -1,0 +1,46 @@
+//! Golden-digest regression test for the event engine.
+//!
+//! The digests below were recorded with the original `BinaryHeap` event
+//! queue (after the `events_processed` horizon-count fix), running the
+//! Figure 11 preset set serially. The indexed event wheel, the reusable
+//! Effects arena, the packet pool and the dense flow-slot tables must all
+//! reproduce these runs bit for bit: any divergence in event ordering,
+//! packet contents or counters changes a digest.
+//!
+//! The digests were recorded on x86_64 Linux (the CI platform). Plain
+//! IEEE-754 arithmetic is bit-exact everywhere; the one libm call on the
+//! digest path (`f64::ln` in the Poisson arrival generator) could in theory
+//! differ on another libc. If a platform ever disagrees, record its digests
+//! in a `cfg`-gated table rather than weakening the test.
+
+use hpcc_core::presets::fig11_campaign;
+use hpcc_topology::FatTreeParams;
+use hpcc_types::Duration;
+
+/// (scheme label, FNV-1a digest of the raw serial SimOutput).
+const GOLDEN: [(&str, u64); 6] = [
+    ("DCQCN", 9696511560651529738),
+    ("TIMELY", 6158160786810326921),
+    ("DCQCN+win", 7446130154451631401),
+    ("TIMELY+win", 1109170641124816498),
+    ("DCTCP", 2347575181251293493),
+    ("HPCC", 16016071765438548943),
+];
+
+#[test]
+fn fig11_serial_digests_match_the_binaryheap_engine() {
+    let campaign = fig11_campaign(FatTreeParams::small(), 0.3, Duration::from_ms(3), true, 42);
+    let report = campaign.run_serial();
+    assert_eq!(report.results.len(), GOLDEN.len());
+    let actual: Vec<(String, u64)> = report
+        .results
+        .iter()
+        .map(|r| (r.name.clone(), r.digest))
+        .collect();
+    let expected: Vec<(String, u64)> = GOLDEN.iter().map(|(n, d)| (n.to_string(), *d)).collect();
+    assert_eq!(
+        actual, expected,
+        "engine no longer reproduces the BinaryHeap reference runs \
+         (actual digests on the left)"
+    );
+}

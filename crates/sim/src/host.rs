@@ -20,11 +20,14 @@ use hpcc_topology::PortDesc;
 use hpcc_types::{
     Bandwidth, Duration, FlowId, FlowSpec, NodeId, Packet, PacketKind, PortId, Priority, SimTime,
 };
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Sender-side state of one flow.
 struct SenderFlow {
     spec: FlowSpec,
+    /// Dense slot of this flow in the receiver's table (stamped on every
+    /// data packet so the receiver indexes without a hash lookup).
+    dst_slot: u32,
     cc: Box<dyn CongestionControl>,
     /// Cached CC outputs.
     window: u64,
@@ -89,16 +92,17 @@ pub struct Host {
     /// NIC line rate.
     pub bandwidth: Bandwidth,
     delay: Duration,
-    ctrl_queue: VecDeque<Packet>,
+    ctrl_queue: VecDeque<Box<Packet>>,
     busy: bool,
     data_paused: bool,
     pause_started: Option<SimTime>,
     /// NIC port counters (tx bytes, pause time, …).
     pub counters: PortCounters,
     flows: Vec<SenderFlow>,
-    flow_index: HashMap<FlowId, usize>,
     rr_cursor: usize,
-    recv: HashMap<FlowId, ReceiverFlow>,
+    /// Receiver-side flow state, indexed by the packet's `dst_slot` (dense
+    /// per-host slots assigned by the simulator at flow registration).
+    recv: Vec<ReceiverFlow>,
     wake_at: Option<SimTime>,
 }
 
@@ -128,15 +132,14 @@ impl Host {
             peer_port: p.peer_port,
             bandwidth: p.bandwidth,
             delay: p.delay,
-            ctrl_queue: VecDeque::new(),
+            ctrl_queue: VecDeque::with_capacity(16),
             busy: false,
             data_paused: false,
             pause_started: None,
             counters: PortCounters::default(),
             flows: Vec::new(),
-            flow_index: HashMap::new(),
             rr_cursor: 0,
-            recv: HashMap::new(),
+            recv: Vec::new(),
             wake_at: None,
         }
     }
@@ -147,9 +150,11 @@ impl Host {
     }
 
     /// The current (window, rate) of a flow, if it exists (for tracing).
+    ///
+    /// Cold path (tracing/tests only), so a linear scan over the flow table
+    /// replaces the hash map the hot path no longer needs.
     pub fn flow_state(&self, flow: FlowId) -> Option<(u64, Bandwidth)> {
-        let idx = *self.flow_index.get(&flow)?;
-        let f = &self.flows[idx];
+        let f = self.flows.iter().find(|f| f.spec.id == flow)?;
         Some((f.window, f.rate))
     }
 
@@ -158,6 +163,7 @@ impl Host {
         &mut self,
         now: SimTime,
         spec: FlowSpec,
+        dst_slot: u32,
         cfg: &SimConfig,
         eff: &mut Effects,
     ) {
@@ -177,6 +183,7 @@ impl Host {
         let cc = build_cc(&cfg.cc, self.bandwidth, cfg.base_rtt, cfg.mtu_payload);
         let mut flow = SenderFlow {
             spec,
+            dst_slot,
             window: 0,
             rate: Bandwidth::ZERO,
             cc,
@@ -193,7 +200,6 @@ impl Host {
         };
         flow.refresh_cc();
         let idx = self.flows.len();
-        self.flow_index.insert(spec.id, idx);
         self.flows.push(flow);
         self.ensure_cc_timer(idx, now, eff);
         eff.kicks.push((self.id, PortId(0)));
@@ -217,7 +223,7 @@ impl Host {
                     t,
                     Event::CcTimer {
                         node: self.id,
-                        flow: flow.spec.id,
+                        slot: idx as u32,
                     },
                 ));
             }
@@ -228,13 +234,14 @@ impl Host {
     pub(crate) fn handle_cc_timer(
         &mut self,
         now: SimTime,
-        flow_id: FlowId,
+        slot: u32,
         _cfg: &SimConfig,
         eff: &mut Effects,
     ) {
-        let Some(&idx) = self.flow_index.get(&flow_id) else {
+        let idx = slot as usize;
+        if idx >= self.flows.len() {
             return;
-        };
+        }
         {
             let flow = &mut self.flows[idx];
             if flow.finished {
@@ -256,13 +263,14 @@ impl Host {
     pub(crate) fn handle_rto(
         &mut self,
         now: SimTime,
-        flow_id: FlowId,
+        slot: u32,
         cfg: &SimConfig,
         eff: &mut Effects,
     ) {
-        let Some(&idx) = self.flow_index.get(&flow_id) else {
+        let idx = slot as usize;
+        if idx >= self.flows.len() {
             return;
-        };
+        }
         let flow = &mut self.flows[idx];
         if flow.finished {
             flow.rto_armed = false;
@@ -283,7 +291,7 @@ impl Host {
                 now + cfg.rto,
                 Event::RtoCheck {
                     node: self.id,
-                    flow: flow_id,
+                    slot,
                 },
             ));
         } else {
@@ -305,17 +313,18 @@ impl Host {
         self.busy = false;
     }
 
-    fn enqueue_ctrl(&mut self, pkt: Packet, eff: &mut Effects) {
+    fn enqueue_ctrl(&mut self, pkt: Box<Packet>, eff: &mut Effects) {
         self.ctrl_queue.push_back(pkt);
         eff.kicks.push((self.id, PortId(0)));
     }
 
-    /// Handle a packet arriving at the NIC.
+    /// Handle a packet arriving at the NIC. The packet's box is consumed
+    /// here and recycled into the arena's pool.
     pub(crate) fn handle_arrival(
         &mut self,
         now: SimTime,
         _port: PortId,
-        pkt: Packet,
+        pkt: Box<Packet>,
         cfg: &SimConfig,
         eff: &mut Effects,
     ) {
@@ -336,19 +345,28 @@ impl Host {
                     }
                 }
             }
-            PacketKind::Data => self.receive_data(now, pkt, cfg, eff),
+            PacketKind::Data => self.receive_data(now, &pkt, cfg, eff),
             PacketKind::Ack | PacketKind::Nack | PacketKind::SackNack | PacketKind::Cnp => {
-                self.receive_control(now, pkt, cfg, eff)
+                self.receive_control(now, &pkt, cfg, eff)
             }
         }
+        eff.recycle(pkt);
     }
 
     /// Receiver role: handle an arriving data packet.
-    fn receive_data(&mut self, now: SimTime, pkt: Packet, cfg: &SimConfig, eff: &mut Effects) {
+    fn receive_data(&mut self, now: SimTime, pkt: &Packet, cfg: &SimConfig, eff: &mut Effects) {
         eff.packets_delivered += 1;
-        let mut to_send: Vec<Packet> = Vec::new();
+        let slot = pkt.dst_slot as usize;
+        if self.recv.len() <= slot {
+            self.recv.resize_with(slot + 1, ReceiverFlow::default);
+        }
+        // A data packet produces at most one reply (ACK / NACK / SACK-NACK)
+        // plus at most one CNP; building them as stack values keeps the
+        // borrow of the receiver slot short and the path allocation-free.
+        let mut reply: Option<Packet> = None;
+        let mut send_cnp = false;
         {
-            let r = self.recv.entry(pkt.flow).or_default();
+            let r = &mut self.recv[slot];
             let seq_end = pkt.seq + pkt.payload;
             if cfg.flow_control.selective_repeat() {
                 // IRN-style selective repeat: keep out-of-order data.
@@ -362,15 +380,10 @@ impl Host {
                         }
                     }
                     let finished = pkt.ack_flags.flow_finished && r.expected >= seq_end;
-                    to_send.push(Packet::ack_for(&pkt, r.expected, finished));
+                    reply = Some(Packet::ack_for(pkt, r.expected, finished));
                 } else {
                     r.ooo.insert(pkt.seq, seq_end);
-                    to_send.push(Packet::sack_nack_for(
-                        &pkt,
-                        r.expected,
-                        pkt.seq,
-                        pkt.payload,
-                    ));
+                    reply = Some(Packet::sack_nack_for(pkt, r.expected, pkt.seq, pkt.payload));
                 }
             } else {
                 // Go-back-N: out-of-order data is dropped and NACKed.
@@ -380,11 +393,11 @@ impl Host {
                     let finished = pkt.ack_flags.flow_finished;
                     if r.unacked_packets >= cfg.ack_interval || finished || pkt.ecn_ce {
                         r.unacked_packets = 0;
-                        to_send.push(Packet::ack_for(&pkt, r.expected, finished));
+                        reply = Some(Packet::ack_for(pkt, r.expected, finished));
                     }
                 } else if pkt.seq < r.expected {
                     // Duplicate (e.g. retransmission overlap): re-ACK.
-                    to_send.push(Packet::ack_for(&pkt, r.expected, false));
+                    reply = Some(Packet::ack_for(pkt, r.expected, false));
                 } else {
                     // Gap: request go-back-N, rate-limited.
                     let due = r
@@ -392,7 +405,7 @@ impl Host {
                         .is_none_or(|t| now.saturating_since(t) >= cfg.nack_interval);
                     if due {
                         r.last_nack = Some(now);
-                        to_send.push(Packet::nack_for(&pkt, r.expected));
+                        reply = Some(Packet::nack_for(pkt, r.expected));
                     }
                 }
             }
@@ -404,20 +417,32 @@ impl Host {
                     .is_none_or(|t| now.saturating_since(t) >= cfg.cnp_interval);
                 if due {
                     r.last_cnp = Some(now);
-                    to_send.push(Packet::cnp(pkt.flow, pkt.src, pkt.dst));
+                    send_cnp = true;
                 }
             }
         }
-        for p in to_send {
-            self.enqueue_ctrl(p, eff);
+        if let Some(p) = reply {
+            let boxed = eff.alloc_packet(p);
+            self.enqueue_ctrl(boxed, eff);
+        }
+        if send_cnp {
+            let mut cnp = Packet::cnp(pkt.flow, pkt.src, pkt.dst);
+            cnp.src_slot = pkt.src_slot;
+            cnp.dst_slot = pkt.dst_slot;
+            let boxed = eff.alloc_packet(cnp);
+            self.enqueue_ctrl(boxed, eff);
         }
     }
 
     /// Sender role: handle ACK / NACK / SACK-NACK / CNP for one of our flows.
-    fn receive_control(&mut self, now: SimTime, pkt: Packet, cfg: &SimConfig, eff: &mut Effects) {
-        let Some(&idx) = self.flow_index.get(&pkt.flow) else {
+    fn receive_control(&mut self, now: SimTime, pkt: &Packet, cfg: &SimConfig, eff: &mut Effects) {
+        // The control packet echoes the sender-side slot the data packet was
+        // stamped with; the id check preserves the old hash-miss semantics
+        // for packets that do not belong to any of our flows.
+        let idx = pkt.src_slot as usize;
+        if idx >= self.flows.len() || self.flows[idx].spec.id != pkt.flow {
             return;
-        };
+        }
         let mtu = cfg.mtu_payload;
         {
             let flow = &mut self.flows[idx];
@@ -579,7 +604,7 @@ impl Host {
             return;
         };
         // Build the next data packet of the chosen flow.
-        let (pkt, rto_needed, flow_id) = {
+        let (pkt, rto_needed) = {
             let f = &mut self.flows[idx];
             let seq = if let Some(&s) = f.rtx_queue.iter().next() {
                 f.rtx_queue.remove(&s);
@@ -589,6 +614,8 @@ impl Host {
             };
             let payload = (f.spec.size - seq).min(cfg.mtu_payload);
             let mut pkt = Packet::data(f.spec.id, f.spec.src, f.spec.dst, seq, payload, now);
+            pkt.src_slot = idx as u32;
+            pkt.dst_slot = f.dst_slot;
             if seq + payload >= f.spec.size {
                 pkt.ack_flags.flow_finished = true;
             }
@@ -602,24 +629,25 @@ impl Host {
             if rto_needed {
                 f.rto_armed = true;
             }
-            (pkt, rto_needed, f.spec.id)
+            (pkt, rto_needed)
         };
         if rto_needed {
             eff.events.push((
                 now + cfg.rto,
                 Event::RtoCheck {
                     node: self.id,
-                    flow: flow_id,
+                    slot: idx as u32,
                 },
             ));
         }
         eff.packets_sent += 1;
-        self.start_wire(now, pkt, cfg, eff);
+        let boxed = eff.alloc_packet(pkt);
+        self.start_wire(now, boxed, cfg, eff);
     }
 
     /// Put one packet on the wire: occupy the NIC for its serialization time
     /// and schedule its arrival at the peer.
-    fn start_wire(&mut self, now: SimTime, pkt: Packet, cfg: &SimConfig, eff: &mut Effects) {
+    fn start_wire(&mut self, now: SimTime, pkt: Box<Packet>, cfg: &SimConfig, eff: &mut Effects) {
         let wire = pkt.wire_size(cfg.int_enabled);
         self.busy = true;
         self.counters.tx_bytes += wire;
@@ -685,7 +713,7 @@ mod tests {
         let cfg = hpcc_cfg();
         let mut h = build_host(0);
         let mut eff = Effects::default();
-        h.flow_start(SimTime::ZERO, flow(1, 10_000_000), &cfg, &mut eff);
+        h.flow_start(SimTime::ZERO, flow(1, 10_000_000), 0, &cfg, &mut eff);
         assert_eq!(h.active_flows(), 1);
         // Drive the NIC: kick → transmit → port ready → transmit …
         let mut now = SimTime::ZERO;
@@ -725,7 +753,7 @@ mod tests {
         let cfg = hpcc_cfg();
         let mut h = build_host(0);
         let mut eff = Effects::default();
-        h.flow_start(SimTime::ZERO, flow(1, 2_000), &cfg, &mut eff);
+        h.flow_start(SimTime::ZERO, flow(1, 2_000), 0, &cfg, &mut eff);
         // Send both packets.
         let mut e = Effects::default();
         h.try_transmit(SimTime::ZERO, &cfg, &mut e);
@@ -738,7 +766,13 @@ mod tests {
         data.ack_flags.flow_finished = true;
         let ack = Packet::ack_for(&data, 2000, true);
         let mut e2 = Effects::default();
-        h.handle_arrival(SimTime::from_us(10), PortId(0), ack, &cfg, &mut e2);
+        h.handle_arrival(
+            SimTime::from_us(10),
+            PortId(0),
+            Box::new(ack),
+            &cfg,
+            &mut e2,
+        );
         assert_eq!(e2.completions.len(), 1);
         let rec = e2.completions[0];
         assert_eq!(rec.size, 2000);
@@ -770,10 +804,16 @@ mod tests {
             },
         );
         let mut eff = Effects::default();
-        h.handle_arrival(SimTime::from_us(3), PortId(0), pkt, &cfg, &mut eff);
+        h.handle_arrival(
+            SimTime::from_us(3),
+            PortId(0),
+            Box::new(pkt),
+            &cfg,
+            &mut eff,
+        );
         assert_eq!(eff.packets_delivered, 1);
         assert_eq!(h.ctrl_queue.len(), 1);
-        let ack = h.ctrl_queue[0];
+        let ack = &h.ctrl_queue[0];
         assert_eq!(ack.kind, PacketKind::Ack);
         assert_eq!(ack.seq, 1000);
         assert!(ack.ack_flags.ecn_echo);
@@ -796,21 +836,21 @@ mod tests {
         let p0 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 0, 1000, SimTime::ZERO);
         let p2 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 2000, 1000, SimTime::ZERO);
         let mut eff = Effects::default();
-        h.handle_arrival(SimTime::from_us(1), PortId(0), p0, &cfg, &mut eff);
-        h.handle_arrival(SimTime::from_us(2), PortId(0), p2, &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(1), PortId(0), Box::new(p0), &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(2), PortId(0), Box::new(p2), &cfg, &mut eff);
         let kinds: Vec<PacketKind> = h.ctrl_queue.iter().map(|p| p.kind).collect();
         assert_eq!(kinds, vec![PacketKind::Ack, PacketKind::Nack]);
         assert_eq!(h.ctrl_queue[1].seq, 1000, "NACK carries the expected byte");
         // A second out-of-order packet within the NACK interval does not
         // produce another NACK.
         let p3 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 3000, 1000, SimTime::ZERO);
-        h.handle_arrival(SimTime::from_us(3), PortId(0), p3, &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(3), PortId(0), Box::new(p3), &cfg, &mut eff);
         assert_eq!(h.ctrl_queue.len(), 2);
 
         // Sender side: a NACK rolls snd_nxt back and notifies CC.
         let mut sender = build_host(0);
         let mut e = Effects::default();
-        sender.flow_start(SimTime::ZERO, flow(9, 100_000), &cfg, &mut e);
+        sender.flow_start(SimTime::ZERO, flow(9, 100_000), 0, &cfg, &mut e);
         // Transmit a few packets.
         let mut now = SimTime::ZERO;
         for _ in 0..5 {
@@ -824,7 +864,13 @@ mod tests {
             Packet::nack_for(&d, 1000)
         };
         let mut e3 = Effects::default();
-        sender.handle_arrival(SimTime::from_us(5), PortId(0), nack, &cfg, &mut e3);
+        sender.handle_arrival(
+            SimTime::from_us(5),
+            PortId(0),
+            Box::new(nack),
+            &cfg,
+            &mut e3,
+        );
         let f = &sender.flows[0];
         assert_eq!(f.snd_una, 1000);
         assert_eq!(f.snd_nxt, 1000, "go-back-N rolls back to the expected byte");
@@ -839,9 +885,9 @@ mod tests {
         let p2 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 2000, 1000, SimTime::ZERO);
         let p1 = Packet::data(FlowId(9), NodeId(0), NodeId(1), 1000, 1000, SimTime::ZERO);
         let mut eff = Effects::default();
-        h.handle_arrival(SimTime::from_us(1), PortId(0), p0, &cfg, &mut eff);
-        h.handle_arrival(SimTime::from_us(2), PortId(0), p2, &cfg, &mut eff);
-        h.handle_arrival(SimTime::from_us(3), PortId(0), p1, &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(1), PortId(0), Box::new(p0), &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(2), PortId(0), Box::new(p2), &cfg, &mut eff);
+        h.handle_arrival(SimTime::from_us(3), PortId(0), Box::new(p1), &cfg, &mut eff);
         let kinds: Vec<PacketKind> = h.ctrl_queue.iter().map(|p| p.kind).collect();
         assert_eq!(
             kinds,
@@ -858,7 +904,7 @@ mod tests {
         cfg.flow_control = FlowControlMode::LossyIrn;
         let mut sender = build_host(0);
         let mut e = Effects::default();
-        sender.flow_start(SimTime::ZERO, flow(9, 10_000), &cfg, &mut e);
+        sender.flow_start(SimTime::ZERO, flow(9, 10_000), 0, &cfg, &mut e);
         let mut now = SimTime::ZERO;
         for _ in 0..4 {
             let mut e2 = Effects::default();
@@ -872,7 +918,13 @@ mod tests {
         let d = Packet::data(FlowId(9), NodeId(0), NodeId(1), 2000, 1000, SimTime::ZERO);
         let sack = Packet::sack_nack_for(&d, 1000, 2000, 1000);
         let mut e3 = Effects::default();
-        sender.handle_arrival(SimTime::from_us(5), PortId(0), sack, &cfg, &mut e3);
+        sender.handle_arrival(
+            SimTime::from_us(5),
+            PortId(0),
+            Box::new(sack),
+            &cfg,
+            &mut e3,
+        );
         assert_eq!(sender.flows[0].snd_una, 1000);
         assert!(sender.flows[0].rtx_queue.contains(&1000));
         assert_eq!(sender.flows[0].rtx_queue.len(), 1);
@@ -910,7 +962,13 @@ mod tests {
                 SimTime::ZERO,
             );
             p.ecn_ce = true;
-            rx.handle_arrival(SimTime::from_us(1 + i), PortId(0), p, &cfg, &mut eff);
+            rx.handle_arrival(
+                SimTime::from_us(1 + i),
+                PortId(0),
+                Box::new(p),
+                &cfg,
+                &mut eff,
+            );
         }
         let cnps = rx
             .ctrl_queue
@@ -921,7 +979,7 @@ mod tests {
         // After the interval a new CNP is allowed.
         let mut p = Packet::data(FlowId(9), NodeId(0), NodeId(1), 9000, 1000, SimTime::ZERO);
         p.ecn_ce = true;
-        rx.handle_arrival(SimTime::from_us(60), PortId(0), p, &cfg, &mut eff);
+        rx.handle_arrival(SimTime::from_us(60), PortId(0), Box::new(p), &cfg, &mut eff);
         let cnps = rx
             .ctrl_queue
             .iter()
@@ -932,11 +990,17 @@ mod tests {
         // Sender side: the CNP halves the DCQCN rate.
         let mut tx = build_host(0);
         let mut e = Effects::default();
-        tx.flow_start(SimTime::ZERO, flow(9, 1_000_000), &cfg, &mut e);
+        tx.flow_start(SimTime::ZERO, flow(9, 1_000_000), 0, &cfg, &mut e);
         let before = tx.flow_state(FlowId(9)).unwrap().1;
         let cnp = Packet::cnp(FlowId(9), NodeId(0), NodeId(1));
         let mut e2 = Effects::default();
-        tx.handle_arrival(SimTime::from_us(100), PortId(0), cnp, &cfg, &mut e2);
+        tx.handle_arrival(
+            SimTime::from_us(100),
+            PortId(0),
+            Box::new(cnp),
+            &cfg,
+            &mut e2,
+        );
         let after = tx.flow_state(FlowId(9)).unwrap().1;
         assert_eq!(after, before.mul_f64(0.5));
     }
@@ -950,7 +1014,7 @@ mod tests {
         );
         let mut h = build_host(0);
         let mut eff = Effects::default();
-        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), &cfg, &mut eff);
+        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), 0, &cfg, &mut eff);
         let timer = eff
             .events
             .iter()
@@ -960,7 +1024,7 @@ mod tests {
         let cfg2 = hpcc_cfg();
         let mut h2 = build_host(0);
         let mut eff2 = Effects::default();
-        h2.flow_start(SimTime::ZERO, flow(2, 1_000_000), &cfg2, &mut eff2);
+        h2.flow_start(SimTime::ZERO, flow(2, 1_000_000), 0, &cfg2, &mut eff2);
         assert!(!eff2
             .events
             .iter()
@@ -972,12 +1036,12 @@ mod tests {
         let cfg = hpcc_cfg();
         let mut h = build_host(0);
         let mut eff = Effects::default();
-        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), &cfg, &mut eff);
+        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), 0, &cfg, &mut eff);
         // Pause the data class.
         h.handle_arrival(
             SimTime::from_us(1),
             PortId(0),
-            Packet::pfc(Priority::DATA, true),
+            Box::new(Packet::pfc(Priority::DATA, true)),
             &cfg,
             &mut eff,
         );
@@ -986,7 +1050,7 @@ mod tests {
         assert_eq!(e.packets_sent, 0, "data is paused");
         // But a queued ACK still goes out.
         let data = Packet::data(FlowId(5), NodeId(1), NodeId(0), 0, 1000, SimTime::ZERO);
-        h.handle_arrival(SimTime::from_us(3), PortId(0), data, &cfg, &mut e);
+        h.handle_arrival(SimTime::from_us(3), PortId(0), Box::new(data), &cfg, &mut e);
         let mut e2 = Effects::default();
         h.try_transmit(SimTime::from_us(3), &cfg, &mut e2);
         assert!(e2
@@ -998,7 +1062,7 @@ mod tests {
         h.handle_arrival(
             SimTime::from_us(11),
             PortId(0),
-            Packet::pfc(Priority::DATA, false),
+            Box::new(Packet::pfc(Priority::DATA, false)),
             &cfg,
             &mut e3,
         );
@@ -1020,12 +1084,18 @@ mod tests {
         );
         let mut h = build_host(0);
         let mut eff = Effects::default();
-        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), &cfg, &mut eff);
+        h.flow_start(SimTime::ZERO, flow(1, 1_000_000), 0, &cfg, &mut eff);
         // Cut the rate hard with several CNPs.
         for k in 0..6u64 {
             let cnp = Packet::cnp(FlowId(1), NodeId(0), NodeId(1));
             let mut e = Effects::default();
-            h.handle_arrival(SimTime::from_us(10 * k), PortId(0), cnp, &cfg, &mut e);
+            h.handle_arrival(
+                SimTime::from_us(10 * k),
+                PortId(0),
+                Box::new(cnp),
+                &cfg,
+                &mut e,
+            );
         }
         // First packet goes out immediately…
         let mut e = Effects::default();
@@ -1051,7 +1121,7 @@ mod tests {
         cfg.rto = Duration::from_us(100);
         let mut h = build_host(0);
         let mut eff = Effects::default();
-        h.flow_start(SimTime::ZERO, flow(1, 10_000), &cfg, &mut eff);
+        h.flow_start(SimTime::ZERO, flow(1, 10_000), 0, &cfg, &mut eff);
         let mut e = Effects::default();
         h.try_transmit(SimTime::ZERO, &cfg, &mut e);
         let rto_ev = e
@@ -1063,7 +1133,7 @@ mod tests {
         assert_eq!(h.flows[0].snd_nxt, 1000);
         // Nothing is acknowledged; the RTO check at +100 us rolls back.
         let mut e2 = Effects::default();
-        h.handle_rto(SimTime::from_us(200), FlowId(1), &cfg, &mut e2);
+        h.handle_rto(SimTime::from_us(200), 0, &cfg, &mut e2);
         assert_eq!(h.flows[0].snd_nxt, 0);
         // And it re-arms itself.
         assert!(e2
@@ -1080,12 +1150,14 @@ mod tests {
         h.flow_start(
             SimTime::from_us(4),
             FlowSpec::new(FlowId(1), NodeId(0), NodeId(0), 1000, SimTime::from_us(4)),
+            0,
             &cfg,
             &mut eff,
         );
         h.flow_start(
             SimTime::from_us(4),
             FlowSpec::new(FlowId(2), NodeId(0), NodeId(1), 0, SimTime::from_us(4)),
+            0,
             &cfg,
             &mut eff,
         );
@@ -1099,13 +1171,13 @@ mod tests {
         cfg.int_enabled = false;
         let mut h = build_host(0);
         let mut eff = Effects::default();
-        h.flow_start(SimTime::ZERO, flow(1, 100_000), &cfg, &mut eff);
+        h.flow_start(SimTime::ZERO, flow(1, 100_000), 0, &cfg, &mut eff);
         let before = h.flow_state(FlowId(1)).unwrap();
         let d = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1000, SimTime::ZERO);
         let ack = Packet::ack_for(&d, 1000, false);
         assert_eq!(ack.int, IntHeader::new());
         let mut e = Effects::default();
-        h.handle_arrival(SimTime::from_us(10), PortId(0), ack, &cfg, &mut e);
+        h.handle_arrival(SimTime::from_us(10), PortId(0), Box::new(ack), &cfg, &mut e);
         let after = h.flow_state(FlowId(1)).unwrap();
         assert_eq!(before, after, "no INT → HPCC holds its state");
     }

@@ -95,6 +95,9 @@ pub struct SimOutput {
     pub elapsed: SimTime,
     /// Number of events processed by the engine.
     pub events_processed: u64,
+    /// Largest number of simultaneously pending events in the event queue
+    /// (engine health metric; excluded from campaign digests).
+    pub peak_event_queue: u64,
     /// Total data packets delivered to receivers.
     pub packets_delivered: u64,
     /// Total data packets sent by hosts (including retransmissions).

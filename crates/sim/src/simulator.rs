@@ -42,6 +42,19 @@ pub struct Simulator {
     cfg: SimConfig,
     out: SimOutput,
     flows: Vec<FlowSpec>,
+    /// Per-flow receiver slot (dense index into the destination host's
+    /// receiver table), assigned at registration; parallel to `flows`.
+    dst_slots: Vec<u32>,
+    /// Next receiver slot per node (only host entries are used).
+    next_dst_slot: Vec<u32>,
+    /// Events actually handled (events popped after the horizon are
+    /// discarded, not processed).
+    processed: u64,
+    /// The reusable side-effect arena: cleared between events, never
+    /// dropped, so the steady-state event loop allocates nothing.
+    eff: Effects,
+    /// Work stack of ports to kick (reused across events).
+    kick_stack: Vec<(NodeId, PortId)>,
 }
 
 impl Simulator {
@@ -64,6 +77,7 @@ impl Simulator {
             events.push(SimTime::ZERO + cfg.trace_interval, Event::TraceSample);
         }
         let out = SimOutput::new(1024, cfg.flow_throughput_bin.unwrap_or(Duration::ZERO));
+        let node_count = topo.node_count();
         Simulator {
             time: SimTime::ZERO,
             events,
@@ -72,6 +86,11 @@ impl Simulator {
             cfg,
             out,
             flows: Vec::new(),
+            dst_slots: Vec::new(),
+            next_dst_slot: vec![0; node_count],
+            processed: 0,
+            eff: Effects::default(),
+            kick_stack: Vec::new(),
         }
     }
 
@@ -89,6 +108,9 @@ impl Simulator {
     pub fn add_flow(&mut self, spec: FlowSpec) {
         let idx = self.flows.len();
         self.flows.push(spec);
+        let slot = &mut self.next_dst_slot[spec.dst.index()];
+        self.dst_slots.push(*slot);
+        *slot += 1;
         self.events.push(spec.start, Event::FlowStart(idx));
     }
 
@@ -119,13 +141,15 @@ impl Simulator {
         if t > self.cfg.end_time {
             return false;
         }
+        self.processed += 1;
         self.time = t;
-        let mut eff = Effects::default();
+        self.eff.clear();
         match ev {
             Event::FlowStart(idx) => {
                 let spec = self.flows[idx];
+                let dst_slot = self.dst_slots[idx];
                 if let Node::Host(h) = &mut self.nodes[spec.src.index()] {
-                    h.flow_start(t, spec, &self.cfg, &mut eff);
+                    h.flow_start(t, spec, dst_slot, &self.cfg, &mut self.eff);
                 }
             }
             Event::PortReady { node, port } => {
@@ -133,27 +157,27 @@ impl Simulator {
                     Node::Host(h) => h.port_ready(),
                     Node::Switch(s) => s.port_ready(port),
                 }
-                eff.kicks.push((node, port));
+                self.eff.kicks.push((node, port));
             }
             Event::PacketArrive { node, port, packet } => match &mut self.nodes[node.index()] {
-                Node::Host(h) => h.handle_arrival(t, port, packet, &self.cfg, &mut eff),
+                Node::Host(h) => h.handle_arrival(t, port, packet, &self.cfg, &mut self.eff),
                 Node::Switch(s) => {
-                    s.handle_arrival(t, port, packet, &self.cfg, &self.topo, &mut eff)
+                    s.handle_arrival(t, port, packet, &self.cfg, &self.topo, &mut self.eff)
                 }
             },
             Event::HostWake { node } => {
                 if let Node::Host(h) = &mut self.nodes[node.index()] {
-                    h.handle_wake(t, &mut eff);
+                    h.handle_wake(t, &mut self.eff);
                 }
             }
-            Event::CcTimer { node, flow } => {
+            Event::CcTimer { node, slot } => {
                 if let Node::Host(h) = &mut self.nodes[node.index()] {
-                    h.handle_cc_timer(t, flow, &self.cfg, &mut eff);
+                    h.handle_cc_timer(t, slot, &self.cfg, &mut self.eff);
                 }
             }
-            Event::RtoCheck { node, flow } => {
+            Event::RtoCheck { node, slot } => {
                 if let Node::Host(h) = &mut self.nodes[node.index()] {
-                    h.handle_rto(t, flow, &self.cfg, &mut eff);
+                    h.handle_rto(t, slot, &self.cfg, &mut self.eff);
                 }
             }
             Event::Sample => {
@@ -167,7 +191,7 @@ impl Simulator {
                 if let Some(interval) = self.cfg.queue_sample_interval {
                     let next = t + interval;
                     if next <= self.cfg.end_time {
-                        eff.events.push((next, Event::Sample));
+                        self.eff.events.push((next, Event::Sample));
                     }
                 }
             }
@@ -186,76 +210,52 @@ impl Simulator {
                 }
                 let next = t + self.cfg.trace_interval;
                 if next <= self.cfg.end_time {
-                    eff.events.push((next, Event::TraceSample));
+                    self.eff.events.push((next, Event::TraceSample));
                 }
             }
         }
-        self.apply_effects(eff);
+        self.apply_effects();
         true
     }
 
-    /// Apply side effects produced by one event, including the transmission
-    /// work-queue (ports that were kicked).
-    fn apply_effects(&mut self, eff: Effects) {
-        let Effects {
-            events,
-            mut kicks,
-            completions,
-            pfc_events,
-            goodput,
-            packets_delivered,
-            packets_sent,
-        } = eff;
-        self.absorb(
-            events,
-            completions,
-            pfc_events,
-            goodput,
-            packets_delivered,
-            packets_sent,
-        );
-        while let Some((n, p)) = kicks.pop() {
-            let mut e = Effects::default();
+    /// Apply the side effects accumulated in the arena by one event, then
+    /// work the transmission kick stack (LIFO, matching the original
+    /// recursive kick semantics) until it drains, reusing the same arena for
+    /// every `try_transmit` call.
+    fn apply_effects(&mut self) {
+        self.absorb();
+        debug_assert!(self.kick_stack.is_empty());
+        self.kick_stack.append(&mut self.eff.kicks);
+        while let Some((n, p)) = self.kick_stack.pop() {
             match &mut self.nodes[n.index()] {
-                Node::Host(h) => h.try_transmit(self.time, &self.cfg, &mut e),
-                Node::Switch(s) => s.try_transmit(self.time, p, &self.cfg, &mut e),
+                Node::Host(h) => h.try_transmit(self.time, &self.cfg, &mut self.eff),
+                Node::Switch(s) => s.try_transmit(self.time, p, &self.cfg, &mut self.eff),
             }
-            kicks.extend(e.kicks);
-            self.absorb(
-                e.events,
-                e.completions,
-                e.pfc_events,
-                e.goodput,
-                e.packets_delivered,
-                e.packets_sent,
-            );
+            self.kick_stack.append(&mut self.eff.kicks);
+            self.absorb();
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn absorb(
-        &mut self,
-        events: Vec<(SimTime, Event)>,
-        completions: Vec<crate::output::FlowRecord>,
-        pfc_events: Vec<crate::output::PfcEvent>,
-        goodput: Vec<(hpcc_types::FlowId, u64)>,
-        packets_delivered: u64,
-        packets_sent: u64,
-    ) {
-        for (t, e) in events {
+    /// Drain the arena's buffers into the event queue and the output
+    /// records. Leaves the arena empty (but with its capacity and packet
+    /// pool intact).
+    fn absorb(&mut self) {
+        for (t, e) in self.eff.events.drain(..) {
             self.events.push(t, e);
         }
-        for rec in completions {
+        for rec in self.eff.completions.drain(..) {
             self.out.flows.push(rec);
         }
-        for ev in pfc_events {
+        for ev in self.eff.pfc_events.drain(..) {
             self.out.record_pfc_event(ev);
         }
-        for (f, b) in goodput {
+        for (f, b) in self.eff.goodput.drain(..) {
             self.out.record_goodput(f, self.time, b);
         }
-        self.out.packets_delivered += packets_delivered;
-        self.out.packets_sent += packets_sent;
+        self.out.packets_delivered += self.eff.packets_delivered;
+        self.out.packets_sent += self.eff.packets_sent;
+        self.eff.packets_delivered = 0;
+        self.eff.packets_sent = 0;
     }
 
     /// Close out per-node accounting and return the measurements.
@@ -280,7 +280,8 @@ impl Simulator {
             }
         }
         self.out.elapsed = now;
-        self.out.events_processed = self.events.total_processed();
+        self.out.events_processed = self.processed;
+        self.out.peak_event_queue = self.events.peak_len() as u64;
         self.out
     }
 }
@@ -488,6 +489,51 @@ mod tests {
         // §5.3 observation).
         assert_eq!(out.total_pause_duration(), Duration::ZERO);
         assert_eq!(out.total_drops(), 0);
+    }
+
+    #[test]
+    fn events_past_the_horizon_are_not_counted_as_processed() {
+        // The only pending event (the flow start) lies beyond the horizon, so
+        // the run terminates by discarding it. A previous version counted the
+        // discarded event because the queue incremented its processed counter
+        // inside pop(), before the simulator's horizon check.
+        let (topo, mut cfg) = star_cfg(CcAlgorithm::hpcc_default(), 2);
+        cfg.end_time = SimTime::from_us(10);
+        cfg.queue_sample_interval = None;
+        let hosts = topo.hosts().to_vec();
+        let mut sim = Simulator::new(topo, cfg);
+        sim.add_flow(FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            1_000,
+            SimTime::from_us(20),
+        ));
+        let out = sim.run();
+        assert_eq!(out.events_processed, 0, "discarded event must not count");
+        assert!(out.flows.is_empty(), "the flow never started");
+
+        // A horizon cutting a busy run mid-flight still only counts handled
+        // events: the run that is stopped by a beyond-horizon event processes
+        // strictly fewer events than the run that completes the flow.
+        let run_until = |end: SimTime| {
+            let (topo, mut cfg) = star_cfg(CcAlgorithm::hpcc_default(), 2);
+            cfg.end_time = end;
+            let hosts = topo.hosts().to_vec();
+            let mut sim = Simulator::new(topo, cfg);
+            sim.add_flow(FlowSpec::new(
+                FlowId(1),
+                hosts[0],
+                hosts[1],
+                1_000_000,
+                SimTime::ZERO,
+            ));
+            sim.run()
+        };
+        let cut = run_until(SimTime::from_us(30));
+        let full = run_until(SimTime::from_ms(20));
+        assert!(cut.events_processed > 0);
+        assert!(cut.events_processed < full.events_processed);
     }
 
     #[test]

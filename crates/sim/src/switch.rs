@@ -27,13 +27,22 @@ use hpcc_types::{
 use std::collections::VecDeque;
 
 /// A packet sitting in an egress queue, remembering the ingress it came from
-/// (for PFC accounting) and its wire size.
-#[derive(Clone, Debug)]
+/// (for PFC accounting) and its wire size. The packet stays in its pooled
+/// box from arrival to departure, so queuing moves 24 bytes per entry.
+#[derive(Debug)]
 struct QueuedPacket {
-    pkt: Packet,
+    pkt: Box<Packet>,
     ingress: Option<PortId>,
     wire: u64,
 }
+
+/// Initial capacity of each data-class egress ring (a full ring holds about
+/// one BDP of MTU packets; `VecDeque` grows beyond this without reallocating
+/// on the common path).
+const DATA_RING_CAPACITY: usize = 256;
+
+/// Initial capacity of each control-class egress ring.
+const CTRL_RING_CAPACITY: usize = 64;
 
 /// One egress port of a switch.
 #[derive(Debug)]
@@ -64,7 +73,10 @@ impl SwitchPort {
             peer_port: desc.peer_port,
             bandwidth: desc.bandwidth,
             delay: desc.delay,
-            queues: [VecDeque::new(), VecDeque::new()],
+            queues: [
+                VecDeque::with_capacity(CTRL_RING_CAPACITY),
+                VecDeque::with_capacity(DATA_RING_CAPACITY),
+            ],
             queue_bytes: [0; Priority::COUNT],
             busy: false,
             paused: [false; Priority::COUNT],
@@ -168,7 +180,7 @@ impl Switch {
         &mut self,
         now: SimTime,
         ingress: PortId,
-        mut pkt: Packet,
+        mut pkt: Box<Packet>,
         cfg: &SimConfig,
         topo: &TopologySpec,
         eff: &mut Effects,
@@ -181,6 +193,7 @@ impl Switch {
             if !pause {
                 eff.kicks.push((self.id, ingress));
             }
+            eff.recycle(pkt);
             return;
         }
 
@@ -192,6 +205,7 @@ impl Switch {
             // No route (misconfigured experiment): count as a drop.
             let port = &mut self.ports[ingress.index()];
             port.counters.dropped_packets += 1;
+            eff.recycle(pkt);
             return;
         }
         let egress = self.ecmp_pick(pkt.flow.raw(), candidates);
@@ -208,6 +222,7 @@ impl Switch {
                 let port = &mut self.ports[egress.index()];
                 port.counters.dropped_packets += 1;
                 port.counters.dropped_bytes += wire;
+                eff.recycle(pkt);
                 return;
             }
         }
@@ -216,6 +231,7 @@ impl Switch {
             let port = &mut self.ports[egress.index()];
             port.counters.dropped_packets += 1;
             port.counters.dropped_bytes += wire;
+            eff.recycle(pkt);
             return;
         }
 
@@ -283,7 +299,7 @@ impl Switch {
         pause: bool,
         eff: &mut Effects,
     ) {
-        let frame = Packet::pfc(class, pause);
+        let frame = eff.alloc_packet(Packet::pfc(class, pause));
         let wire = frame.wire_size(false);
         let p = &mut self.ports[port.index()];
         p.queues[Priority::CONTROL.index()].push_back(QueuedPacket {
@@ -458,7 +474,7 @@ mod tests {
         sw.handle_arrival(
             SimTime::from_us(5),
             PortId(0),
-            data_packet(0),
+            Box::new(data_packet(0)),
             &cfg,
             &topo,
             &mut eff,
@@ -472,7 +488,7 @@ mod tests {
             .events
             .iter()
             .find_map(|(t, e)| match e {
-                Event::PacketArrive { node, packet, .. } => Some((*t, *node, *packet)),
+                Event::PacketArrive { node, packet, .. } => Some((*t, *node, **packet)),
                 _ => None,
             })
             .unwrap();
@@ -497,7 +513,14 @@ mod tests {
         data.int.push_hop(3, IntHopRecord::default());
         let ack = Packet::ack_for(&data, 1000, false);
         let mut eff = Effects::default();
-        sw.handle_arrival(SimTime::from_us(1), PortId(1), ack, &cfg, &topo, &mut eff);
+        sw.handle_arrival(
+            SimTime::from_us(1),
+            PortId(1),
+            Box::new(ack),
+            &cfg,
+            &topo,
+            &mut eff,
+        );
         // Destination of the ACK is the flow source host0 behind port 0.
         assert_eq!(eff.kicks, vec![(sw.id, PortId(0))]);
         let mut eff2 = Effects::default();
@@ -527,7 +550,7 @@ mod tests {
             sw.handle_arrival(
                 SimTime::from_us(1),
                 PortId(0),
-                data_packet(i * 1000),
+                Box::new(data_packet(i * 1000)),
                 &cfg,
                 &topo,
                 &mut eff,
@@ -559,7 +582,7 @@ mod tests {
             sw.handle_arrival(
                 SimTime::from_us(1),
                 PortId(0),
-                data_packet(i * 1000),
+                Box::new(data_packet(i * 1000)),
                 &cfg,
                 &topo,
                 &mut eff,
@@ -580,13 +603,8 @@ mod tests {
         let pfc_delivered = eff2.events.iter().any(|(_, e)| {
             matches!(
                 e,
-                Event::PacketArrive {
-                    packet: Packet {
-                        kind: PacketKind::Pfc { pause: true, .. },
-                        ..
-                    },
-                    ..
-                }
+                Event::PacketArrive { packet, .. }
+                    if matches!(packet.kind, PacketKind::Pfc { pause: true, .. })
             )
         });
         assert!(pfc_delivered);
@@ -601,7 +619,7 @@ mod tests {
         sw.handle_arrival(
             SimTime::from_us(1),
             PortId(0),
-            data_packet(0),
+            Box::new(data_packet(0)),
             &cfg,
             &topo,
             &mut eff,
@@ -610,7 +628,7 @@ mod tests {
         sw.handle_arrival(
             SimTime::from_us(2),
             PortId(1),
-            Packet::pfc(Priority::DATA, true),
+            Box::new(Packet::pfc(Priority::DATA, true)),
             &cfg,
             &topo,
             &mut eff,
@@ -627,7 +645,7 @@ mod tests {
         sw.handle_arrival(
             SimTime::from_us(10),
             PortId(1),
-            Packet::pfc(Priority::DATA, false),
+            Box::new(Packet::pfc(Priority::DATA, false)),
             &cfg,
             &topo,
             &mut eff3,
@@ -653,7 +671,7 @@ mod tests {
             sw.handle_arrival(
                 SimTime::from_us(1),
                 PortId(0),
-                data_packet(i * 1000),
+                Box::new(data_packet(i * 1000)),
                 &cfg,
                 &topo,
                 &mut eff,
@@ -672,7 +690,7 @@ mod tests {
             sw2.handle_arrival(
                 SimTime::from_us(1),
                 PortId(0),
-                data_packet(i * 1000),
+                Box::new(data_packet(i * 1000)),
                 &cfg2,
                 &topo,
                 &mut eff2,
@@ -724,7 +742,7 @@ mod tests {
         sw.handle_arrival(
             SimTime::from_us(2),
             PortId(1),
-            Packet::pfc(Priority::DATA, true),
+            Box::new(Packet::pfc(Priority::DATA, true)),
             &cfg,
             &topo,
             &mut eff,

@@ -7,7 +7,10 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp gives a total order even in the presence of NaN (NaN sorts
+    // above every number), where partial_cmp would silently produce an
+    // arbitrary order.
+    sorted.sort_unstable_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     let idx = rank.max(1).min(sorted.len()) - 1;
@@ -62,6 +65,19 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), Some(100.0));
         assert_eq!(percentile(&v, 0.0), Some(1.0));
         assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn nan_sorts_above_all_numbers() {
+        // A NaN must not scramble the order of the finite values: total_cmp
+        // places NaN above every number, so percentiles below the top still
+        // come from the finite values in their correct order.
+        let v = vec![5.0, f64::NAN, 1.0, 9.0, 3.0, 7.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(5.0));
+        // The 100th percentile lands on the NaN slot (nearest-rank picks the
+        // last element) — pinned so a future change is a conscious decision.
+        assert!(percentile(&v, 100.0).unwrap().is_nan());
     }
 
     #[test]
