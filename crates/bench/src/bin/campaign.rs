@@ -1,4 +1,5 @@
-//! Campaign wall-clock benchmark and manifest runner.
+//! Campaign wall-clock benchmark, manifest runner and multi-process
+//! sharded-campaign coordinator.
 //!
 //! With no arguments, builds the Figure 11 scheme set (six scenarios on the
 //! scaled-down Clos fabric), runs it serially and then in parallel, verifies
@@ -9,6 +10,12 @@
 //!   cargo run --release -p hpcc-bench --bin campaign -- --manifest file.json
 //!   cargo run --release -p hpcc-bench --bin campaign -- --dump-manifest [duration_ms] [load]
 //!   cargo run --release -p hpcc-bench --bin campaign -- --events-per-sec [out.json]
+//!   cargo run --release -p hpcc-bench --bin campaign -- --shards N \
+//!       [--verify-serial] [--report out.json] [--manifest f] [duration_ms] [load]
+//!   cargo run --release -p hpcc-bench --bin campaign -- --worker-shard i/N \
+//!       [--manifest f] [duration_ms] [load]
+//!   cargo run --release -p hpcc-bench --bin campaign -- --merge a.jsonl b.jsonl ... \
+//!       [--expect N | --manifest f] [--report out.json]
 //!
 //! `--manifest` runs a JSON campaign manifest (an array of ScenarioSpec
 //! objects, see `hpcc_core::scenario`) instead of the built-in scheme set;
@@ -17,13 +24,34 @@
 //! hot-path smoke scenario and writes engine-throughput numbers to
 //! `BENCH_hotpath.json` (or the given path) so CI can track the perf
 //! trajectory.
+//!
+//! Distributed modes (see `hpcc_core::wire` for the JSONL schema and the
+//! determinism contract):
+//!
+//! * `--shards N` — coordinator: re-spawns this binary as `N` worker
+//!   subprocesses (`--worker-shard i/N` each, same campaign arguments),
+//!   reads their JSONL stdout streams, and merges them into one report in
+//!   scenario order. `--verify-serial` additionally runs the campaign
+//!   serially in-process and exits non-zero unless digests and canonical
+//!   report JSON are bit-identical. `--report` writes the merged canonical
+//!   JSON to a file.
+//! * `--worker-shard i/N` — worker: runs the round-robin shard `i` of `N`
+//!   and streams one JSONL line per completed scenario on stdout (all
+//!   diagnostics go to stderr, so stdout is pure JSONL and can be piped or
+//!   redirected to a file on a remote host).
+//! * `--merge` — fold JSONL files produced elsewhere (e.g. workers on other
+//!   hosts) into one report. Pass `--expect N` (or `--manifest`, whose
+//!   scenario count is used) so a shard file truncated at its tail cannot
+//!   slip through as a shorter-but-valid report.
 
 use hpcc_core::campaign::digest_output;
 use hpcc_core::presets::{fattree_fb_hadoop, fig11_campaign};
-use hpcc_core::{Campaign, CcSpec};
+use hpcc_core::{wire, Campaign, CcSpec, ShardPlan};
 use hpcc_sim::FlowControlMode;
 use hpcc_topology::FatTreeParams;
 use hpcc_types::Duration;
+use std::io::Read as _;
+use std::process::{Command, Stdio};
 use std::time::Instant;
 
 /// Events/sec of the `BinaryHeap` event queue on the smoke scenario, measured
@@ -81,50 +109,311 @@ fn run_hotpath_smoke(out_path: &str) {
     println!("wrote {out_path}");
 }
 
+/// Exit with a usage/runtime error on stderr (workers keep stdout pure
+/// JSONL, so nothing diagnostic may ever go there).
+fn die(msg: impl AsRef<str>) -> ! {
+    eprintln!("campaign: {}", msg.as_ref());
+    std::process::exit(2);
+}
+
+/// Parsed command line. Positional arguments keep the program name at
+/// index 0 so `hpcc_bench::arg_or` indexing stays 1-based.
+#[derive(Default)]
+struct Cli {
+    manifest: Option<String>,
+    shards: Option<usize>,
+    worker_shard: Option<ShardPlan>,
+    report: Option<String>,
+    merge: Vec<String>,
+    expect: Option<usize>,
+    verify_serial: bool,
+    dump_manifest: bool,
+    events_per_sec: Option<Option<String>>,
+    positional: Vec<String>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Cli {
+        let mut cli = Cli {
+            positional: vec![args[0].clone()],
+            ..Cli::default()
+        };
+        let value = |i: usize, flag: &str| -> String {
+            // A following flag is not a value: `--report --verify-serial`
+            // must error, not write a file named "--verify-serial".
+            match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => next.clone(),
+                _ => die(format!("{flag} needs a value")),
+            }
+        };
+        let mut merging = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--manifest" => {
+                    cli.manifest = Some(value(i, "--manifest"));
+                    i += 2;
+                }
+                "--shards" => {
+                    let n = value(i, "--shards");
+                    cli.shards = Some(
+                        n.parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .unwrap_or_else(|| die(format!("bad shard count {n:?}"))),
+                    );
+                    i += 2;
+                }
+                "--worker-shard" => {
+                    let spec = value(i, "--worker-shard");
+                    cli.worker_shard = Some(ShardPlan::parse(&spec).unwrap_or_else(|e| die(e)));
+                    i += 2;
+                }
+                "--report" => {
+                    cli.report = Some(value(i, "--report"));
+                    i += 2;
+                }
+                "--verify-serial" => {
+                    cli.verify_serial = true;
+                    i += 1;
+                }
+                "--dump-manifest" => {
+                    cli.dump_manifest = true;
+                    i += 1;
+                }
+                "--merge" => {
+                    merging = true;
+                    i += 1;
+                }
+                "--expect" => {
+                    let n = value(i, "--expect");
+                    cli.expect = Some(
+                        n.parse()
+                            .unwrap_or_else(|_| die(format!("bad scenario count {n:?}"))),
+                    );
+                    i += 2;
+                }
+                "--events-per-sec" => {
+                    // Optional output path: take the next arg unless it is
+                    // another flag.
+                    match args.get(i + 1) {
+                        Some(next) if !next.starts_with("--") => {
+                            cli.events_per_sec = Some(Some(next.clone()));
+                            i += 2;
+                        }
+                        _ => {
+                            cli.events_per_sec = Some(None);
+                            i += 1;
+                        }
+                    }
+                }
+                flag if flag.starts_with("--") => die(format!("unknown flag {flag}")),
+                other => {
+                    if merging {
+                        cli.merge.push(other.to_string());
+                    } else {
+                        cli.positional.push(other.to_string());
+                    }
+                    i += 1;
+                }
+            }
+        }
+        cli
+    }
+
+    /// The campaign this invocation describes (manifest file or the
+    /// built-in Figure 11 scheme set at `[duration_ms] [load]`).
+    fn build_campaign(&self) -> Campaign {
+        if let Some(path) = &self.manifest {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+            Campaign::from_json_str(&text)
+                .unwrap_or_else(|e| die(format!("cannot parse {path}: {e}")))
+        } else {
+            let ms = hpcc_bench::arg_or(&self.positional, 1, 10u64);
+            let load = hpcc_bench::arg_or(&self.positional, 2, 0.3f64);
+            fig11_campaign(
+                FatTreeParams::small(),
+                load,
+                Duration::from_ms(ms),
+                true,
+                42,
+            )
+        }
+    }
+
+    /// The campaign-selection arguments a worker subprocess needs to build
+    /// the identical campaign.
+    fn campaign_args(&self) -> Vec<String> {
+        match &self.manifest {
+            Some(path) => vec!["--manifest".to_string(), path.clone()],
+            None => self.positional[1..].to_vec(),
+        }
+    }
+}
+
+/// Worker mode: run one round-robin shard, streaming JSONL on stdout.
+fn run_worker(campaign: &Campaign, plan: ShardPlan) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = Instant::now();
+    let executed = campaign
+        .run_shard_streaming(plan, &mut out)
+        .unwrap_or_else(|e| die(format!("shard {}/{}: {e}", plan.shard(), plan.of())));
+    eprintln!(
+        "worker shard {}/{}: {executed} of {} scenarios in {:.2} s",
+        plan.shard(),
+        plan.of(),
+        campaign.len(),
+        started.elapsed().as_secs_f64()
+    );
+}
+
+/// Coordinator mode: spawn one worker subprocess per shard, merge their
+/// JSONL streams, optionally verify against an in-process serial run and
+/// write the canonical report JSON.
+fn run_coordinator(
+    campaign: &Campaign,
+    shards: usize,
+    worker_args: &[String],
+    verify_serial: bool,
+    report_path: Option<&str>,
+) {
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| die(format!("cannot locate own executable: {e}")));
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for shard in 0..shards {
+        let mut child = Command::new(&exe)
+            .arg("--worker-shard")
+            .arg(format!("{shard}/{shards}"))
+            .args(worker_args)
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| die(format!("cannot spawn worker {shard}: {e}")));
+        // Drain the worker's stdout on its own thread: a pipe left full
+        // would deadlock the worker against our wait().
+        let mut pipe = child.stdout.take().expect("stdout was piped");
+        let reader = std::thread::spawn(move || {
+            let mut text = String::new();
+            pipe.read_to_string(&mut text).map(|_| text)
+        });
+        workers.push((shard, child, reader));
+    }
+    let mut streams = Vec::new();
+    for (shard, mut child, reader) in workers {
+        let status = child
+            .wait()
+            .unwrap_or_else(|e| die(format!("waiting for worker {shard}: {e}")));
+        let text = reader
+            .join()
+            .expect("stdout reader thread panicked")
+            .unwrap_or_else(|e| die(format!("reading worker {shard} stdout: {e}")));
+        if !status.success() {
+            die(format!("worker {shard} exited with {status}"));
+        }
+        streams.push(text);
+    }
+    let mut merged =
+        wire::merge_shard_streams(streams.iter().map(String::as_str), Some(campaign.len()))
+            .unwrap_or_else(|e| die(format!("merging shard streams: {e}")));
+    merged.wall = started.elapsed();
+    println!(
+        "== merged from {} worker process(es) ==\n{}",
+        shards,
+        merged.table()
+    );
+    if verify_serial {
+        let serial = campaign.run_serial();
+        let digests_match = merged.digests() == serial.digests();
+        let json_match = merged.to_json_string() == serial.to_json_string();
+        if !digests_match || !json_match {
+            die(format!(
+                "merged multi-process report differs from the serial reference \
+                 (digests match: {digests_match}, canonical JSON matches: {json_match})"
+            ));
+        }
+        println!(
+            "verified: merged report is bit-identical to run_serial() \
+             ({} scenarios: digests and canonical JSON)",
+            serial.results.len()
+        );
+    }
+    if let Some(path) = report_path {
+        std::fs::write(path, merged.to_json_string() + "\n")
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+        println!("wrote {path}");
+    }
+}
+
+/// Merge mode: fold JSONL files produced by workers (possibly on other
+/// hosts) into one report. `expected_len` (from `--expect N`, or the
+/// manifest's scenario count when `--manifest` is given) guards against a
+/// truncated or lost shard file: without it, contiguous-from-0 validation
+/// cannot notice missing *trailing* scenarios, so the merge warns.
+fn run_merge(files: &[String], expected_len: Option<usize>, report_path: Option<&str>) {
+    let texts: Vec<String> = files
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| die(format!("cannot read {p}: {e}")))
+        })
+        .collect();
+    let report = wire::merge_shard_streams(texts.iter().map(String::as_str), expected_len)
+        .unwrap_or_else(|e| die(format!("merge failed: {e}")));
+    println!(
+        "merged {} results from {} file(s)\n{}",
+        report.results.len(),
+        files.len(),
+        report.table()
+    );
+    if expected_len.is_none() {
+        eprintln!(
+            "campaign: warning: no --expect N (or --manifest) given; a shard \
+             file that lost only trailing scenarios cannot be detected"
+        );
+    }
+    if let Some(path) = report_path {
+        std::fs::write(path, report.to_json_string() + "\n")
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--events-per-sec") {
-        let out_path = args
-            .get(i + 1)
-            .map(String::as_str)
-            .unwrap_or("BENCH_hotpath.json");
-        run_hotpath_smoke(out_path);
+    let cli = Cli::parse(&args);
+    if let Some(out) = &cli.events_per_sec {
+        run_hotpath_smoke(out.as_deref().unwrap_or("BENCH_hotpath.json"));
         return;
     }
-    if args.iter().any(|a| a == "--dump-manifest") {
-        let positional: Vec<String> = args
-            .iter()
-            .filter(|a| !a.starts_with("--"))
-            .cloned()
-            .collect();
-        let ms = hpcc_bench::arg_or(&positional, 1, 10u64);
-        let load = hpcc_bench::arg_or(&positional, 2, 0.3f64);
-        let campaign = fig11_campaign(
-            FatTreeParams::small(),
-            load,
-            Duration::from_ms(ms),
-            true,
-            42,
-        );
+    if !cli.merge.is_empty() {
+        // Validate completeness against --expect N, or against the
+        // manifest's scenario count when one is given.
+        let expected = cli
+            .expect
+            .or_else(|| cli.manifest.as_ref().map(|_| cli.build_campaign().len()));
+        run_merge(&cli.merge, expected, cli.report.as_deref());
+        return;
+    }
+    let campaign = cli.build_campaign();
+    if cli.dump_manifest {
         println!("{}", campaign.to_json_string());
         return;
     }
-    let campaign = if let Some(i) = args.iter().position(|a| a == "--manifest") {
-        let path = args.get(i + 1).expect("--manifest needs a file path");
-        let text =
-            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        Campaign::from_json_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
-    } else {
-        let ms = hpcc_bench::arg_or(&args, 1, 10u64);
-        let load = hpcc_bench::arg_or(&args, 2, 0.3f64);
-        fig11_campaign(
-            FatTreeParams::small(),
-            load,
-            Duration::from_ms(ms),
-            true,
-            42,
-        )
-    };
+    if let Some(plan) = cli.worker_shard {
+        run_worker(&campaign, plan);
+        return;
+    }
+    if let Some(shards) = cli.shards {
+        run_coordinator(
+            &campaign,
+            shards,
+            &cli.campaign_args(),
+            cli.verify_serial,
+            cli.report.as_deref(),
+        );
+        return;
+    }
 
     println!(
         "campaign: {} scenarios ({} available cores)",

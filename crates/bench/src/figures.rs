@@ -366,7 +366,15 @@ pub fn fig11(duration_ms: u64, load: f64, with_incast: bool, paper_scale: bool) 
     let dur = Duration::from_ms(duration_ms);
     let campaign = fig11_campaign(params, load, dur, with_incast, 42);
     let report_out = campaign.run();
-    let refs: Vec<&ExperimentResults> = report_out.results.iter().map(|r| &r.results).collect();
+    let refs: Vec<&ExperimentResults> = report_out
+        .results
+        .iter()
+        .map(|r| {
+            r.results
+                .as_ref()
+                .expect("locally run campaigns carry full results")
+        })
+        .collect();
     writeln!(
         s,
         "{} hosts, {}% load{} ({} scenarios on {} threads in {:.1} s):",

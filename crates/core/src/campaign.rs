@@ -1,4 +1,4 @@
-//! Batch execution of scenarios across OS threads.
+//! Batch execution of scenarios across OS threads and processes.
 //!
 //! A [`Campaign`] is an ordered list of [`ScenarioSpec`]s. [`Campaign::run`]
 //! executes them across a pool of OS threads (scenarios are embarrassingly
@@ -6,10 +6,20 @@
 //! collects a [`CampaignReport`] with one [`ScenarioResult`] per scenario,
 //! *in scenario order*.
 //!
+//! Beyond one process, a [`ShardPlan`] deterministically partitions the
+//! campaign into `k` round-robin shards. A worker process executes one shard
+//! with [`Campaign::run_shard_streaming`], emitting each result as a JSONL
+//! line (see [`crate::wire`]) the moment it completes; a coordinator merges
+//! the shard streams back into one report with
+//! [`crate::wire::merge_shard_streams`]. The `campaign` binary in
+//! `hpcc-bench` wires these into `--shards N` / `--worker-shard i/N` /
+//! `--merge` CLI modes.
+//!
 //! Determinism is a hard guarantee: every scenario derives all randomness
 //! from its own seed, so the per-scenario results — summarised metrics *and*
 //! the [`ScenarioResult::digest`] over the raw simulator output — are
-//! bit-identical whether the campaign runs serially, on 2 threads, or on 64.
+//! bit-identical whether the campaign runs serially, on 2 threads, on 64,
+//! or sharded across processes on several hosts.
 
 use crate::experiment::ExperimentResults;
 use crate::report::truncate;
@@ -84,6 +94,9 @@ impl Campaign {
     /// serialize behind short ones. Results land in scenario order.
     pub fn run_with_threads(&self, threads: usize) -> CampaignReport {
         let n = self.scenarios.len();
+        // The clamp also covers the empty campaign: no worker threads are
+        // spawned and the serial path returns a well-formed empty report
+        // with `threads: 1` (the calling thread did all — zero — work).
         let threads = threads.min(n);
         if threads <= 1 {
             return self.run_serial();
@@ -127,6 +140,30 @@ impl Campaign {
         self.run_with_threads(cores)
     }
 
+    /// Run the scenarios owned by `plan` on the calling thread, in campaign
+    /// order, writing each [`ScenarioResult`] as one JSONL line (see
+    /// [`crate::wire`]) into `out` the moment it completes. The sink is
+    /// flushed after every line so a coordinator reading a pipe sees
+    /// results as they land. Returns the number of scenarios executed.
+    ///
+    /// Per-scenario seeds and digests depend only on the scenario, never on
+    /// the shard layout, so any `k` shard streams merge back into a report
+    /// bit-identical to [`Campaign::run_serial`].
+    pub fn run_shard_streaming<W: std::io::Write>(
+        &self,
+        plan: ShardPlan,
+        out: &mut W,
+    ) -> std::io::Result<usize> {
+        let mut executed = 0;
+        for i in plan.indices(self.len()) {
+            let result = run_one(&self.scenarios[i]);
+            writeln!(out, "{}", crate::wire::encode_result_line(i, &result))?;
+            out.flush()?;
+            executed += 1;
+        }
+        Ok(executed)
+    }
+
     /// Serialize every scenario into a JSON array (a campaign manifest).
     pub fn to_json_string(&self) -> String {
         crate::json::JsonValue::Array(self.scenarios.iter().map(|s| s.to_json()).collect()).render()
@@ -140,6 +177,81 @@ impl Campaign {
             scenarios.push(ScenarioSpec::from_json(item)?);
         }
         Ok(Campaign { scenarios })
+    }
+}
+
+/// A deterministic partition of a campaign into `of` round-robin shards.
+///
+/// Shard `s` of `k` owns every scenario whose index `i` satisfies
+/// `i % k == s`. Round-robin (rather than contiguous ranges) keeps the
+/// shards balanced when a campaign is ordered by scheme or by load, and —
+/// because ownership is a pure function of the scenario *index* — leaves
+/// every per-scenario seed and digest untouched: sharding never changes
+/// what a scenario computes, only where it runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    shard: usize,
+    of: usize,
+}
+
+impl ShardPlan {
+    /// Plan for shard `shard` out of `of` total shards.
+    ///
+    /// # Panics
+    /// Panics if `of == 0` or `shard >= of`.
+    pub fn new(shard: usize, of: usize) -> Self {
+        assert!(of >= 1, "a shard plan needs at least one shard");
+        assert!(
+            shard < of,
+            "shard index {shard} out of range for {of} shards"
+        );
+        ShardPlan { shard, of }
+    }
+
+    /// Parse the `i/N` notation of the `--worker-shard` CLI flag
+    /// (0-based: `"0/2"` and `"1/2"` are the two shards of a 2-way split).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (shard, of) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {text:?} is not of the form i/N"))?;
+        let shard: usize = shard
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index in {text:?}"))?;
+        let of: usize = of
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count in {text:?}"))?;
+        if of == 0 {
+            return Err(format!("shard count must be >= 1 in {text:?}"));
+        }
+        if shard >= of {
+            return Err(format!(
+                "shard index {shard} out of range for {of} shards (0-based) in {text:?}"
+            ));
+        }
+        Ok(ShardPlan { shard, of })
+    }
+
+    /// This plan's 0-based shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total number of shards in the split.
+    pub fn of(&self) -> usize {
+        self.of
+    }
+
+    /// True if this shard owns scenario index `index`.
+    pub fn owns(&self, index: usize) -> bool {
+        index % self.of == self.shard
+    }
+
+    /// The scenario indices this shard owns in a campaign of `len`
+    /// scenarios, in ascending order.
+    pub fn indices(&self, len: usize) -> impl Iterator<Item = usize> {
+        (self.shard..len).step_by(self.of)
     }
 }
 
@@ -167,7 +279,7 @@ fn run_one(spec: &ScenarioSpec) -> ScenarioResult {
         flows_completed: results.out.flows.len(),
         digest: digest_output(&results.out),
         wall,
-        results,
+        results: Some(results),
     }
 }
 
@@ -179,6 +291,10 @@ enum BucketChoice {
 /// Pick the slowdown bucket set that matches the scenario's background
 /// trace (FB_Hadoop buckets for FB_Hadoop traffic, WebSearch buckets
 /// otherwise — the paper's figure convention).
+///
+/// The wire format decodes buckets against these same tables
+/// (`wire::known_bucket`): adding a bucket set here requires extending
+/// that lookup, or merges of distributed runs will reject the new labels.
 fn bucket_choice(spec: &ScenarioSpec) -> BucketChoice {
     for w in &spec.workloads {
         if let WorkloadSpec::Poisson {
@@ -195,7 +311,9 @@ fn bucket_choice(spec: &ScenarioSpec) -> BucketChoice {
 /// Everything measured for one scenario of a campaign.
 ///
 /// The summary fields and `digest` are derived purely from the simulator's
-/// deterministic output; only `wall` depends on the host machine.
+/// deterministic output; only `wall` depends on the host machine. The
+/// summary (everything except `wall` and `results`) is what crosses process
+/// boundaries through the [`crate::wire`] JSONL format.
 pub struct ScenarioResult {
     /// Scenario name (copied from the spec).
     pub name: String,
@@ -227,19 +345,25 @@ pub struct ScenarioResult {
     /// FNV-1a digest over the raw simulator output (flows, counters,
     /// histograms, traces) — equal digests mean bit-identical runs.
     pub digest: u64,
-    /// Wall-clock time this scenario took to build and run.
+    /// Wall-clock time this scenario took to build and run (for results
+    /// decoded from the wire format, the wall time the *worker* measured).
     pub wall: std::time::Duration,
     /// The full analysis wrapper, for figure-grade post-processing.
-    pub results: ExperimentResults,
+    /// `Some` for scenarios executed in this process; `None` for results
+    /// decoded from the JSONL wire format (the raw simulator output never
+    /// crosses process boundaries — only the summary and digest do).
+    pub results: Option<ExperimentResults>,
 }
 
 /// The outcome of one campaign: per-scenario results in scenario order.
 pub struct CampaignReport {
     /// One entry per scenario, in the campaign's order.
     pub results: Vec<ScenarioResult>,
-    /// Wall-clock time of the whole campaign.
+    /// Wall-clock time of the whole campaign (zero for reports merged from
+    /// wire streams whose files were produced elsewhere).
     pub wall: std::time::Duration,
-    /// Number of OS threads used.
+    /// Number of OS threads used (for reports merged from shard streams,
+    /// the number of streams).
     pub threads: usize,
 }
 
@@ -428,10 +552,11 @@ mod tests {
             assert_eq!(s.pfc, p.pfc);
             assert_eq!(s.drops, p.drops);
             assert_eq!(s.flows_completed, p.flows_completed);
-            assert_eq!(
-                s.results.out.events_processed,
-                p.results.out.events_processed
+            let (s_out, p_out) = (
+                &s.results.as_ref().unwrap().out,
+                &p.results.as_ref().unwrap().out,
             );
+            assert_eq!(s_out.events_processed, p_out.events_processed);
         }
         // The table renders every scenario.
         let table = parallel.table();
@@ -458,6 +583,63 @@ mod tests {
         let manifest = campaign.to_json_string();
         let back = Campaign::from_json_str(&manifest).unwrap();
         assert_eq!(back, campaign);
+    }
+
+    #[test]
+    fn empty_campaign_yields_a_well_formed_empty_report() {
+        let empty = Campaign::new();
+        assert!(empty.is_empty());
+        // Every execution path must return an empty report without spawning
+        // worker threads, recording `threads: 1` (the calling thread).
+        for report in [empty.run_serial(), empty.run_with_threads(8), empty.run()] {
+            assert!(report.results.is_empty());
+            assert_eq!(report.threads, 1);
+            assert!(report.digests().is_empty());
+            assert_eq!(report.total_scenario_wall(), std::time::Duration::ZERO);
+            assert!(report
+                .table()
+                .contains("campaign: 0 scenarios on 1 thread(s)"));
+        }
+        // The wire round trip of the empty report is well-formed too.
+        let text = empty.run_serial().to_json_string();
+        assert_eq!(text, "[]");
+        let back = CampaignReport::from_json_str(&text).unwrap();
+        assert!(back.results.is_empty());
+        // Sharding an empty campaign streams nothing and merges to empty.
+        let mut buf = Vec::new();
+        assert_eq!(
+            empty
+                .run_shard_streaming(ShardPlan::new(0, 2), &mut buf)
+                .unwrap(),
+            0
+        );
+        assert!(buf.is_empty());
+        let merged = crate::wire::merge_shard_streams([""], Some(0)).unwrap();
+        assert!(merged.results.is_empty());
+    }
+
+    #[test]
+    fn shard_plans_partition_round_robin() {
+        // 2 shards of 5 scenarios: even and odd indices.
+        let a = ShardPlan::new(0, 2);
+        let b = ShardPlan::new(1, 2);
+        assert_eq!(a.indices(5).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(b.indices(5).collect::<Vec<_>>(), vec![1, 3]);
+        // Every index is owned by exactly one shard, for several k.
+        for k in [1, 2, 3, 7] {
+            for i in 0..20 {
+                let owners = (0..k).filter(|s| ShardPlan::new(*s, k).owns(i)).count();
+                assert_eq!(owners, 1, "index {i} with {k} shards");
+            }
+        }
+        // More shards than scenarios: the excess shards are empty.
+        assert_eq!(ShardPlan::new(6, 7).indices(3).count(), 0);
+        // The i/N CLI notation round-trips; malformed specs are rejected.
+        assert_eq!(ShardPlan::parse("1/2"), Ok(ShardPlan::new(1, 2)));
+        assert_eq!(ShardPlan::parse("0/1"), Ok(ShardPlan::new(0, 1)));
+        for bad in ["", "1", "2/2", "3/2", "1/0", "x/2", "1/y", "-1/2"] {
+            assert!(ShardPlan::parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub enum JsonValue {
     /// A negative integer literal.
     Int(i64),
     /// A fractional or exponent-form number.
+    ///
+    /// JSON has no representation for non-finite values: [`render`] emits
+    /// `null` for `NaN`/`±inf` (so they re-parse as [`JsonValue::Null`],
+    /// never as an invalid token a merging coordinator would choke on).
+    /// Finite values round-trip bit-exactly: the writer uses Rust's
+    /// shortest-round-trip formatting and the parser is correctly rounded.
+    ///
+    /// [`render`]: JsonValue::render
     Float(f64),
     /// A string.
     Str(String),
@@ -113,6 +121,10 @@ impl JsonValue {
     }
 
     /// Render to a compact JSON string.
+    ///
+    /// The output is always valid JSON: non-finite floats become `null`
+    /// (see [`JsonValue::Float`]), and finite floats are written in a form
+    /// that re-parses to the bit-identical `f64`.
     pub fn render(&self) -> String {
         let mut s = String::new();
         self.render_into(&mut s);
@@ -127,13 +139,18 @@ impl JsonValue {
             JsonValue::Int(n) => s.push_str(&n.to_string()),
             JsonValue::Float(f) => {
                 if f.is_finite() {
-                    // Guarantee a re-parseable float (always keep a dot or e).
+                    // Guarantee a re-parseable float (always keep a dot or
+                    // e). Rust's Display prints the shortest string that
+                    // round-trips, so the value survives bit-exactly.
                     let text = format!("{f}");
                     s.push_str(&text);
                     if !text.contains(['.', 'e', 'E']) {
                         s.push_str(".0");
                     }
                 } else {
+                    // NaN/±inf have no JSON representation; `NaN`/`inf`
+                    // tokens would be invalid JSON that no peer could
+                    // re-parse. Emit `null` instead (documented contract).
                     s.push_str("null");
                 }
             }
@@ -471,5 +488,43 @@ mod tests {
         let v = JsonValue::Float(2.0);
         assert_eq!(v.render(), "2.0");
         assert_eq!(JsonValue::parse("2.0").unwrap().as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null_not_invalid_tokens() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = obj(vec![("x", JsonValue::Float(f))]);
+            let text = doc.render();
+            assert_eq!(text, "{\"x\":null}", "{f} must not leak into JSON");
+            // The output re-parses (as null — the value does not survive,
+            // the document does).
+            let back = JsonValue::parse(&text).unwrap();
+            assert_eq!(back.get("x"), Some(&JsonValue::Null));
+        }
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exactly() {
+        for f in [
+            0.0,
+            -0.0,
+            0.3,
+            1.0 / 3.0,
+            1e-12,
+            6.02214076e23,
+            1e300,
+            -1e300,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            -123_456_789.125,
+        ] {
+            let text = JsonValue::Float(f).render();
+            let back = JsonValue::parse(&text)
+                .unwrap_or_else(|e| panic!("{f} rendered as unparseable {text:?}: {e}"));
+            let g = back.as_f64().unwrap();
+            assert_eq!(g.to_bits(), f.to_bits(), "{f} -> {text} -> {g}");
+        }
     }
 }

@@ -10,6 +10,9 @@
 //!   tracing),
 //! * [`campaign`] — the [`Campaign`] runner: execute batches of scenarios
 //!   across OS threads with deterministic, bit-identical-to-serial results,
+//!   and shard them across processes with [`ShardPlan`],
+//! * [`wire`] — the JSONL wire format distributed campaigns stream their
+//!   per-scenario results through, and the shard-stream merge,
 //! * [`Experiment`] / [`ExperimentResults`] — build (via
 //!   [`experiment::ExperimentBuilder`]), run and analyse one simulation,
 //! * [`presets`] — ready-made scenario builders for every figure in the
@@ -28,8 +31,9 @@ pub mod json;
 pub mod presets;
 pub mod report;
 pub mod scenario;
+pub mod wire;
 
-pub use campaign::{Campaign, CampaignReport, ScenarioResult};
+pub use campaign::{Campaign, CampaignReport, ScenarioResult, ShardPlan};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentResults};
 pub use presets::SCHEME_SET_FIG11;
 pub use scenario::{

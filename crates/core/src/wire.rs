@@ -1,0 +1,465 @@
+//! The JSONL wire format of distributed campaigns.
+//!
+//! A sharded campaign ships per-scenario results between processes (and
+//! hosts) as JSON Lines: one self-contained object per completed scenario,
+//! written by [`crate::Campaign::run_shard_streaming`] the moment the
+//! scenario finishes and folded back into a single [`CampaignReport`] by
+//! [`merge_shard_streams`]. Everything rides on the in-tree [`crate::json`]
+//! module — no external serde.
+//!
+//! # Line schema
+//!
+//! ```json
+//! {"index": 3, "wall_ns": 412007831, "result": { ... }}
+//! ```
+//!
+//! * `index` — the scenario's position in the campaign, so a coordinator
+//!   can reassemble streams that arrive in any order.
+//! * `wall_ns` — the wall-clock time the worker spent on the scenario (the
+//!   only host-dependent field; it lives in the envelope, *outside* the
+//!   canonical result object).
+//! * `result` — the canonical [`ScenarioResult`] object produced by
+//!   [`ScenarioResult::to_json`]: name, scheme, slowdown percentiles
+//!   (overall / short-flow / per-size-bucket), queue percentiles, PFC
+//!   summary, drops, completion, and the FNV digest over the raw simulator
+//!   output. Unsigned integers (digests, byte counts, picosecond durations)
+//!   are emitted as exact JSON integers; floats use shortest-round-trip
+//!   formatting, so decoding and re-encoding is byte-identical.
+//!
+//! # Determinism contract
+//!
+//! [`ScenarioResult::to_json`] contains *only* deterministic fields — no
+//! wall-clock, no thread counts. Consequently
+//! [`CampaignReport::to_json_string`] (a JSON array of canonical results in
+//! scenario order) is a pure function of the campaign: a report merged from
+//! any number of worker processes on any mix of hosts renders the
+//! byte-identical string as [`crate::Campaign::run_serial`]. Equal strings
+//! (or equal [`CampaignReport::digests`]) mean bit-identical runs.
+
+use crate::campaign::{CampaignReport, ScenarioResult};
+use crate::json::{obj, JsonError, JsonValue};
+use hpcc_stats::fct::{fb_hadoop_buckets, websearch_buckets, FctBucket, SizeBucketStats};
+use hpcc_stats::pfc::PfcSummary;
+use hpcc_stats::Percentiles;
+use hpcc_types::Duration;
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+fn percentiles_to_json(p: &Percentiles) -> JsonValue {
+    obj(vec![
+        ("count", JsonValue::UInt(p.count as u64)),
+        ("p50", JsonValue::Float(p.p50)),
+        ("p95", JsonValue::Float(p.p95)),
+        ("p99", JsonValue::Float(p.p99)),
+        ("mean", JsonValue::Float(p.mean)),
+        ("max", JsonValue::Float(p.max)),
+    ])
+}
+
+fn percentiles_from_json(v: &JsonValue) -> Result<Percentiles, JsonError> {
+    Ok(Percentiles {
+        count: v.require("count")?.as_usize()?,
+        p50: v.require("p50")?.as_f64()?,
+        p95: v.require("p95")?.as_f64()?,
+        p99: v.require("p99")?.as_f64()?,
+        mean: v.require("mean")?.as_f64()?,
+        max: v.require("max")?.as_f64()?,
+    })
+}
+
+fn opt_percentiles_to_json(p: &Option<Percentiles>) -> JsonValue {
+    match p {
+        Some(p) => percentiles_to_json(p),
+        None => JsonValue::Null,
+    }
+}
+
+fn opt_percentiles_from_json(v: &JsonValue) -> Result<Option<Percentiles>, JsonError> {
+    match v {
+        JsonValue::Null => Ok(None),
+        other => Ok(Some(percentiles_from_json(other)?)),
+    }
+}
+
+fn opt_u64_to_json(n: &Option<u64>) -> JsonValue {
+    match n {
+        Some(n) => JsonValue::UInt(*n),
+        None => JsonValue::Null,
+    }
+}
+
+fn opt_u64_from_json(v: &JsonValue) -> Result<Option<u64>, JsonError> {
+    match v {
+        JsonValue::Null => Ok(None),
+        other => Ok(Some(other.as_u64()?)),
+    }
+}
+
+/// Recover the `&'static` bucket from the known bucket tables. Campaign
+/// results only ever use the paper's WebSearch / FB_Hadoop bucket sets, so
+/// decoding resolves labels against those instead of leaking strings.
+fn known_bucket(max_size: u64, label: &str) -> Option<FctBucket> {
+    websearch_buckets()
+        .into_iter()
+        .chain(fb_hadoop_buckets())
+        .find(|b| b.max_size == max_size && b.label == label)
+}
+
+fn bucket_stats_to_json(b: &SizeBucketStats) -> JsonValue {
+    obj(vec![
+        ("max_size", JsonValue::UInt(b.bucket.max_size)),
+        ("label", JsonValue::Str(b.bucket.label.to_string())),
+        ("stats", opt_percentiles_to_json(&b.stats)),
+    ])
+}
+
+fn bucket_stats_from_json(v: &JsonValue) -> Result<SizeBucketStats, JsonError> {
+    let max_size = v.require("max_size")?.as_u64()?;
+    let label = v.require("label")?.as_str()?;
+    let bucket = known_bucket(max_size, label).ok_or_else(|| {
+        JsonError(format!(
+            "unknown flow-size bucket ({max_size}, {label:?}); \
+             not in the WebSearch or FB_Hadoop tables"
+        ))
+    })?;
+    Ok(SizeBucketStats {
+        bucket,
+        stats: opt_percentiles_from_json(v.require("stats")?)?,
+    })
+}
+
+fn pfc_to_json(p: &PfcSummary) -> JsonValue {
+    obj(vec![
+        ("total_pause_ps", JsonValue::UInt(p.total_pause.as_ps())),
+        ("paused_ports", JsonValue::UInt(p.paused_ports as u64)),
+        ("total_ports", JsonValue::UInt(p.total_ports as u64)),
+        ("elapsed_ps", JsonValue::UInt(p.elapsed.as_ps())),
+        ("pause_frames", JsonValue::UInt(p.pause_frames)),
+    ])
+}
+
+fn pfc_from_json(v: &JsonValue) -> Result<PfcSummary, JsonError> {
+    Ok(PfcSummary {
+        total_pause: Duration::from_ps(v.require("total_pause_ps")?.as_u64()?),
+        paused_ports: v.require("paused_ports")?.as_usize()?,
+        total_ports: v.require("total_ports")?.as_usize()?,
+        elapsed: Duration::from_ps(v.require("elapsed_ps")?.as_u64()?),
+        pause_frames: v.require("pause_frames")?.as_u64()?,
+    })
+}
+
+impl ScenarioResult {
+    /// The canonical JSON object of this result: every deterministic field
+    /// (summary metrics and digest), and nothing host-dependent — no wall
+    /// time, no raw simulator output. See the [module docs](self) for the
+    /// determinism contract this buys.
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("name", JsonValue::Str(self.name.clone())),
+            ("scheme", JsonValue::Str(self.scheme.clone())),
+            ("slowdown", opt_percentiles_to_json(&self.slowdown)),
+            (
+                "short_flow_slowdown",
+                opt_percentiles_to_json(&self.short_flow_slowdown),
+            ),
+            (
+                "slowdown_buckets",
+                JsonValue::Array(
+                    self.slowdown_buckets
+                        .iter()
+                        .map(bucket_stats_to_json)
+                        .collect(),
+                ),
+            ),
+            ("queue_p50", opt_u64_to_json(&self.queue_p50)),
+            ("queue_p95", opt_u64_to_json(&self.queue_p95)),
+            ("queue_p99", opt_u64_to_json(&self.queue_p99)),
+            ("max_queue_bytes", JsonValue::UInt(self.max_queue_bytes)),
+            ("pfc", pfc_to_json(&self.pfc)),
+            ("drops", JsonValue::UInt(self.drops)),
+            ("completion", JsonValue::Float(self.completion)),
+            (
+                "flows_completed",
+                JsonValue::UInt(self.flows_completed as u64),
+            ),
+            ("digest", JsonValue::UInt(self.digest)),
+        ])
+    }
+
+    /// Decode a canonical result object. The decoded result carries no raw
+    /// simulator output (`results: None`) and no wall time (`wall` is zero
+    /// until an envelope supplies the worker's measurement).
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let mut buckets = Vec::new();
+        for b in v.require("slowdown_buckets")?.as_array()? {
+            buckets.push(bucket_stats_from_json(b)?);
+        }
+        Ok(ScenarioResult {
+            name: v.require("name")?.as_str()?.to_string(),
+            scheme: v.require("scheme")?.as_str()?.to_string(),
+            slowdown: opt_percentiles_from_json(v.require("slowdown")?)?,
+            short_flow_slowdown: opt_percentiles_from_json(v.require("short_flow_slowdown")?)?,
+            slowdown_buckets: buckets,
+            queue_p50: opt_u64_from_json(v.require("queue_p50")?)?,
+            queue_p95: opt_u64_from_json(v.require("queue_p95")?)?,
+            queue_p99: opt_u64_from_json(v.require("queue_p99")?)?,
+            max_queue_bytes: v.require("max_queue_bytes")?.as_u64()?,
+            pfc: pfc_from_json(v.require("pfc")?)?,
+            drops: v.require("drops")?.as_u64()?,
+            completion: v.require("completion")?.as_f64()?,
+            flows_completed: v.require("flows_completed")?.as_usize()?,
+            digest: v.require("digest")?.as_u64()?,
+            wall: std::time::Duration::ZERO,
+            results: None,
+        })
+    }
+}
+
+impl CampaignReport {
+    /// The canonical JSON of the whole report: a JSON array of canonical
+    /// per-scenario objects in scenario order. Wall times and thread counts
+    /// are deliberately excluded, so equal strings ⇔ bit-identical campaign
+    /// outcomes, no matter how (or where) the campaign ran.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.results.iter().map(|r| r.to_json()).collect())
+    }
+
+    /// [`CampaignReport::to_json`], rendered to a compact string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Decode a canonical report (the output of
+    /// [`CampaignReport::to_json_string`]). Wall times are zero and
+    /// `threads` is recorded as 1 — neither crosses the wire.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        let doc = JsonValue::parse(text)?;
+        let mut results = Vec::new();
+        for item in doc.as_array()? {
+            results.push(ScenarioResult::from_json(item)?);
+        }
+        Ok(CampaignReport {
+            results,
+            wall: std::time::Duration::ZERO,
+            threads: 1,
+        })
+    }
+}
+
+/// Encode one completed scenario as a JSONL line (without the trailing
+/// newline): the envelope carries the scenario `index` and the worker's
+/// `wall_ns`; the canonical result object rides in `result`.
+pub fn encode_result_line(index: usize, result: &ScenarioResult) -> String {
+    obj(vec![
+        ("index", JsonValue::UInt(index as u64)),
+        (
+            "wall_ns",
+            JsonValue::UInt(result.wall.as_nanos().min(u64::MAX as u128) as u64),
+        ),
+        ("result", result.to_json()),
+    ])
+    .render()
+}
+
+/// Decode one JSONL line into `(scenario index, result)`. The envelope's
+/// `wall_ns` is restored onto the result.
+pub fn decode_result_line(line: &str) -> Result<(usize, ScenarioResult), JsonError> {
+    let v = JsonValue::parse(line)?;
+    let index = v.require("index")?.as_usize()?;
+    let mut result = ScenarioResult::from_json(v.require("result")?)?;
+    result.wall = std::time::Duration::from_nanos(v.require("wall_ns")?.as_u64()?);
+    Ok((index, result))
+}
+
+/// Merge shard streams (the concatenated JSONL output of one or more
+/// workers, blank lines ignored) into a single [`CampaignReport`] ordered
+/// by scenario index.
+///
+/// When `expected_len` is `Some(n)` the merged indices must be exactly
+/// `0..n` — a lost or truncated shard cannot silently produce a shorter
+/// report. With `None` the indices must still be contiguous from 0 (gaps
+/// and duplicates are errors), but missing *trailing* scenarios are
+/// undetectable; pass `Some` whenever the campaign size is known. The
+/// report's `threads` field records the number of streams; `wall` is zero
+/// (the caller may overwrite it with the coordinator's measurement).
+pub fn merge_shard_streams<'a>(
+    streams: impl IntoIterator<Item = &'a str>,
+    expected_len: Option<usize>,
+) -> Result<CampaignReport, JsonError> {
+    let mut entries: Vec<(usize, ScenarioResult)> = Vec::new();
+    let mut n_streams = 0usize;
+    for text in streams {
+        n_streams += 1;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            entries.push(decode_result_line(line)?);
+        }
+    }
+    entries.sort_by_key(|(index, _)| *index);
+    if let Some(n) = expected_len {
+        if entries.len() != n {
+            return err(format!(
+                "shard streams carry {} results, campaign has {n} scenarios",
+                entries.len()
+            ));
+        }
+    }
+    for (expected, (index, _)) in entries.iter().enumerate() {
+        if *index != expected {
+            return err(format!(
+                "shard streams are not a complete partition: expected \
+                 scenario index {expected}, found {index} (duplicate or \
+                 missing shard?)"
+            ));
+        }
+    }
+    Ok(CampaignReport {
+        results: entries.into_iter().map(|(_, r)| r).collect(),
+        wall: std::time::Duration::ZERO,
+        threads: n_streams.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built result exercising every field shape: present and absent
+    /// percentiles, both bucket tables, extreme integers.
+    fn synthetic(name: &str, digest: u64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            scheme: "HPCC".to_string(),
+            slowdown: Percentiles::of(&[1.0, 2.5, 40.0]),
+            short_flow_slowdown: None,
+            slowdown_buckets: vec![
+                SizeBucketStats {
+                    bucket: websearch_buckets()[0],
+                    stats: Percentiles::of(&[1.5, 1.5, 9.75]),
+                },
+                SizeBucketStats {
+                    bucket: *fb_hadoop_buckets().last().unwrap(),
+                    stats: None,
+                },
+            ],
+            queue_p50: Some(1_000),
+            queue_p95: None,
+            queue_p99: Some(u64::MAX),
+            max_queue_bytes: 5,
+            pfc: PfcSummary::new(
+                &[Duration::from_us(3), Duration::ZERO],
+                2,
+                Duration::from_ms(1),
+            ),
+            drops: 7,
+            completion: 0.975,
+            flows_completed: 39,
+            digest,
+            wall: std::time::Duration::from_millis(12),
+            results: None,
+        }
+    }
+
+    #[test]
+    fn result_lines_round_trip_every_field() {
+        let original = synthetic("fig11 HPCC", u64::MAX - 3);
+        let line = encode_result_line(4, &original);
+        let (index, back) = decode_result_line(&line).unwrap();
+        assert_eq!(index, 4);
+        // The canonical object survives byte-identically…
+        assert_eq!(back.to_json().render(), original.to_json().render());
+        // …and the envelope restored the worker's wall time.
+        assert_eq!(back.wall, original.wall);
+        assert!(back.results.is_none());
+        // Spot-check decoded fields (not just the re-render).
+        assert_eq!(back.digest, u64::MAX - 3);
+        assert_eq!(back.queue_p99, Some(u64::MAX));
+        assert_eq!(back.queue_p95, None);
+        assert_eq!(back.slowdown.unwrap(), original.slowdown.unwrap());
+        assert_eq!(back.pfc, original.pfc);
+        assert_eq!(back.slowdown_buckets[0].bucket.label, "<3K");
+        assert_eq!(back.slowdown_buckets[1].bucket.label, "10M");
+    }
+
+    #[test]
+    fn merge_reorders_and_validates_streams() {
+        let lines = |items: &[(usize, u64)]| -> String {
+            items
+                .iter()
+                .map(|(i, d)| encode_result_line(*i, &synthetic(&format!("s{i}"), *d)) + "\n")
+                .collect()
+        };
+        // Two out-of-order streams (plus a blank line) merge into scenario
+        // order, with `threads` recording the stream count.
+        let a = lines(&[(2, 20), (0, 10)]) + "\n";
+        let b = lines(&[(3, 30), (1, 11)]);
+        let report = merge_shard_streams([a.as_str(), b.as_str()], Some(4)).unwrap();
+        assert_eq!(report.digests(), vec![10, 11, 20, 30]);
+        assert_eq!(report.threads, 2);
+        assert_eq!(
+            report
+                .results
+                .iter()
+                .map(|r| r.name.clone())
+                .collect::<Vec<_>>(),
+            vec!["s0", "s1", "s2", "s3"]
+        );
+        // A missing scenario is an error, not a silently shorter report…
+        let gap = lines(&[(0, 10), (2, 20)]);
+        assert!(merge_shard_streams([gap.as_str()], Some(3)).is_err());
+        assert!(merge_shard_streams([gap.as_str()], None).is_err());
+        // …and so are duplicates and wrong totals.
+        let dup = lines(&[(0, 10), (0, 10), (1, 11)]);
+        assert!(merge_shard_streams([dup.as_str()], None).is_err());
+        assert!(merge_shard_streams([a.as_str()], Some(4)).is_err());
+        // Garbage lines surface as parse errors.
+        assert!(merge_shard_streams(["not json"], None).is_err());
+    }
+
+    #[test]
+    fn every_producible_bucket_survives_the_wire() {
+        // `bucket_choice` in campaign.rs can only emit these two tables;
+        // whoever adds a third set there must extend `known_bucket` (and
+        // this test) or distributed merges break while local runs pass.
+        for bucket in websearch_buckets().into_iter().chain(fb_hadoop_buckets()) {
+            for stats in [None, Percentiles::of(&[1.0, 4.0])] {
+                let row = SizeBucketStats { bucket, stats };
+                let back = bucket_stats_from_json(&bucket_stats_to_json(&row)).unwrap();
+                assert_eq!(back.bucket, bucket);
+                assert_eq!(back.stats, stats);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_report_json_round_trips() {
+        let report = CampaignReport {
+            results: vec![synthetic("a", 1), synthetic("b", 2)],
+            wall: std::time::Duration::from_secs(9),
+            threads: 4,
+        };
+        let text = report.to_json_string();
+        let back = CampaignReport::from_json_str(&text).unwrap();
+        // Canonical JSON is idempotent: decode → re-encode is byte-equal.
+        assert_eq!(back.to_json_string(), text);
+        assert_eq!(back.digests(), report.digests());
+        // The canonical form excludes the host-dependent fields.
+        assert!(!text.contains("wall"));
+        assert!(!text.contains("threads"));
+    }
+
+    #[test]
+    fn unknown_buckets_are_rejected() {
+        let line = encode_result_line(0, &synthetic("x", 1)).replace("\"<3K\"", "\"<9K\"");
+        let err = match decode_result_line(&line) {
+            Err(e) => e,
+            Ok(_) => panic!("tampered bucket label must not decode"),
+        };
+        assert!(err.0.contains("unknown flow-size bucket"), "{err}");
+    }
+}

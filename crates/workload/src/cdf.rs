@@ -51,13 +51,25 @@ impl FlowSizeCdf {
         &self.points
     }
 
-    /// Inverse-transform sample: map a uniform `u ∈ [0,1)` to a flow size by
-    /// linear interpolation between knee points. Sizes are clamped to ≥ 1
-    /// byte (the paper's "0-byte" bucket is a header-only RPC).
+    /// Inverse-transform sample: map a uniform `u` (clamped to `[0, 1]`) to
+    /// a flow size.
+    ///
+    /// The first knee point is a *point mass*: every `u` at or below its
+    /// probability returns the first knee's size. (Interpolating that mass
+    /// from a phantom `(0 bytes, p = 0)` origin — the old behavior — bent
+    /// fixed-size and trace distributions whose smallest size carries real
+    /// probability towards zero.) Between later knee points the size is
+    /// linearly interpolated. All returned sizes are clamped to ≥ 1 byte
+    /// (the paper's "0-byte" bucket is a header-only RPC), so
+    /// `quantile(0.0)` is the first knee's size (≥ 1 byte) and
+    /// `quantile(1.0)` is the last knee's size.
     pub fn quantile(&self, u: f64) -> u64 {
         let u = u.clamp(0.0, 1.0);
-        let mut prev = (0u64, 0.0f64);
-        for &(size, p) in &self.points {
+        let mut prev = self.points[0];
+        if u <= prev.1 {
+            return prev.0.max(1);
+        }
+        for &(size, p) in &self.points[1..] {
             if u <= p {
                 let span = (p - prev.1).max(f64::MIN_POSITIVE);
                 let frac = (u - prev.1) / span;
@@ -75,11 +87,14 @@ impl FlowSizeCdf {
         self.quantile(rng.next_f64())
     }
 
-    /// Mean flow size implied by the piecewise-linear CDF.
+    /// Mean flow size implied by the CDF: the first knee's probability mass
+    /// sits entirely at its size (a point mass, consistent with
+    /// [`Self::quantile`]); each later segment contributes its trapezoid
+    /// average.
     pub fn mean(&self) -> f64 {
-        let mut mean = 0.0;
-        let mut prev = (0u64, 0.0f64);
-        for &(size, p) in &self.points {
+        let mut prev = self.points[0];
+        let mut mean = prev.1 * prev.0 as f64;
+        for &(size, p) in &self.points[1..] {
             let dp = p - prev.1;
             mean += dp * (prev.0 as f64 + size as f64) / 2.0;
             prev = (size, p);
@@ -87,10 +102,15 @@ impl FlowSizeCdf {
         mean
     }
 
-    /// The fraction of flows at or below `size` bytes.
+    /// The fraction of flows at or below `size` bytes. Sizes below the
+    /// first knee have probability 0; the first knee's own point mass is
+    /// included at its exact size.
     pub fn fraction_below(&self, size: u64) -> f64 {
-        let mut prev = (0u64, 0.0f64);
-        for &(s, p) in &self.points {
+        let mut prev = self.points[0];
+        if size < prev.0 {
+            return 0.0;
+        }
+        for &(s, p) in &self.points[1..] {
             if size <= s {
                 let span = (s - prev.0).max(1) as f64;
                 let frac = (size - prev.0) as f64 / span;
@@ -174,6 +194,44 @@ mod tests {
             assert!(q >= prev);
             prev = q;
         }
+    }
+
+    #[test]
+    fn first_knee_point_mass_is_not_interpolated_from_zero() {
+        // Half the flows are exactly 1000 B (mass on the first knee); the
+        // rest interpolate up to 2000 B. The old phantom (0 bytes, p = 0)
+        // origin bent the mass towards zero-size flows.
+        let cdf = FlowSizeCdf::new("mass", vec![(1_000, 0.5), (2_000, 1.0)]);
+        assert_eq!(cdf.quantile(0.0), 1_000);
+        assert_eq!(cdf.quantile(0.25), 1_000);
+        assert_eq!(cdf.quantile(0.5), 1_000);
+        let q = cdf.quantile(0.75);
+        assert!(q > 1_000 && q < 2_000, "q = {q}");
+        assert_eq!(cdf.quantile(1.0), 2_000);
+        // The mass shows up in the mean and in the CDF itself.
+        let expected_mean = 0.5 * 1_000.0 + 0.5 * 1_500.0;
+        assert!((cdf.mean() - expected_mean).abs() < 1e-9, "{}", cdf.mean());
+        assert_eq!(cdf.fraction_below(999), 0.0);
+        assert!((cdf.fraction_below(1_000) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edges_are_pinned() {
+        // u = 0 hits the first knee, u = 1 the last; out-of-range u clamps.
+        assert_eq!(websearch().quantile(0.0), 1);
+        assert_eq!(websearch().quantile(1.0), 30_000_000);
+        assert_eq!(fb_hadoop().quantile(0.0), 1);
+        assert_eq!(fb_hadoop().quantile(1.0), 10_000_000);
+        let fixed = fixed_size(500_000);
+        // Before the point-mass fix this returned 1 (phantom interpolation).
+        assert_eq!(fixed.quantile(0.0), 500_000);
+        assert_eq!(fixed.quantile(1.0), 500_000);
+        assert_eq!(fixed.quantile(-3.0), 500_000);
+        assert_eq!(fixed.quantile(7.0), 500_000);
+        // A 0-byte knee clamps to the documented ≥ 1 byte floor.
+        let zero = FlowSizeCdf::new("zero", vec![(0, 0.25), (10, 1.0)]);
+        assert_eq!(zero.quantile(0.1), 1);
+        assert_eq!(zero.quantile(0.0), 1);
     }
 
     #[test]

@@ -62,7 +62,8 @@ pub mod prelude {
     };
     pub use hpcc_core::{
         Campaign, CampaignReport, CcSpec, CdfSpec, Experiment, ExperimentBuilder,
-        ExperimentResults, FlowDecl, ScenarioResult, ScenarioSpec, TopologyChoice, WorkloadSpec,
+        ExperimentResults, FlowDecl, ScenarioResult, ScenarioSpec, ShardPlan, TopologyChoice,
+        WorkloadSpec,
     };
     pub use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig, SimOutput, Simulator};
     pub use hpcc_stats::{FctAnalyzer, Percentiles};
