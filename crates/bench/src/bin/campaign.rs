@@ -6,16 +6,19 @@
 //! the per-scenario digests are bit-identical, and reports the speedup.
 //!
 //! Usage:
-//!   cargo run --release -p hpcc-bench --bin campaign [duration_ms] [load]
-//!   cargo run --release -p hpcc-bench --bin campaign -- --manifest file.json
-//!   cargo run --release -p hpcc-bench --bin campaign -- --dump-manifest [duration_ms] [load]
-//!   cargo run --release -p hpcc-bench --bin campaign -- --events-per-sec [out.json]
-//!   cargo run --release -p hpcc-bench --bin campaign -- --shards N \
-//!       [--verify-serial] [--report out.json] [--manifest f] [duration_ms] [load]
-//!   cargo run --release -p hpcc-bench --bin campaign -- --worker-shard i/N \
-//!       [--manifest f] [duration_ms] [load]
-//!   cargo run --release -p hpcc-bench --bin campaign -- --merge a.jsonl b.jsonl ... \
-//!       [--expect N | --manifest f] [--report out.json]
+//!
+//! ```text
+//! cargo run --release -p hpcc-bench --bin campaign [duration_ms] [load]
+//! cargo run --release -p hpcc-bench --bin campaign -- --manifest file.json
+//! cargo run --release -p hpcc-bench --bin campaign -- --dump-manifest [duration_ms] [load]
+//! cargo run --release -p hpcc-bench --bin campaign -- --events-per-sec [out.json]
+//! cargo run --release -p hpcc-bench --bin campaign -- --shards N \
+//!     [--verify-serial] [--report out.json] [--manifest f] [duration_ms] [load]
+//! cargo run --release -p hpcc-bench --bin campaign -- --worker-shard i/N \
+//!     [--manifest f] [duration_ms] [load]
+//! cargo run --release -p hpcc-bench --bin campaign -- --merge a.jsonl b.jsonl ... \
+//!     [--expect N | --manifest f] [--report out.json]
+//! ```
 //!
 //! `--manifest` runs a JSON campaign manifest (an array of ScenarioSpec
 //! objects, see `hpcc_core::scenario`) instead of the built-in scheme set;

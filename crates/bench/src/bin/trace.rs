@@ -1,0 +1,243 @@
+//! Flow-trace tooling: export synthetic workloads to trace files, freeze
+//! manifests into trace-replay artifacts, inspect and verify traces.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p hpcc-bench --bin trace -- export \
+//!     --manifest grid.json [--index I] [--jsonl] --out flows.csv
+//! cargo run --release -p hpcc-bench --bin trace -- freeze \
+//!     --manifest grid.json --out frozen.json
+//! cargo run --release -p hpcc-bench --bin trace -- info flows.csv
+//! cargo run --release -p hpcc-bench --bin trace -- roundtrip \
+//!     --manifest grid.json [--index I]
+//! ```
+//!
+//! * `export` — build scenario `I` of the manifest (default 0) and write
+//!   every generated flow as one trace line (`start_ns,src,dst,bytes[,prio]`
+//!   CSV by default, JSONL with `--jsonl`). The exported file replays
+//!   deterministically: it is the reproducible artifact of the run.
+//! * `freeze` — rewrite a whole manifest with every generated workload
+//!   (Poisson, incast) replaced by its inline trace records. The frozen
+//!   manifest produces bit-identical campaign digests but no longer depends
+//!   on generator code or seeds-to-flows mappings.
+//! * `info` — parse a trace file and print record count, host span, byte
+//!   volume and time horizon. Malformed files report the offending line.
+//! * `roundtrip` — self-check: export scenario `I`'s flows to text, parse
+//!   the text back, replay, and verify the per-flow tuples are identical.
+//!
+//! Trace format and error semantics: see `hpcc_workload::trace` and
+//! `docs/ARCHITECTURE.md`.
+
+use hpcc_core::{Campaign, ScenarioSpec};
+use hpcc_workload::Trace;
+
+fn die(msg: impl AsRef<str>) -> ! {
+    eprintln!("trace: {}", msg.as_ref());
+    std::process::exit(2);
+}
+
+#[derive(Default)]
+struct Cli {
+    command: String,
+    manifest: Option<String>,
+    index: usize,
+    out: Option<String>,
+    jsonl: bool,
+    positional: Vec<String>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Cli {
+        let mut cli = Cli::default();
+        let value = |i: usize, flag: &str| -> String {
+            match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => next.clone(),
+                _ => die(format!("{flag} needs a value")),
+            }
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--manifest" => {
+                    cli.manifest = Some(value(i, "--manifest"));
+                    i += 2;
+                }
+                "--index" => {
+                    let n = value(i, "--index");
+                    cli.index = n
+                        .parse()
+                        .unwrap_or_else(|_| die(format!("bad scenario index {n:?}")));
+                    i += 2;
+                }
+                "--out" => {
+                    cli.out = Some(value(i, "--out"));
+                    i += 2;
+                }
+                "--jsonl" => {
+                    cli.jsonl = true;
+                    i += 1;
+                }
+                flag if flag.starts_with("--") => die(format!("unknown flag {flag}")),
+                other => {
+                    if cli.command.is_empty() {
+                        cli.command = other.to_string();
+                    } else {
+                        cli.positional.push(other.to_string());
+                    }
+                    i += 1;
+                }
+            }
+        }
+        cli
+    }
+
+    fn load_campaign(&self) -> Campaign {
+        let path = self
+            .manifest
+            .as_ref()
+            .unwrap_or_else(|| die("--manifest is required"));
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+        Campaign::from_json_str(&text).unwrap_or_else(|e| die(format!("cannot parse {path}: {e}")))
+    }
+
+    fn pick_scenario(&self) -> ScenarioSpec {
+        let campaign = self.load_campaign();
+        campaign
+            .scenarios()
+            .get(self.index)
+            .unwrap_or_else(|| {
+                die(format!(
+                    "scenario index {} out of range ({} scenarios)",
+                    self.index,
+                    campaign.len()
+                ))
+            })
+            .clone()
+    }
+}
+
+fn scenario_trace(spec: &ScenarioSpec) -> Trace {
+    let exp = spec
+        .try_build()
+        .unwrap_or_else(|e| die(format!("building {:?}: {e}", spec.name)));
+    Trace::from_flows(exp.flows(), exp.topology().hosts())
+        .unwrap_or_else(|e| die(format!("exporting {:?}: {e}", spec.name)))
+}
+
+fn run_export(cli: &Cli) {
+    let spec = cli.pick_scenario();
+    let trace = scenario_trace(&spec);
+    let text = if cli.jsonl {
+        trace.to_jsonl()
+    } else {
+        trace.to_csv()
+    };
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+            eprintln!(
+                "exported {} flows of scenario {} ({:?}) to {path}",
+                trace.records.len(),
+                cli.index,
+                spec.name
+            );
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn run_freeze(cli: &Cli) {
+    let campaign = cli.load_campaign();
+    let frozen: Vec<ScenarioSpec> = campaign
+        .scenarios()
+        .iter()
+        .map(|s| {
+            s.freeze()
+                .unwrap_or_else(|e| die(format!("freezing {:?}: {e}", s.name)))
+        })
+        .collect();
+    let manifest = Campaign::from_scenarios(frozen).to_json_string();
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, manifest + "\n")
+                .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+            eprintln!(
+                "froze {} scenario(s) into trace-replay form: {path}",
+                campaign.len()
+            );
+        }
+        None => println!("{manifest}"),
+    }
+}
+
+fn run_info(cli: &Cli) {
+    let path = cli
+        .positional
+        .first()
+        .unwrap_or_else(|| die("info needs a trace file argument"));
+    let trace = Trace::from_file(path).unwrap_or_else(|e| die(format!("{path}: {e}")));
+    let max_host = trace
+        .records
+        .iter()
+        .map(|r| r.src.max(r.dst))
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    println!(
+        "{path}: {} records, {} hosts referenced, {} total bytes, horizon {}",
+        trace.records.len(),
+        max_host,
+        trace.total_bytes(),
+        trace.horizon()
+    );
+}
+
+fn run_roundtrip(cli: &Cli) {
+    let spec = cli.pick_scenario();
+    let exp = spec
+        .try_build()
+        .unwrap_or_else(|e| die(format!("building {:?}: {e}", spec.name)));
+    let hosts = exp.topology().hosts();
+    let trace = Trace::from_flows(exp.flows(), hosts)
+        .unwrap_or_else(|e| die(format!("exporting {:?}: {e}", spec.name)));
+    for (label, text) in [("csv", trace.to_csv()), ("jsonl", trace.to_jsonl())] {
+        let back = Trace::parse(&text).unwrap_or_else(|e| die(format!("re-parsing {label}: {e}")));
+        if back != trace {
+            die(format!("{label} round trip changed the records"));
+        }
+        let replayed = back
+            .replay(hosts, exp.flows().first().map_or(0, |f| f.id.raw()))
+            .unwrap_or_else(|e| die(format!("replaying {label}: {e}")));
+        let tuples = |flows: &[hpcc_types::FlowSpec]| {
+            flows
+                .iter()
+                .map(|f| (f.src, f.dst, f.size, f.start, f.priority))
+                .collect::<Vec<_>>()
+        };
+        if tuples(&replayed) != tuples(exp.flows()) {
+            die(format!("{label} replay changed the per-flow tuples"));
+        }
+    }
+    println!(
+        "roundtrip ok: {} flows of scenario {} ({:?}) survive export -> parse -> replay in both formats",
+        exp.flows().len(),
+        cli.index,
+        spec.name
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cli = Cli::parse(&args);
+    match cli.command.as_str() {
+        "export" => run_export(&cli),
+        "freeze" => run_freeze(&cli),
+        "info" => run_info(&cli),
+        "roundtrip" => run_roundtrip(&cli),
+        "" => die("usage: trace <export|freeze|info|roundtrip> [--manifest f] [--index I] [--out f] [--jsonl]"),
+        other => die(format!("unknown command {other:?}")),
+    }
+}

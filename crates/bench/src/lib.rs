@@ -8,6 +8,10 @@
 //!   paper plots. The binaries in `src/bin/` (`fig01` … `fig14`,
 //!   `tab_int_overhead`, `fluid_convergence`) are thin wrappers that print
 //!   the runner's report.
+//! * The `campaign` binary is the manifest runner and multi-process
+//!   sharded-campaign coordinator; the `trace` binary exports workloads to
+//!   flow-trace files, freezes manifests into trace-replay artifacts and
+//!   inspects/verifies traces (see `hpcc_workload::trace`).
 //! * The Criterion benches in `benches/` measure the engine itself
 //!   (events/sec), the per-ACK cost of every CC algorithm, and miniature
 //!   versions of the figure scenarios so that both performance and *shape*

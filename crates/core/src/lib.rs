@@ -6,8 +6,11 @@
 //! control (`hpcc-cc`) and metrics (`hpcc-stats`) — behind three things:
 //!
 //! * [`scenario`] — the declarative [`ScenarioSpec`]: scenarios as plain,
-//!   serializable data (topology, scheme, workloads, duration, seed,
-//!   tracing),
+//!   serializable data (topology, scheme, workloads — including rack
+//!   locality, heavy-hitter skew and trace replay — duration, seed,
+//!   measurement options), with typed [`BuildError`]s from
+//!   [`ScenarioSpec::try_build`] and trace-artifact export via
+//!   [`ScenarioSpec::freeze`],
 //! * [`campaign`] — the [`Campaign`] runner: execute batches of scenarios
 //!   across OS threads with deterministic, bit-identical-to-serial results,
 //!   and shard them across processes with [`ShardPlan`],
@@ -37,5 +40,6 @@ pub use campaign::{Campaign, CampaignReport, ScenarioResult, ShardPlan};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentResults};
 pub use presets::SCHEME_SET_FIG11;
 pub use scenario::{
-    CcSpec, CdfSpec, FlowDecl, ScenarioSpec, TopologyChoice, TraceSpec, WorkloadSpec,
+    BuildError, CcSpec, CdfSpec, FlowDecl, MeasurementSpec, ScenarioSpec, TopologyChoice,
+    WorkloadSpec,
 };

@@ -14,6 +14,7 @@ use hpcc_cc::{CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig};
 use hpcc_sim::{EcnConfig, FlowControlMode};
 use hpcc_topology::{FatTreeParams, TopologySpec};
 use hpcc_types::{Bandwidth, Duration, NodeId, PortId};
+use hpcc_workload::{LocalitySpec, PairSpec, SkewSpec};
 
 /// The six schemes compared in Figure 11, built for a given line rate and
 /// base RTT.
@@ -285,6 +286,92 @@ pub fn pfc_storm(load: f64, fan_in: usize, end: Duration, seed: u64) -> Scenario
     .with_workload(WorkloadSpec::incast(fan_in, 500_000, 0.05))
 }
 
+/// A rack-locality sweep on the Clos fabric: one scenario per intra-rack
+/// fraction, same scheme, seed and load throughout, so the only variable is
+/// how much traffic stays inside the source rack. Sweeping from 0 (all
+/// cross-rack) towards 1 (all intra-rack) moves load off the
+/// oversubscribed ToR uplinks — exactly the realism axis the paper's
+/// uniform workloads cannot express.
+pub fn fattree_locality_sweep(
+    cc: impl Into<CcSpec> + Clone,
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    intra_fractions: &[f64],
+    seed: u64,
+) -> Campaign {
+    Campaign::from_scenarios(
+        intra_fractions
+            .iter()
+            .map(|&fraction| {
+                ScenarioSpec::new(
+                    format!("locality intra={fraction:.2}"),
+                    TopologyChoice::FatTree(params),
+                    cc.clone(),
+                    end,
+                )
+                .with_seed(seed)
+                .with_queue_sampling(Duration::from_us(5))
+                .with_workload(WorkloadSpec::poisson_with_pairs(
+                    CdfSpec::FbHadoop,
+                    load,
+                    PairSpec::Locality(LocalitySpec::IntraRack { fraction }),
+                ))
+            })
+            .collect(),
+    )
+}
+
+/// A heavy-hitter skew sweep on the Clos fabric: one scenario per Zipf
+/// exponent (0 = uniform endpoints, 1.0–1.5 = typical datacenter fits).
+/// Which hosts are hot is a deterministic function of the seed.
+pub fn fattree_skew_sweep(
+    cc: impl Into<CcSpec> + Clone,
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    exponents: &[f64],
+    seed: u64,
+) -> Campaign {
+    Campaign::from_scenarios(
+        exponents
+            .iter()
+            .map(|&exponent| {
+                ScenarioSpec::new(
+                    format!("skew zipf={exponent:.2}"),
+                    TopologyChoice::FatTree(params),
+                    cc.clone(),
+                    end,
+                )
+                .with_seed(seed)
+                .with_queue_sampling(Duration::from_us(5))
+                .with_workload(WorkloadSpec::poisson_with_pairs(
+                    CdfSpec::FbHadoop,
+                    load,
+                    PairSpec::Skew(SkewSpec::new(exponent)),
+                ))
+            })
+            .collect(),
+    )
+}
+
+/// A trace-replay scenario: drive `topology` with the flows recorded in a
+/// CSV/JSONL trace file (see `hpcc_workload::trace` for the formats). The
+/// replay is deterministic, so two runs of the same file are bit-identical.
+pub fn trace_replay(
+    name: impl Into<String>,
+    topology: TopologyChoice,
+    cc: impl Into<CcSpec>,
+    trace_path: impl Into<String>,
+    end: Duration,
+    seed: u64,
+) -> ScenarioSpec {
+    ScenarioSpec::new(name, topology, cc, end)
+        .with_seed(seed)
+        .with_queue_sampling(Duration::from_us(5))
+        .with_workload(WorkloadSpec::trace_file(trace_path))
+}
+
 /// Custom flow-size distribution variant of [`testbed_websearch`] used by
 /// sensitivity studies.
 pub fn testbed_with_cdf(
@@ -445,6 +532,47 @@ mod tests {
             assert_eq!(spec.seed, 5);
             assert_eq!(spec.workloads.len(), 2);
         }
+    }
+
+    #[test]
+    fn locality_and_skew_sweeps_declare_one_scenario_per_point() {
+        let sweep = fattree_locality_sweep(
+            CcSpec::by_label("HPCC"),
+            FatTreeParams::small(),
+            0.3,
+            Duration::from_ms(1),
+            &[0.0, 0.5, 0.9],
+            4,
+        );
+        assert_eq!(sweep.len(), 3);
+        for (spec, frac) in sweep.scenarios().iter().zip([0.0, 0.5, 0.9]) {
+            assert_eq!(spec.name, format!("locality intra={frac:.2}"));
+            assert_eq!(spec.seed, 4);
+            match &spec.workloads[0] {
+                WorkloadSpec::Poisson { pairs, .. } => {
+                    assert_eq!(
+                        *pairs,
+                        PairSpec::Locality(LocalitySpec::IntraRack { fraction: frac })
+                    );
+                }
+                other => panic!("{other:?}"),
+            }
+            // Every point resolves into a runnable experiment.
+            assert!(!spec.build().flows().is_empty());
+        }
+        let skew = fattree_skew_sweep(
+            CcSpec::by_label("DCQCN"),
+            FatTreeParams::small(),
+            0.3,
+            Duration::from_ms(1),
+            &[0.0, 1.2],
+            4,
+        );
+        assert_eq!(skew.len(), 2);
+        assert_eq!(skew.scenarios()[1].name, "skew zipf=1.20");
+        // The sweep serializes into a manifest and back.
+        let back = Campaign::from_json_str(&skew.to_json_string()).unwrap();
+        assert_eq!(back, skew);
     }
 
     #[test]

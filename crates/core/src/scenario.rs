@@ -3,11 +3,11 @@
 //! A [`ScenarioSpec`] is a plain-data description of one simulation — which
 //! network ([`TopologyChoice`]), which congestion control ([`CcSpec`]), which
 //! traffic ([`WorkloadSpec`]), for how long, under which seed, with which
-//! tracing options ([`TraceSpec`]). Because it is data, a scenario can be
-//! cloned, swept over, serialized to JSON (campaign manifests), queued into a
-//! [`crate::campaign::Campaign`] and executed on any thread — the paper's
-//! whole evaluation grid (six schemes × topologies × workloads × parameter
-//! sweeps) becomes a list of values.
+//! measurement options ([`MeasurementSpec`]). Because it is data, a scenario
+//! can be cloned, swept over, serialized to JSON (campaign manifests), queued
+//! into a [`crate::campaign::Campaign`] and executed on any thread — the
+//! paper's whole evaluation grid (six schemes × topologies × workloads ×
+//! parameter sweeps) becomes a list of values.
 //!
 //! [`ScenarioSpec::build`] resolves the description into a concrete
 //! [`Experiment`] through [`ExperimentBuilder`]: the topology is
@@ -27,9 +27,30 @@ use hpcc_topology::{
 };
 use hpcc_types::rng::derive_seed;
 use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, SimTime};
+use hpcc_workload::trace::{TraceRecord, TraceSpec};
 use hpcc_workload::{
-    fb_hadoop, fixed_size, websearch, FlowSizeCdf, IncastGenerator, LoadGenerator,
+    fb_hadoop, fixed_size, websearch, FlowSizeCdf, IncastGenerator, LoadGenerator, LocalitySpec,
+    PairSpec, SkewSpec,
 };
+use std::fmt;
+
+/// Error produced when a [`ScenarioSpec`] cannot be resolved into an
+/// [`Experiment`] — an invalid locality matrix, an unreadable or malformed
+/// trace file, a trace record referencing hosts the topology lacks.
+///
+/// The message names the failing workload (by position) and, for trace
+/// problems, carries the file's 1-based line number (see
+/// [`hpcc_workload::TraceError`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildError(pub String);
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario build error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Which network a scenario runs on, as plain data.
 #[derive(Clone, Debug, PartialEq)]
@@ -223,6 +244,11 @@ pub enum CdfSpec {
 
 impl CdfSpec {
     /// Instantiate the sampler.
+    ///
+    /// # Panics
+    /// Panics when a [`CdfSpec::Custom`] point list is invalid; scenario
+    /// resolution goes through [`CdfSpec::try_build`] instead, so manifest
+    /// input cannot reach the panic.
     pub fn build(&self) -> FlowSizeCdf {
         match self {
             CdfSpec::WebSearch => websearch(),
@@ -230,6 +256,34 @@ impl CdfSpec {
             CdfSpec::Fixed(size) => fixed_size(*size),
             CdfSpec::Custom(points) => FlowSizeCdf::new("Custom", points.clone()),
         }
+    }
+
+    /// Fallible form of [`CdfSpec::build`]: a malformed
+    /// [`CdfSpec::Custom`] point list (empty, non-monotone, not ending at
+    /// probability 1) is a typed error instead of a panic, so untrusted
+    /// manifests cannot abort a worker.
+    pub fn try_build(&self) -> Result<FlowSizeCdf, String> {
+        if let CdfSpec::Custom(points) = self {
+            if points.is_empty() {
+                return Err("custom CDF needs at least one point".into());
+            }
+            for (i, w) in points.windows(2).enumerate() {
+                // NaN probabilities fail the check too (is_nan, not just >).
+                if w[0].0 > w[1].0 || w[0].1.is_nan() || w[1].1.is_nan() || w[0].1 > w[1].1 {
+                    return Err(format!(
+                        "custom CDF points {i} and {} are not non-decreasing",
+                        i + 1
+                    ));
+                }
+            }
+            let last = points.last().unwrap().1;
+            if last.is_nan() || (last - 1.0).abs() >= 1e-9 {
+                return Err(format!(
+                    "custom CDF must end at probability 1.0, ends at {last}"
+                ));
+            }
+        }
+        Ok(self.build())
     }
 
     /// Short display name.
@@ -278,8 +332,10 @@ impl FlowDecl {
 /// own seed stream derived from the scenario seed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadSpec {
-    /// Poisson flow arrivals between uniformly random distinct host pairs at
-    /// a target fraction of aggregate host capacity.
+    /// Poisson flow arrivals between sampled host pairs at a target fraction
+    /// of aggregate host capacity. Pairs are uniform by default
+    /// ([`PairSpec::Uniform`]); rack-level locality and Zipf heavy-hitter
+    /// skew plug in through `pairs`.
     Poisson {
         /// Flow-size distribution.
         cdf: CdfSpec,
@@ -287,6 +343,8 @@ pub enum WorkloadSpec {
         load: f64,
         /// First flow id assigned.
         first_flow_id: u64,
+        /// How src/dst host pairs are drawn.
+        pairs: PairSpec,
     },
     /// Repeating N-to-1 bursts at a target fraction of network capacity
     /// (§5.3's "incast traffic load is 2% of the network capacity").
@@ -302,15 +360,37 @@ pub enum WorkloadSpec {
     },
     /// Explicitly placed flows (micro-benchmarks).
     Explicit(Vec<FlowDecl>),
+    /// Deterministic replay of a flow trace (a file on disk or records
+    /// inlined in the manifest); see [`hpcc_workload::trace`]. Record `k`
+    /// becomes flow `first_flow_id + k`.
+    Trace {
+        /// Where the records come from.
+        trace: TraceSpec,
+        /// First flow id assigned.
+        first_flow_id: u64,
+    },
 }
 
 impl WorkloadSpec {
-    /// Poisson background load with the conventional id range (from 0).
+    /// Poisson background load with uniform pairs and the conventional id
+    /// range (from 0).
     pub fn poisson(cdf: CdfSpec, load: f64) -> Self {
         WorkloadSpec::Poisson {
             cdf,
             load,
             first_flow_id: 0,
+            pairs: PairSpec::Uniform,
+        }
+    }
+
+    /// Poisson background load with an explicit pair-sampling stage
+    /// (locality matrix or heavy-hitter skew).
+    pub fn poisson_with_pairs(cdf: CdfSpec, load: f64, pairs: PairSpec) -> Self {
+        WorkloadSpec::Poisson {
+            cdf,
+            load,
+            first_flow_id: 0,
+            pairs,
         }
     }
 
@@ -325,6 +405,24 @@ impl WorkloadSpec {
         }
     }
 
+    /// Replay a trace file (CSV or JSONL; see [`hpcc_workload::trace`] for
+    /// the formats) with the conventional id range (from 0).
+    pub fn trace_file(path: impl Into<String>) -> Self {
+        WorkloadSpec::Trace {
+            trace: TraceSpec::Path(path.into()),
+            first_flow_id: 0,
+        }
+    }
+
+    /// Replay records carried inline in the spec/manifest itself, with the
+    /// conventional id range (from 0).
+    pub fn trace_inline(records: Vec<TraceRecord>) -> Self {
+        WorkloadSpec::Trace {
+            trace: TraceSpec::Inline(records),
+            first_flow_id: 0,
+        }
+    }
+
     /// Generate this workload's flows for a concrete host list.
     fn generate(
         &self,
@@ -332,46 +430,96 @@ impl WorkloadSpec {
         host_bw: Bandwidth,
         duration: Duration,
         seed: u64,
-    ) -> Vec<FlowSpec> {
+    ) -> Result<Vec<FlowSpec>, BuildError> {
         let hosts = topo.hosts();
         match self {
             WorkloadSpec::Poisson {
                 cdf,
                 load,
                 first_flow_id,
-            } => LoadGenerator::new(hosts.to_vec(), host_bw, *load, cdf.build(), seed)
-                .with_first_flow_id(*first_flow_id)
-                .generate(duration),
+                pairs,
+            } => {
+                // Validate manifest-supplied parameters here so untrusted
+                // input surfaces as a typed error, never as a generator
+                // assert aborting the process.
+                if !(*load > 0.0 && *load <= 1.0) {
+                    return Err(BuildError(format!("load {load} not in (0, 1]")));
+                }
+                let cdf = cdf.try_build().map_err(BuildError)?;
+                let sampler = pairs
+                    .build(hosts.len(), &topo.host_rack_ids(), seed)
+                    .map_err(|e| BuildError(e.to_string()))?;
+                Ok(
+                    LoadGenerator::new(hosts.to_vec(), host_bw, *load, cdf, seed)
+                        .with_first_flow_id(*first_flow_id)
+                        .with_pair_sampler(sampler)
+                        .generate(duration),
+                )
+            }
             WorkloadSpec::Incast {
                 fan_in,
                 flow_size,
                 capacity_fraction,
                 first_flow_id,
-            } => IncastGenerator::paper_default(hosts.to_vec(), host_bw, seed)
-                .with_fan_in(*fan_in)
-                .with_flow_size(*flow_size)
-                .with_capacity_fraction(*capacity_fraction)
-                .with_first_flow_id(*first_flow_id)
-                .generate(duration),
+            } => {
+                if *fan_in == 0 {
+                    return Err(BuildError("incast fan_in must be >= 1".into()));
+                }
+                if !(*capacity_fraction > 0.0 && *capacity_fraction <= 1.0) {
+                    return Err(BuildError(format!(
+                        "incast capacity fraction {capacity_fraction} not in (0, 1]"
+                    )));
+                }
+                Ok(
+                    IncastGenerator::paper_default(hosts.to_vec(), host_bw, seed)
+                        .with_fan_in(*fan_in)
+                        .with_flow_size(*flow_size)
+                        .with_capacity_fraction(*capacity_fraction)
+                        .with_first_flow_id(*first_flow_id)
+                        .generate(duration),
+                )
+            }
             WorkloadSpec::Explicit(decls) => decls
                 .iter()
-                .map(|d| {
-                    FlowSpec::new(
+                .enumerate()
+                .map(|(i, d)| {
+                    let host = |index: usize, what: &str| {
+                        hosts.get(index).copied().ok_or_else(|| {
+                            BuildError(format!(
+                                "explicit flow {i}: {what} index {index} out of range ({} hosts)",
+                                hosts.len()
+                            ))
+                        })
+                    };
+                    Ok(FlowSpec::new(
                         FlowId(d.id),
-                        hosts[d.src_host],
-                        hosts[d.dst_host],
+                        host(d.src_host, "src_host")?,
+                        host(d.dst_host, "dst_host")?,
                         d.size,
                         SimTime::ZERO + d.start,
-                    )
+                    ))
                 })
                 .collect(),
+            WorkloadSpec::Trace {
+                trace,
+                first_flow_id,
+            } => {
+                let loaded = trace.load().map_err(|e| BuildError(e.to_string()))?;
+                loaded
+                    .replay(hosts, *first_flow_id)
+                    .map_err(|e| BuildError(e.to_string()))
+            }
         }
     }
 }
 
 /// Measurement options of a scenario, as plain data.
+///
+/// (Formerly named `TraceSpec`; renamed so that "trace" unambiguously means
+/// a *flow trace* ([`hpcc_workload::trace`]) — this type is about sampling
+/// queues and goodput, not about traffic. The JSON key remains `"trace"`.)
 #[derive(Clone, Debug, Default, PartialEq)]
-pub struct TraceSpec {
+pub struct MeasurementSpec {
     /// Sample all switch data queues into a histogram at this period.
     pub queue_sample_interval: Option<Duration>,
     /// Trace the first switch's egress queue towards this host index (the
@@ -409,7 +557,7 @@ pub struct ScenarioSpec {
     /// ECN threshold override (`None` keeps the scheme's default).
     pub ecn: Option<EcnConfig>,
     /// Measurement options.
-    pub trace: TraceSpec,
+    pub trace: MeasurementSpec,
 }
 
 impl ScenarioSpec {
@@ -431,7 +579,7 @@ impl ScenarioSpec {
             flow_control: FlowControlMode::Lossless,
             buffer_bytes: None,
             ecn: None,
-            trace: TraceSpec::default(),
+            trace: MeasurementSpec::default(),
         }
     }
 
@@ -494,19 +642,37 @@ impl ScenarioSpec {
     /// Deterministic: the same spec always produces the bit-identical
     /// experiment (topology, config, flow list), regardless of thread or
     /// process.
+    ///
+    /// # Panics
+    /// Panics when the spec cannot be resolved — see
+    /// [`ScenarioSpec::try_build`] for the fallible form and [`BuildError`]
+    /// for what can go wrong.
     pub fn build(&self) -> Experiment {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`ScenarioSpec::build`]: workload resolution
+    /// failures (invalid locality matrices, unreadable or malformed trace
+    /// files, out-of-range trace endpoints) come back as typed
+    /// [`BuildError`]s naming the workload and — for trace input — the
+    /// offending line.
+    pub fn try_build(&self) -> Result<Experiment, BuildError> {
         let topo = self.topology.build();
         let host_bw = self.topology.host_bw();
         let base_rtt = topo.suggested_base_rtt(MTU_WIRE_SIZE);
         let cc = self.cc.resolve(host_bw, base_rtt);
         let mut flows = Vec::new();
         for (stream, workload) in self.workloads.iter().enumerate() {
-            flows.extend(workload.generate(
-                &topo,
-                host_bw,
-                self.duration,
-                derive_seed(self.seed, stream as u64),
-            ));
+            flows.extend(
+                workload
+                    .generate(
+                        &topo,
+                        host_bw,
+                        self.duration,
+                        derive_seed(self.seed, stream as u64),
+                    )
+                    .map_err(|e| BuildError(format!("workload {stream}: {}", e.0)))?,
+            );
         }
         let mut b: ExperimentBuilder = Experiment::builder(self.name.clone(), topo, cc, host_bw)
             .duration(self.duration)
@@ -528,12 +694,51 @@ impl ScenarioSpec {
         if let Some(bin) = self.trace.goodput_bin {
             b = b.goodput_bin(bin);
         }
-        b.flows(flows).build()
+        Ok(b.flows(flows).build())
     }
 
     /// Build and run in one step.
     pub fn run(&self) -> ExperimentResults {
         self.build().run()
+    }
+
+    /// Freeze the scenario into a trace-replay artifact: every *generated*
+    /// workload (Poisson, Incast) is executed once and replaced by an
+    /// inline [`WorkloadSpec::Trace`] carrying the exact flows it produced;
+    /// [`WorkloadSpec::Explicit`] and existing trace workloads are already
+    /// plain data and pass through unchanged.
+    ///
+    /// The frozen spec builds the bit-identical experiment (the in-tree
+    /// generators assign flow ids sequentially from their `first_flow_id`,
+    /// which is exactly how replay re-assigns them), so its campaign digests
+    /// equal the original's — but it no longer depends on the generator
+    /// code: it is a self-contained, shippable reproduction artifact.
+    pub fn freeze(&self) -> Result<ScenarioSpec, BuildError> {
+        let topo = self.topology.build();
+        let host_bw = self.topology.host_bw();
+        let mut frozen = self.clone();
+        for (stream, workload) in self.workloads.iter().enumerate() {
+            let first_flow_id = match workload {
+                WorkloadSpec::Poisson { first_flow_id, .. }
+                | WorkloadSpec::Incast { first_flow_id, .. } => *first_flow_id,
+                WorkloadSpec::Explicit(_) | WorkloadSpec::Trace { .. } => continue,
+            };
+            let flows = workload
+                .generate(
+                    &topo,
+                    host_bw,
+                    self.duration,
+                    derive_seed(self.seed, stream as u64),
+                )
+                .map_err(|e| BuildError(format!("workload {stream}: {}", e.0)))?;
+            let trace = hpcc_workload::Trace::from_flows(&flows, topo.hosts())
+                .map_err(|e| BuildError(format!("workload {stream}: {e}")))?;
+            frozen.workloads[stream] = WorkloadSpec::Trace {
+                trace: TraceSpec::Inline(trace.records),
+                first_flow_id,
+            };
+        }
+        Ok(frozen)
     }
 
     /// Serialize to a JSON value.
@@ -831,18 +1036,113 @@ fn cdf_from_json(v: &JsonValue) -> Result<CdfSpec, JsonError> {
     Err(JsonError("unrecognized cdf spec".into()))
 }
 
+fn pair_to_json(p: &PairSpec) -> JsonValue {
+    // `PairSpec::name` is the single source of the kind tags, shared with
+    // display code; `pair_from_json` matches the same strings.
+    let kind = ("kind", JsonValue::Str(p.name().into()));
+    match p {
+        PairSpec::Uniform => obj(vec![kind]),
+        PairSpec::Locality(LocalitySpec::IntraRack { fraction }) => {
+            obj(vec![kind, ("fraction", JsonValue::Float(*fraction))])
+        }
+        PairSpec::Locality(LocalitySpec::Matrix { rows }) => obj(vec![
+            kind,
+            (
+                "rows",
+                JsonValue::Array(
+                    rows.iter()
+                        .map(|row| {
+                            JsonValue::Array(row.iter().map(|p| JsonValue::Float(*p)).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        PairSpec::Skew(s) => obj(vec![kind, ("exponent", JsonValue::Float(s.exponent))]),
+    }
+}
+
+fn pair_from_json(v: &JsonValue) -> Result<PairSpec, JsonError> {
+    match v.require("kind")?.as_str()? {
+        "Uniform" => Ok(PairSpec::Uniform),
+        "IntraRack" => Ok(PairSpec::Locality(LocalitySpec::IntraRack {
+            fraction: v.require("fraction")?.as_f64()?,
+        })),
+        "Matrix" => {
+            let mut rows = Vec::new();
+            for row in v.require("rows")?.as_array()? {
+                let mut out = Vec::new();
+                for p in row.as_array()? {
+                    out.push(p.as_f64()?);
+                }
+                rows.push(out);
+            }
+            Ok(PairSpec::Locality(LocalitySpec::Matrix { rows }))
+        }
+        "Skew" => Ok(PairSpec::Skew(SkewSpec::new(
+            v.require("exponent")?.as_f64()?,
+        ))),
+        other => Err(JsonError(format!("unknown pair kind {other:?}"))),
+    }
+}
+
+/// A trace record as the compact array `[start_ps, src, dst, bytes, prio]`
+/// (exact picosecond integers; `prio` 0 = normal, 1 = latency-sensitive).
+fn trace_record_to_json(r: &TraceRecord) -> JsonValue {
+    JsonValue::Array(vec![
+        JsonValue::UInt(r.start.as_ps()),
+        JsonValue::UInt(r.src as u64),
+        JsonValue::UInt(r.dst as u64),
+        JsonValue::UInt(r.bytes),
+        JsonValue::UInt(match r.prio {
+            hpcc_types::FlowPriority::Normal => 0,
+            hpcc_types::FlowPriority::LatencySensitive => 1,
+        }),
+    ])
+}
+
+fn trace_record_from_json(v: &JsonValue) -> Result<TraceRecord, JsonError> {
+    let parts = v.as_array()?;
+    if parts.len() != 5 {
+        return Err(JsonError(
+            "trace record must be [start_ps, src, dst, bytes, prio]".into(),
+        ));
+    }
+    let mut r = TraceRecord::new(
+        Duration::from_ps(parts[0].as_u64()?),
+        parts[1].as_usize()?,
+        parts[2].as_usize()?,
+        parts[3].as_u64()?,
+    );
+    r.prio = match parts[4].as_u64()? {
+        0 => hpcc_types::FlowPriority::Normal,
+        1 => hpcc_types::FlowPriority::LatencySensitive,
+        other => return Err(JsonError(format!("unknown trace priority {other}"))),
+    };
+    Ok(r)
+}
+
 fn workload_to_json(w: &WorkloadSpec) -> JsonValue {
     match w {
         WorkloadSpec::Poisson {
             cdf,
             load,
             first_flow_id,
-        } => obj(vec![
-            ("kind", JsonValue::Str("Poisson".into())),
-            ("cdf", cdf_to_json(cdf)),
-            ("load", JsonValue::Float(*load)),
-            ("first_flow_id", JsonValue::UInt(*first_flow_id)),
-        ]),
+            pairs,
+        } => {
+            let mut fields = vec![
+                ("kind", JsonValue::Str("Poisson".into())),
+                ("cdf", cdf_to_json(cdf)),
+                ("load", JsonValue::Float(*load)),
+                ("first_flow_id", JsonValue::UInt(*first_flow_id)),
+            ];
+            // Uniform is the default and is omitted, so pre-existing
+            // manifests and their canonical renderings stay byte-stable.
+            if *pairs != PairSpec::Uniform {
+                fields.push(("pairs", pair_to_json(pairs)));
+            }
+            obj(fields)
+        }
         WorkloadSpec::Incast {
             fan_in,
             flow_size,
@@ -875,6 +1175,23 @@ fn workload_to_json(w: &WorkloadSpec) -> JsonValue {
                 ),
             ),
         ]),
+        WorkloadSpec::Trace {
+            trace,
+            first_flow_id,
+        } => {
+            let mut fields = vec![
+                ("kind", JsonValue::Str("Trace".into())),
+                ("first_flow_id", JsonValue::UInt(*first_flow_id)),
+            ];
+            match trace {
+                TraceSpec::Path(path) => fields.push(("path", JsonValue::Str(path.clone()))),
+                TraceSpec::Inline(records) => fields.push((
+                    "records",
+                    JsonValue::Array(records.iter().map(trace_record_to_json).collect()),
+                )),
+            }
+            obj(fields)
+        }
     }
 }
 
@@ -884,6 +1201,10 @@ fn workload_from_json(v: &JsonValue) -> Result<WorkloadSpec, JsonError> {
             cdf: cdf_from_json(v.require("cdf")?)?,
             load: v.require("load")?.as_f64()?,
             first_flow_id: v.require("first_flow_id")?.as_u64()?,
+            pairs: match v.get("pairs") {
+                Some(p) => pair_from_json(p)?,
+                None => PairSpec::Uniform,
+            },
         }),
         "Incast" => Ok(WorkloadSpec::Incast {
             fan_in: v.require("fan_in")?.as_usize()?,
@@ -904,11 +1225,33 @@ fn workload_from_json(v: &JsonValue) -> Result<WorkloadSpec, JsonError> {
             }
             Ok(WorkloadSpec::Explicit(decls))
         }
+        "Trace" => {
+            let first_flow_id = v.require("first_flow_id")?.as_u64()?;
+            let trace = match (v.get("path"), v.get("records")) {
+                (Some(path), None) => TraceSpec::Path(path.as_str()?.to_string()),
+                (None, Some(records)) => {
+                    let mut out = Vec::new();
+                    for r in records.as_array()? {
+                        out.push(trace_record_from_json(r)?);
+                    }
+                    TraceSpec::Inline(out)
+                }
+                _ => {
+                    return Err(JsonError(
+                        "trace workload needs exactly one of \"path\" or \"records\"".into(),
+                    ))
+                }
+            };
+            Ok(WorkloadSpec::Trace {
+                trace,
+                first_flow_id,
+            })
+        }
         other => Err(JsonError(format!("unknown workload kind {other:?}"))),
     }
 }
 
-fn trace_to_json(t: &TraceSpec) -> JsonValue {
+fn trace_to_json(t: &MeasurementSpec) -> JsonValue {
     let mut pairs = Vec::new();
     if let Some(d) = t.queue_sample_interval {
         pairs.push(("queue_sample_interval_ps", dur_json(d)));
@@ -925,8 +1268,8 @@ fn trace_to_json(t: &TraceSpec) -> JsonValue {
     obj(pairs)
 }
 
-fn trace_from_json(v: &JsonValue) -> Result<TraceSpec, JsonError> {
-    let mut t = TraceSpec::default();
+fn trace_from_json(v: &JsonValue) -> Result<MeasurementSpec, JsonError> {
+    let mut t = MeasurementSpec::default();
     if let Some(d) = v.get("queue_sample_interval_ps") {
         t.queue_sample_interval = Some(dur_from(d)?);
     }
@@ -1002,6 +1345,231 @@ mod tests {
                 panic!("{e} while parsing {text}");
             });
             assert_eq!(back, spec, "round trip changed {text}");
+        }
+    }
+
+    #[test]
+    fn pair_and_trace_workloads_round_trip_through_json() {
+        let spec = ScenarioSpec::new(
+            "locality+skew+trace",
+            TopologyChoice::FatTree(FatTreeParams::small()),
+            CcSpec::by_label("HPCC"),
+            Duration::from_ms(2),
+        )
+        .with_workload(WorkloadSpec::poisson_with_pairs(
+            CdfSpec::FbHadoop,
+            0.3,
+            PairSpec::Locality(LocalitySpec::IntraRack { fraction: 0.8 }),
+        ))
+        .with_workload(WorkloadSpec::Poisson {
+            cdf: CdfSpec::WebSearch,
+            load: 0.1,
+            first_flow_id: 5_000_000,
+            pairs: PairSpec::Locality(LocalitySpec::Matrix {
+                rows: vec![vec![0.5, 0.5, 0.0, 0.0]; 4],
+            }),
+        })
+        .with_workload(WorkloadSpec::poisson_with_pairs(
+            CdfSpec::Fixed(1_000),
+            0.05,
+            PairSpec::Skew(SkewSpec::new(1.25)),
+        ))
+        .with_workload(WorkloadSpec::Trace {
+            trace: TraceSpec::Path("flows.csv".into()),
+            first_flow_id: 20_000_000,
+        })
+        .with_workload(WorkloadSpec::trace_inline(vec![
+            TraceRecord::new(Duration::from_ps(1_500_250), 0, 3, 64_000),
+            TraceRecord {
+                start: Duration::from_us(2),
+                src: 2,
+                dst: 1,
+                bytes: 500,
+                prio: hpcc_types::FlowPriority::LatencySensitive,
+            },
+        ]));
+        let text = spec.to_json_string();
+        let back = ScenarioSpec::from_json_str(&text)
+            .unwrap_or_else(|e| panic!("{e} while parsing {text}"));
+        assert_eq!(back, spec, "round trip changed {text}");
+        // Uniform pairs are canonical-omitted: the key only appears for the
+        // non-default samplers.
+        let uniform = rich_spec().to_json_string();
+        assert!(!uniform.contains("\"pairs\""), "{uniform}");
+        assert_eq!(text.matches("\"pairs\"").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn manifests_without_a_pairs_key_parse_as_uniform() {
+        // A pre-locality manifest (the exact shape older versions emitted)
+        // must keep parsing — and keep meaning uniform pairs.
+        let old = r#"{"name":"legacy","topology":{"kind":"Star","hosts":4,"host_bw_bps":25000000000,"link_delay_ps":1000000},"cc":{"kind":"Label","label":"HPCC"},"workloads":[{"kind":"Poisson","cdf":"WebSearch","load":0.3,"first_flow_id":0}],"duration_ps":1000000000,"seed":1,"flow_control":"PFC","trace":{}}"#;
+        let spec = ScenarioSpec::from_json_str(old).unwrap();
+        match &spec.workloads[0] {
+            WorkloadSpec::Poisson { pairs, .. } => assert_eq!(*pairs, PairSpec::Uniform),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_workloads_are_typed_build_errors_not_panics() {
+        // A locality matrix whose shape cannot match the topology's racks.
+        let bad_matrix = ScenarioSpec::new(
+            "bad",
+            TopologyChoice::star(4, Bandwidth::from_gbps(25)),
+            CcSpec::by_label("HPCC"),
+            Duration::from_ms(1),
+        )
+        .with_workload(WorkloadSpec::poisson_with_pairs(
+            CdfSpec::Fixed(1_000),
+            0.1,
+            PairSpec::Locality(LocalitySpec::Matrix {
+                rows: vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            }),
+        ));
+        let err = match bad_matrix.try_build() {
+            Err(e) => e,
+            Ok(_) => panic!("must fail"),
+        };
+        assert!(err.to_string().contains("workload 0"), "{err}");
+        assert!(err.to_string().contains("rows"), "{err}");
+        // A missing trace file.
+        let missing = ScenarioSpec::new(
+            "missing",
+            TopologyChoice::star(4, Bandwidth::from_gbps(25)),
+            CcSpec::by_label("HPCC"),
+            Duration::from_ms(1),
+        )
+        .with_workload(WorkloadSpec::trace_file("/nonexistent/p.csv"));
+        let err = match missing.try_build() {
+            Err(e) => e,
+            Ok(_) => panic!("must fail"),
+        };
+        assert!(err.to_string().contains("cannot read"), "{err}");
+        // A trace record pointing outside the host list, with its line.
+        let out_of_range = ScenarioSpec::new(
+            "oor",
+            TopologyChoice::star(3, Bandwidth::from_gbps(25)),
+            CcSpec::by_label("HPCC"),
+            Duration::from_ms(1),
+        )
+        .with_workload(WorkloadSpec::trace_inline(vec![
+            TraceRecord::new(Duration::ZERO, 0, 1, 10),
+            TraceRecord::new(Duration::ZERO, 0, 9, 10),
+        ]));
+        let err = match out_of_range.try_build() {
+            Err(e) => e,
+            Ok(_) => panic!("must fail"),
+        };
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Manifest-supplied generator parameters that used to hit asserts
+        // are typed errors too: load range, malformed custom CDFs, incast
+        // parameters, and out-of-range explicit host indices.
+        let base = |w: WorkloadSpec| {
+            ScenarioSpec::new(
+                "param",
+                TopologyChoice::star(4, Bandwidth::from_gbps(25)),
+                CcSpec::by_label("HPCC"),
+                Duration::from_ms(1),
+            )
+            .with_workload(w)
+        };
+        let cases: Vec<(WorkloadSpec, &str)> = vec![
+            (
+                WorkloadSpec::poisson(CdfSpec::WebSearch, 1.5),
+                "not in (0, 1]",
+            ),
+            (
+                WorkloadSpec::poisson(CdfSpec::WebSearch, 0.0),
+                "not in (0, 1]",
+            ),
+            (
+                WorkloadSpec::poisson(CdfSpec::Custom(vec![(10, 0.5)]), 0.3),
+                "end at probability 1.0",
+            ),
+            (
+                WorkloadSpec::poisson(CdfSpec::Custom(vec![(10, 0.6), (20, 0.4), (30, 1.0)]), 0.3),
+                "non-decreasing",
+            ),
+            (
+                WorkloadSpec::poisson(CdfSpec::Custom(vec![]), 0.3),
+                "at least one point",
+            ),
+            (WorkloadSpec::incast(0, 500_000, 0.02), "fan_in"),
+            (WorkloadSpec::incast(8, 500_000, 0.0), "capacity fraction"),
+            (
+                WorkloadSpec::Explicit(vec![FlowDecl::new(1, 0, 9, 100, Duration::ZERO)]),
+                "dst_host index 9 out of range",
+            ),
+        ];
+        for (w, needle) in cases {
+            let err = match base(w.clone()).try_build() {
+                Err(e) => e,
+                Ok(_) => panic!("{w:?} must fail"),
+            };
+            assert!(err.to_string().contains(needle), "{w:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn freezing_a_generated_scenario_reproduces_its_flows() {
+        let spec = rich_spec();
+        let frozen = spec.freeze().unwrap();
+        // Generators became inline traces; nothing else moved.
+        assert_eq!(frozen.workloads.len(), spec.workloads.len());
+        for w in &frozen.workloads {
+            assert!(matches!(w, WorkloadSpec::Trace { .. }), "{w:?}");
+        }
+        assert_eq!(frozen.seed, spec.seed);
+        // The frozen spec builds the bit-identical flow list (ids included)…
+        let original = spec.build();
+        let replayed = frozen.build();
+        assert_eq!(original.flows(), replayed.flows());
+        // …and survives a manifest round trip intact.
+        let back = ScenarioSpec::from_json_str(&frozen.to_json_string()).unwrap();
+        assert_eq!(back, frozen);
+        assert_eq!(back.build().flows(), original.flows());
+    }
+
+    #[test]
+    fn locality_pairs_change_flows_but_stay_deterministic() {
+        let base = |pairs: PairSpec| {
+            ScenarioSpec::new(
+                "loc",
+                TopologyChoice::FatTree(FatTreeParams::small()),
+                CcSpec::by_label("HPCC"),
+                Duration::from_ms(2),
+            )
+            .with_seed(9)
+            .with_workload(WorkloadSpec::poisson_with_pairs(
+                CdfSpec::FbHadoop,
+                0.3,
+                pairs,
+            ))
+        };
+        let uniform = base(PairSpec::Uniform).build();
+        let local = base(PairSpec::Locality(LocalitySpec::IntraRack {
+            fraction: 1.0,
+        }))
+        .build();
+        assert_ne!(uniform.flows(), local.flows());
+        // Determinism: building twice is identical.
+        assert_eq!(
+            local.flows(),
+            base(PairSpec::Locality(LocalitySpec::IntraRack {
+                fraction: 1.0
+            }))
+            .build()
+            .flows()
+        );
+        // All-intra-rack flows never leave their ToR: with 4 hosts per rack
+        // in the small Clos fabric, src/dst indices share the rack of 4.
+        let topo = local.topology();
+        let rack_of = topo.host_rack_ids();
+        let index_of = |n: hpcc_types::NodeId| topo.hosts().iter().position(|&h| h == n).unwrap();
+        for f in local.flows() {
+            assert_eq!(rack_of[index_of(f.src)], rack_of[index_of(f.dst)]);
         }
     }
 

@@ -12,7 +12,7 @@
 //!
 //! [`EventQueue`] is a bucketed calendar queue, not a binary heap. Simulated
 //! time (integer picoseconds) is divided into fixed-width buckets of
-//! `2^BUCKET_SHIFT` ps; a ring of [`NUM_BUCKETS`] buckets covers a sliding
+//! `2^BUCKET_SHIFT` ps; a ring of `NUM_BUCKETS` buckets covers a sliding
 //! window of ~134 µs ahead of the cursor, which is enough for every hot
 //! event class (serialization at 100 Gbps ≈ 88 ns/packet, propagation ≈ 1 µs,
 //! queue sampling 1–5 µs, DCQCN timers ≈ 55 µs). Events beyond the window —
@@ -39,7 +39,7 @@ const NUM_BUCKETS: usize = 1024;
 /// Everything that can happen in the simulation.
 ///
 /// `PacketArrive` carries its packet boxed: the box comes from (and returns
-/// to) the [`Effects`] packet pool, so the hot path moves an 8-byte pointer
+/// to) the `Effects` packet pool, so the hot path moves an 8-byte pointer
 /// through the queue instead of a ~500-byte inline `Packet`, without paying
 /// an allocation per hop.
 #[derive(Clone, Debug)]
@@ -61,7 +61,7 @@ pub enum Event {
         node: NodeId,
         /// Ingress port on the receiving node.
         port: PortId,
-        /// The packet itself (pooled; see [`Effects::alloc_packet`]).
+        /// The packet itself (pooled; see `Effects::alloc_packet`).
         packet: Box<Packet>,
     },
     /// A host asked to be woken up (pacing gap elapsed).

@@ -3,7 +3,7 @@
 //! Turns the raw records a simulation produces into the derived metrics the
 //! paper reports:
 //!
-//! * [`percentile`] — percentile helpers,
+//! * [`mod@percentile`] — percentile helpers,
 //! * [`fct`] — flow-completion-time slowdown, grouped into the paper's
 //!   flow-size buckets with median / 95th / 99th percentiles (Figures 2, 3,
 //!   10, 11, 12),

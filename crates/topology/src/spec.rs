@@ -169,6 +169,39 @@ impl TopologySpec {
         Duration::from_us(rtt_ps.div_ceil(1_000_000) + 1)
     }
 
+    /// Rack assignment of every host, as one rack id per position in
+    /// [`TopologySpec::hosts`].
+    ///
+    /// A host's rack is the switch its first port connects to (its ToR), so
+    /// the grouping falls out of the wiring: every host of a star shares one
+    /// rack, a dumbbell has a left and a right rack, the testbed PoD has
+    /// four 8-host racks and a Clos fabric one rack per ToR. Rack ids are
+    /// dense (`0..rack_count`) in order of first appearance, which follows
+    /// host order for every in-tree builder. A host with no links (possible
+    /// only through hand-built topologies) gets a rack of its own.
+    ///
+    /// This is what locality-aware workload generation keys on: see
+    /// `LocalitySpec` in `hpcc-workload`.
+    pub fn host_rack_ids(&self) -> Vec<usize> {
+        let mut rack_of_switch: HashMap<NodeId, usize> = HashMap::new();
+        let mut next = 0usize;
+        self.hosts
+            .iter()
+            .map(|&h| match self.ports[h.index()].first() {
+                Some(port) => *rack_of_switch.entry(port.peer_node).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                }),
+                None => {
+                    let id = next;
+                    next += 1;
+                    id
+                }
+            })
+            .collect()
+    }
+
     /// Total host-facing capacity (sum of host NIC bandwidths), the
     /// denominator of "average link load" in the paper's workloads.
     pub fn total_host_bandwidth(&self) -> Bandwidth {
@@ -335,6 +368,42 @@ mod tests {
         assert_eq!(t.links().len(), 2);
         assert_eq!(t.kind(NodeId(0)), NodeKind::Host);
         assert_eq!(t.kind(NodeId(2)), NodeKind::Switch);
+    }
+
+    #[test]
+    fn rack_ids_follow_the_first_hop_switch() {
+        // Star: every host hangs off the single switch — one rack.
+        let star = two_hosts_one_switch();
+        assert_eq!(star.host_rack_ids(), vec![0, 0]);
+        // Two racks of two hosts each, bridged by a core link.
+        let mut b = TopologyBuilder::new();
+        let hosts = b.add_hosts(4);
+        let tors = b.add_switches(2);
+        for (i, &h) in hosts.iter().enumerate() {
+            b.link(
+                h,
+                tors[i / 2],
+                Bandwidth::from_gbps(25),
+                Duration::from_us(1),
+            );
+        }
+        b.link(
+            tors[0],
+            tors[1],
+            Bandwidth::from_gbps(100),
+            Duration::from_us(1),
+        );
+        let t = b.build();
+        assert_eq!(t.host_rack_ids(), vec![0, 0, 1, 1]);
+        // A linkless host still gets a (unique) rack.
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host();
+        let _island = b.add_host();
+        let h2 = b.add_host();
+        let sw = b.add_switch();
+        b.link(h0, sw, Bandwidth::from_gbps(25), Duration::from_us(1));
+        b.link(h2, sw, Bandwidth::from_gbps(25), Duration::from_us(1));
+        assert_eq!(b.build().host_rack_ids(), vec![0, 1, 0]);
     }
 
     #[test]

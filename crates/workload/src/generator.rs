@@ -1,11 +1,25 @@
-//! Poisson background-load generation.
+//! Poisson background-load generation — the assembled workload pipeline.
 //!
 //! The paper's end-to-end experiments drive the network with flows whose
 //! sizes come from a trace CDF and whose arrivals form a Poisson process
 //! tuned so that the *average host link load* equals a target (30% or 50%).
-//! Source and destination hosts are drawn uniformly at random (distinct).
+//!
+//! [`LoadGenerator`] is the composition point of the pipeline's stages:
+//!
+//! * **arrival process** — exponential inter-arrival gaps at the rate the
+//!   target load implies ([`LoadGenerator::arrival_rate_per_sec`]),
+//! * **pair sampler** — which `(src, dst)` hosts each flow connects; uniform
+//!   by default, rack-local or Zipf-skewed via
+//!   [`LoadGenerator::with_pair_sampler`] (see [`crate::locality`]),
+//! * **size sampler** — a [`FlowSizeCdf`] drawn per flow.
+//!
+//! Each stage consumes draws from one deterministic [`SplitMix64`] stream in
+//! a fixed per-flow order (arrival, pair, size), so a generated workload is
+//! a pure function of (hosts, parameters, seed) — and can be exported to a
+//! [`crate::trace::Trace`] and replayed bit-identically.
 
 use crate::cdf::FlowSizeCdf;
+use crate::locality::PairSampler;
 use hpcc_types::rng::SplitMix64;
 use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, SimTime};
 
@@ -18,12 +32,14 @@ pub struct LoadGenerator {
     load: f64,
     seed: u64,
     next_flow_id: u64,
+    pairs: PairSampler,
 }
 
 impl LoadGenerator {
     /// Create a generator over `hosts`, each with a NIC of `host_bandwidth`,
     /// targeting `load` (0.0–1.0) of the aggregate host capacity, drawing
-    /// sizes from `cdf`.
+    /// sizes from `cdf`. Pairs are sampled uniformly unless
+    /// [`LoadGenerator::with_pair_sampler`] installs a different stage.
     ///
     /// # Panics
     /// Panics if fewer than two hosts are given or `load` is not in (0, 1].
@@ -39,6 +55,7 @@ impl LoadGenerator {
             load > 0.0 && load <= 1.0,
             "load must be in (0, 1], got {load}"
         );
+        let n = hosts.len();
         LoadGenerator {
             hosts,
             host_bandwidth,
@@ -46,6 +63,7 @@ impl LoadGenerator {
             load,
             seed,
             next_flow_id: 0,
+            pairs: PairSampler::Uniform { n },
         }
     }
 
@@ -53,6 +71,15 @@ impl LoadGenerator {
     /// can feed one simulation without collisions).
     pub fn with_first_flow_id(mut self, first: u64) -> Self {
         self.next_flow_id = first;
+        self
+    }
+
+    /// Replace the pair-sampling stage (built from a
+    /// [`crate::locality::PairSpec`] for this generator's host count and the
+    /// topology's rack layout). The default is the uniform sampler, whose
+    /// draw sequence is bit-compatible with the historical generator.
+    pub fn with_pair_sampler(mut self, pairs: PairSampler) -> Self {
+        self.pairs = pairs;
         self
     }
 
@@ -80,11 +107,7 @@ impl LoadGenerator {
             if t >= horizon {
                 break;
             }
-            let src_i = rng.next_below(self.hosts.len() as u64) as usize;
-            let mut dst_i = rng.next_below(self.hosts.len() as u64 - 1) as usize;
-            if dst_i >= src_i {
-                dst_i += 1;
-            }
+            let (src_i, dst_i) = self.pairs.sample(&mut rng);
             let size = self.cdf.sample(&mut rng);
             let id = FlowId(self.next_flow_id);
             self.next_flow_id += 1;
@@ -212,6 +235,29 @@ mod tests {
                 .with_first_flow_id(1_000_000);
         let flows = g.generate(Duration::from_ms(10));
         assert!(flows.iter().all(|f| f.id.raw() >= 1_000_000));
+    }
+
+    #[test]
+    fn pair_sampler_stage_is_pluggable() {
+        use crate::locality::{LocalitySpec, PairSpec};
+        // Two racks of four hosts, all traffic intra-rack: every generated
+        // flow must stay inside its source rack, and the rest of the
+        // pipeline (arrivals, sizes, ids) keeps working.
+        let rack_of: Vec<usize> = (0..8).map(|h| h / 4).collect();
+        let sampler = PairSpec::Locality(LocalitySpec::IntraRack { fraction: 1.0 })
+            .build(8, &rack_of, 3)
+            .unwrap();
+        let mut g = LoadGenerator::new(hosts(8), Bandwidth::from_gbps(25), 0.3, websearch(), 3)
+            .with_pair_sampler(sampler);
+        let flows = g.generate(Duration::from_ms(20));
+        assert!(flows.len() > 50);
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+            assert_eq!(
+                rack_of[f.src.0 as usize], rack_of[f.dst.0 as usize],
+                "flow {f:?} crossed racks"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | [`cc`] | `hpcc-cc` | HPCC (Algorithm 1) and the DCQCN / TIMELY / DCTCP baselines |
 //! | [`sim`] | `hpcc-sim` | the packet-level discrete-event simulator (switches with PFC/ECN/INT, host NICs) |
 //! | [`topology`] | `hpcc-topology` | star / dumbbell / testbed PoD / FatTree builders with ECMP routes |
-//! | [`workload`] | `hpcc-workload` | WebSearch & FB_Hadoop CDFs, Poisson load, incast bursts |
+//! | [`workload`] | `hpcc-workload` | WebSearch & FB_Hadoop CDFs, Poisson load, incast bursts, locality/skew pair samplers, flow-trace replay |
 //! | [`stats`] | `hpcc-stats` | FCT slowdowns, queue CDFs, PFC summaries, fairness |
 //! | [`core`] | `hpcc-core` | the experiment API, per-figure presets, reports, Appendix-A fluid model |
 //!
@@ -61,9 +61,9 @@ pub mod prelude {
         TimelyConfig,
     };
     pub use hpcc_core::{
-        Campaign, CampaignReport, CcSpec, CdfSpec, Experiment, ExperimentBuilder,
-        ExperimentResults, FlowDecl, ScenarioResult, ScenarioSpec, ShardPlan, TopologyChoice,
-        WorkloadSpec,
+        BuildError, Campaign, CampaignReport, CcSpec, CdfSpec, Experiment, ExperimentBuilder,
+        ExperimentResults, FlowDecl, MeasurementSpec, ScenarioResult, ScenarioSpec, ShardPlan,
+        TopologyChoice, WorkloadSpec,
     };
     pub use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig, SimOutput, Simulator};
     pub use hpcc_stats::{FctAnalyzer, Percentiles};
@@ -73,7 +73,8 @@ pub mod prelude {
     };
     pub use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, Packet, SimTime};
     pub use hpcc_workload::{
-        fb_hadoop, fixed_size, incast, websearch, IncastGenerator, LoadGenerator,
+        fb_hadoop, fixed_size, incast, websearch, IncastGenerator, LoadGenerator, LocalitySpec,
+        PairSpec, SkewSpec, Trace, TraceRecord, TraceSpec,
     };
 }
 
