@@ -11,7 +11,9 @@
 //! cargo run --release -p hpcc-bench --bin campaign [duration_ms] [load]
 //! cargo run --release -p hpcc-bench --bin campaign -- --manifest file.json
 //! cargo run --release -p hpcc-bench --bin campaign -- --dump-manifest [duration_ms] [load]
-//! cargo run --release -p hpcc-bench --bin campaign -- --events-per-sec [out.json]
+//! cargo run --release -p hpcc-bench --bin campaign -- --events-per-sec [out.json] \
+//!     [--baseline BENCH_hotpath.json] [--max-regress 0.15]
+//! cargo run --release -p hpcc-bench --bin campaign -- --bench
 //! cargo run --release -p hpcc-bench --bin campaign -- --shards N \
 //!     [--verify-serial] [--report out.json] [--manifest f] [duration_ms] [load]
 //! cargo run --release -p hpcc-bench --bin campaign -- --worker-shard i/N \
@@ -26,7 +28,13 @@
 //! starting point for hand-edited grids); `--events-per-sec` runs the fixed
 //! hot-path smoke scenario and writes engine-throughput numbers to
 //! `BENCH_hotpath.json` (or the given path) so CI can track the perf
-//! trajectory.
+//! trajectory — with `--baseline FILE` it additionally compares against a
+//! committed reference and exits non-zero when the measured events/sec
+//! regresses by more than `--max-regress` (default 0.15, i.e. 15%);
+//! `--bench` runs the dependency-free micro-benchmark suite (the port of
+//! the legacy Criterion benches: per-ACK congestion-control cost, raw
+//! engine throughput, miniature figure scenarios) and prints one line per
+//! benchmark.
 //!
 //! Distributed modes (see `hpcc_core::wire` for the JSONL schema and the
 //! determinism contract):
@@ -53,6 +61,7 @@ use hpcc_core::{wire, Campaign, CcSpec, ShardPlan};
 use hpcc_sim::FlowControlMode;
 use hpcc_topology::FatTreeParams;
 use hpcc_types::Duration;
+use std::hint::black_box;
 use std::io::Read as _;
 use std::process::{Command, Stdio};
 use std::time::Instant;
@@ -63,12 +72,13 @@ use std::time::Instant;
 const BASELINE_BINARYHEAP_EVENTS_PER_SEC: f64 = 3_350_000.0;
 
 /// Run the fixed hot-path smoke scenario and write throughput numbers as
-/// JSON: events/sec, wall-clock, peak event-queue length.
+/// JSON: events/sec, wall-clock, peak event-queue length. Returns the
+/// measured events/sec (for the `--baseline` regression guard).
 ///
 /// The scenario is deliberately frozen (HPCC on the scaled-down Clos fabric,
 /// 0.5 load plus incast, 5 ms, seed 42): the numbers are only comparable over
 /// time if the workload never moves.
-fn run_hotpath_smoke(out_path: &str) {
+fn run_hotpath_smoke(out_path: &str) -> f64 {
     let spec = fattree_fb_hadoop(
         "hotpath-smoke",
         CcSpec::by_label("HPCC"),
@@ -110,6 +120,215 @@ fn run_hotpath_smoke(out_path: &str) {
     std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("{json}");
     println!("wrote {out_path}");
+    events_per_sec
+}
+
+/// Compare a fresh events/sec measurement against a committed baseline
+/// JSON (the `BENCH_hotpath.json` written by a previous `--events-per-sec`
+/// run) and die when it regressed by more than `max_regress` (a fraction;
+/// 0.15 = 15%). Used by CI as the hot-path regression guard.
+fn check_baseline(measured: f64, baseline_path: &str, max_regress: f64) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| die(format!("cannot read baseline {baseline_path}: {e}")));
+    let doc = hpcc_core::json::JsonValue::parse(&text)
+        .unwrap_or_else(|e| die(format!("cannot parse baseline {baseline_path}: {e}")));
+    let baseline = doc
+        .require("events_per_sec")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|e| die(format!("{baseline_path}: {e}")));
+    if baseline.is_nan() || baseline <= 0.0 {
+        die(format!(
+            "{baseline_path}: events_per_sec {baseline} unusable"
+        ));
+    }
+    let floor = baseline * (1.0 - max_regress);
+    let change = measured / baseline - 1.0;
+    println!(
+        "hot-path regression guard: measured {measured:.0} events/sec vs baseline \
+         {baseline:.0} ({:+.1}%), floor {floor:.0} (max regress {:.0}%)",
+        change * 100.0,
+        max_regress * 100.0
+    );
+    if measured < floor {
+        die(format!(
+            "hot-path throughput regressed {:.1}% (> {:.0}% allowed) vs {baseline_path}",
+            -change * 100.0,
+            max_regress * 100.0
+        ));
+    }
+    println!("hot-path regression guard: OK");
+}
+
+/// One timed micro-benchmark line: run `iters` iterations of `body`, print
+/// ns/iteration (plus a caller-chosen throughput figure).
+fn bench_line(name: &str, iters: u64, mut body: impl FnMut() -> u64) {
+    // One untimed warm-up iteration.
+    let mut checksum = body();
+    let started = Instant::now();
+    for _ in 0..iters {
+        checksum = checksum.wrapping_add(body());
+    }
+    let wall = started.elapsed();
+    let ns_per_iter = wall.as_nanos() as f64 / iters as f64;
+    println!(
+        "bench {name:<28} {iters:>9} iters  {ns_per_iter:>12.1} ns/iter  (checksum {:x})",
+        checksum & 0xffff
+    );
+}
+
+/// The dependency-free micro-benchmark suite: ports of the legacy Criterion
+/// benches (`cc_algorithms`, `engine`, `figures`) onto plain `Instant`
+/// timing, so `campaign --bench` covers the same code paths without any
+/// external crate.
+fn run_bench() {
+    use hpcc_cc::{
+        build_cc, AckEvent, CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig,
+    };
+    use hpcc_sim::{SimConfig, Simulator};
+    use hpcc_topology::{star, testbed_pod};
+    use hpcc_types::{Bandwidth, FlowId, FlowSpec, IntHeader, IntHopRecord, SimTime};
+
+    println!("== cc/on_ack: per-acknowledgement cost of each scheme ==");
+    let line = Bandwidth::from_gbps(100);
+    let rtt = Duration::from_us(13);
+    let schemes: Vec<(&str, CcAlgorithm)> = vec![
+        ("HPCC", CcAlgorithm::Hpcc(HpccConfig::default())),
+        (
+            "DCQCN",
+            CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(line)),
+        ),
+        (
+            "TIMELY",
+            CcAlgorithm::Timely(TimelyConfig::recommended(line, rtt)),
+        ),
+        ("DCTCP", CcAlgorithm::Dctcp(DctcpConfig::default())),
+    ];
+    for (name, alg) in &schemes {
+        let mut cc = build_cc(alg, line, rtt, 1000);
+        let mut int = IntHeader::new();
+        int.push_hop(
+            1,
+            IntHopRecord {
+                bandwidth: line,
+                ts: SimTime::from_us(10),
+                tx_bytes: 1_000_000,
+                rx_bytes: 1_000_000,
+                qlen: 10_000,
+            },
+        );
+        let mut seq = 0u64;
+        let mut ts = 10u64;
+        bench_line(&format!("cc/on_ack/{name}"), 1_000_000, || {
+            seq += 1000;
+            ts += 1;
+            let mut int2 = int;
+            int2.hops[0].ts = SimTime::from_us(ts);
+            int2.hops[0].tx_bytes += seq;
+            let ack = AckEvent {
+                now: SimTime::from_us(ts),
+                ack_seq: seq,
+                snd_nxt: seq + 100_000,
+                newly_acked: 1000,
+                ecn_echo: seq % 7 == 0,
+                rtt: Duration::from_us(15),
+                int: &int2,
+            };
+            cc.on_ack(black_box(&ack));
+            black_box(cc.state()).window
+        });
+    }
+
+    println!("== engine: raw simulated-event throughput ==");
+    // One 2 MB flow between two hosts on a star: raw forwarding throughput.
+    {
+        let mut events = 0u64;
+        let started = Instant::now();
+        let iters = 5;
+        for _ in 0..iters {
+            let topo = star(2, line, Duration::from_us(1));
+            let rtt = topo.suggested_base_rtt(1106);
+            let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), line, rtt);
+            cfg.end_time = SimTime::from_ms(10);
+            let hosts = topo.hosts().to_vec();
+            let mut sim = Simulator::new(topo, cfg);
+            sim.add_flow(FlowSpec::new(
+                FlowId(1),
+                hosts[0],
+                hosts[1],
+                2_000_000,
+                SimTime::ZERO,
+            ));
+            let out = sim.run();
+            assert_eq!(out.flows.len(), 1);
+            events += out.events_processed;
+        }
+        let rate = events as f64 / started.elapsed().as_secs_f64();
+        println!("bench engine/single_flow        {iters:>9} runs   {rate:>12.0} events/sec");
+    }
+    // N-to-1 incast on the testbed PoD: queueing, PFC, multi-hop paths.
+    for n in [4usize, 8] {
+        let mut events = 0u64;
+        let started = Instant::now();
+        let iters = 3;
+        for _ in 0..iters {
+            let topo = testbed_pod(Duration::from_us(1));
+            let bw = Bandwidth::from_gbps(25);
+            let rtt = topo.suggested_base_rtt(1106);
+            let mut cfg = SimConfig::for_cc(CcAlgorithm::hpcc_default(), bw, rtt);
+            cfg.end_time = SimTime::from_ms(5);
+            let hosts = topo.hosts().to_vec();
+            let mut sim = Simulator::new(topo, cfg);
+            for i in 0..n {
+                sim.add_flow(FlowSpec::new(
+                    FlowId(i as u64 + 1),
+                    hosts[8 + i],
+                    hosts[0],
+                    200_000,
+                    SimTime::ZERO,
+                ));
+            }
+            let out = sim.run();
+            assert_eq!(out.flows.len(), n);
+            events += out.events_processed;
+        }
+        let rate = events as f64 / started.elapsed().as_secs_f64();
+        println!("bench engine/incast_pod/{n:<8} {iters:>9} runs   {rate:>12.0} events/sec");
+    }
+
+    println!("== figures: miniature figure scenarios (shape-asserted) ==");
+    for (name, run) in [
+        (
+            "fig06_tx_vs_rx",
+            Box::new(|| {
+                let report = hpcc_bench::figures::fig06(1);
+                assert!(report.contains("HPCC-rxRate"));
+                report.len() as u64
+            }) as Box<dyn Fn() -> u64>,
+        ),
+        (
+            "fig13_reaction_modes",
+            Box::new(|| {
+                let report = hpcc_bench::figures::fig13(1);
+                assert!(report.contains("per-RTT"));
+                report.len() as u64
+            }),
+        ),
+        (
+            "tab_int_overhead",
+            Box::new(|| hpcc_bench::figures::tab_int_overhead().len() as u64),
+        ),
+        (
+            "fluid_convergence",
+            Box::new(|| hpcc_bench::figures::fluid_convergence().len() as u64),
+        ),
+    ] {
+        let started = Instant::now();
+        let len = run();
+        println!(
+            "bench figures/{name:<22} {:>9.3} ms/run   ({len} report bytes)",
+            started.elapsed().as_secs_f64() * 1e3
+        );
+    }
 }
 
 /// Exit with a usage/runtime error on stderr (workers keep stdout pure
@@ -132,6 +351,9 @@ struct Cli {
     verify_serial: bool,
     dump_manifest: bool,
     events_per_sec: Option<Option<String>>,
+    baseline: Option<String>,
+    max_regress: f64,
+    bench: bool,
     positional: Vec<String>,
 }
 
@@ -139,6 +361,7 @@ impl Cli {
     fn parse(args: &[String]) -> Cli {
         let mut cli = Cli {
             positional: vec![args[0].clone()],
+            max_regress: 0.15,
             ..Cli::default()
         };
         let value = |i: usize, flag: &str| -> String {
@@ -187,6 +410,23 @@ impl Cli {
                 "--merge" => {
                     merging = true;
                     i += 1;
+                }
+                "--bench" => {
+                    cli.bench = true;
+                    i += 1;
+                }
+                "--baseline" => {
+                    cli.baseline = Some(value(i, "--baseline"));
+                    i += 2;
+                }
+                "--max-regress" => {
+                    let f = value(i, "--max-regress");
+                    cli.max_regress = f
+                        .parse()
+                        .ok()
+                        .filter(|x: &f64| x.is_finite() && *x > 0.0 && *x < 1.0)
+                        .unwrap_or_else(|| die(format!("bad regression fraction {f:?}")));
+                    i += 2;
                 }
                 "--expect" => {
                     let n = value(i, "--expect");
@@ -385,8 +625,15 @@ fn run_merge(files: &[String], expected_len: Option<usize>, report_path: Option<
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let cli = Cli::parse(&args);
+    if cli.bench {
+        run_bench();
+        return;
+    }
     if let Some(out) = &cli.events_per_sec {
-        run_hotpath_smoke(out.as_deref().unwrap_or("BENCH_hotpath.json"));
+        let measured = run_hotpath_smoke(out.as_deref().unwrap_or("BENCH_hotpath.json"));
+        if let Some(baseline) = &cli.baseline {
+            check_baseline(measured, baseline, cli.max_regress);
+        }
         return;
     }
     if !cli.merge.is_empty() {

@@ -173,6 +173,15 @@ fn run_freeze(cli: &Cli) {
     }
 }
 
+/// Human label of a priority wire code (see `FlowPriority::wire_code`).
+fn prio_label(code: u8) -> String {
+    match hpcc_types::FlowPriority::from_wire_code(code) {
+        hpcc_types::FlowPriority::Normal => "normal".to_string(),
+        hpcc_types::FlowPriority::LatencySensitive => "latency-sensitive".to_string(),
+        hpcc_types::FlowPriority::Class(c) => format!("class {c}"),
+    }
+}
+
 fn run_info(cli: &Cli) {
     let path = cli
         .positional
@@ -193,6 +202,24 @@ fn run_info(cli: &Cli) {
         trace.total_bytes(),
         trace.horizon()
     );
+    // Per-priority breakdown of the parsed `prio` column: flow count and
+    // byte volume per tag, ascending by wire code.
+    let mut codes: Vec<u8> = trace.records.iter().map(|r| r.prio.wire_code()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    for code in codes {
+        let (mut count, mut bytes) = (0u64, 0u64);
+        for r in &trace.records {
+            if r.prio.wire_code() == code {
+                count += 1;
+                bytes += r.bytes;
+            }
+        }
+        println!(
+            "  prio {code} ({}): {count} flows, {bytes} bytes",
+            prio_label(code)
+        );
+    }
 }
 
 fn run_roundtrip(cli: &Cli) {

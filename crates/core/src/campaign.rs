@@ -263,6 +263,17 @@ fn run_one(spec: &ScenarioSpec) -> ScenarioResult {
         BucketChoice::FbHadoop => fb_hadoop_buckets(),
         BucketChoice::WebSearch => websearch_buckets(),
     };
+    // Multi-class extensions: recorded only when the run actually carried
+    // priorities or data classes, so legacy results (and their canonical
+    // JSON) are byte-identical to the single-class era.
+    let prio_slowdown = if results.out.flows.iter().any(|f| f.prio != 0) {
+        results.slowdown_by_priority()
+    } else {
+        Vec::new()
+    };
+    let class_queue_p99 = (0..results.out.class_queue_histograms.len())
+        .map(|c| results.class_queue_percentile(c, 99.0))
+        .collect();
     ScenarioResult {
         name: spec.name.clone(),
         scheme: spec.scheme_label(),
@@ -277,6 +288,8 @@ fn run_one(spec: &ScenarioSpec) -> ScenarioResult {
         drops: results.out.total_drops(),
         completion: results.completion_fraction(),
         flows_completed: results.out.flows.len(),
+        prio_slowdown,
+        class_queue_p99,
         digest: digest_output(&results.out),
         wall,
         results: Some(results),
@@ -342,6 +355,13 @@ pub struct ScenarioResult {
     pub completion: f64,
     /// Number of flows that completed.
     pub flows_completed: usize,
+    /// FCT-slowdown percentiles per flow priority (keyed by the
+    /// [`hpcc_types::FlowPriority`] wire code, ascending). Empty when no
+    /// flow carried a non-default priority — legacy results are unchanged.
+    pub prio_slowdown: Vec<(u8, Option<Percentiles>)>,
+    /// 99th-percentile sampled queue length per data class, in class order.
+    /// Empty on the legacy single-class path.
+    pub class_queue_p99: Vec<Option<u64>>,
     /// FNV-1a digest over the raw simulator output (flows, counters,
     /// histograms, traces) — equal digests mean bit-identical runs.
     pub digest: u64,
@@ -498,6 +518,25 @@ pub fn digest_output(out: &SimOutput) -> u64 {
     d.write(out.events_processed);
     d.write(out.packets_delivered);
     d.write(out.packets_sent);
+    // Multi-class extensions, folded only when present: a legacy
+    // single-class run (all priorities 0, no per-class histograms) hashes
+    // exactly the historical byte stream, so pre-refactor digests hold.
+    if flows.iter().any(|f| f.prio != 0) {
+        d.write(0x7072696f); // section marker: "prio"
+        for f in &flows {
+            d.write(f.prio as u64);
+        }
+    }
+    if !out.class_queue_histograms.is_empty() {
+        d.write(0x636c6173); // section marker: "clas"
+        d.write(out.class_queue_histograms.len() as u64);
+        for hist in &out.class_queue_histograms {
+            d.write(hist.len() as u64);
+            for &count in hist {
+                d.write(count);
+            }
+        }
+    }
     d.finish()
 }
 

@@ -7,7 +7,7 @@
 //! — hold by construction instead of by caller discipline.
 
 use hpcc_cc::CcAlgorithm;
-use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig, SimOutput, Simulator};
+use hpcc_sim::{EcnConfig, FlowControlMode, QueueingConfig, SimConfig, SimOutput, Simulator};
 use hpcc_stats::fct::{FlowFct, SizeBucketStats};
 use hpcc_stats::pfc::{pause_burst_spread, PfcSummary};
 use hpcc_stats::queue::{queue_cdf, queue_percentile};
@@ -167,6 +167,24 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Configure multi-class switch queueing (data-class count, egress
+    /// scheduler, PIAS tagging thresholds, per-class ECN scaling). The
+    /// default is the paper's single-class strict-priority path.
+    ///
+    /// # Panics
+    /// Panics when the configuration violates its invariants (class count
+    /// out of `1..=MAX_DATA_CLASSES`, weight/threshold/scale shape
+    /// mismatches) — the fallible path is a [`crate::QueueingSpec`] on a
+    /// scenario, whose `try_build` surfaces the same violations as typed
+    /// [`crate::BuildError`]s.
+    pub fn queueing(mut self, queueing: QueueingConfig) -> Self {
+        queueing
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid queueing config: {e}"));
+        self.cfg.queueing = queueing;
+        self
+    }
+
     /// Override the base RTT handed to the congestion-control algorithms
     /// (and the timers derived from it).
     pub fn base_rtt(mut self, rtt: Duration) -> Self {
@@ -298,6 +316,34 @@ impl ExperimentResults {
         queue_percentile(&self.out.queue_histogram, self.out.queue_histogram_bin, p)
     }
 
+    /// Queue length at a percentile of one data class's sampled histogram
+    /// (`None` when the run was single-class or the class saw no samples).
+    pub fn class_queue_percentile(&self, class: usize, p: f64) -> Option<u64> {
+        let hist = self.out.class_queue_histograms.get(class)?;
+        queue_percentile(hist, self.out.queue_histogram_bin, p)
+    }
+
+    /// FCT-slowdown percentiles grouped by the flows' application priority
+    /// (keyed by [`hpcc_types::FlowPriority`] wire code, ascending). A
+    /// single-class legacy run reports one group with code 0.
+    pub fn slowdown_by_priority(&self) -> Vec<(u8, Option<Percentiles>)> {
+        let flows: Vec<(u8, FlowFct)> = self
+            .out
+            .flows
+            .iter()
+            .map(|f| {
+                (
+                    f.prio,
+                    FlowFct {
+                        size: f.size,
+                        fct: f.fct(),
+                    },
+                )
+            })
+            .collect();
+        self.analyzer.grouped(&flows)
+    }
+
     /// PFC summary over every port in the run.
     pub fn pfc_summary(&self) -> PfcSummary {
         let pauses: Vec<Duration> = self.out.ports.values().map(|c| c.pause_duration).collect();
@@ -414,6 +460,21 @@ mod tests {
         assert!(!g.is_empty());
         let util = res.average_utilization(Bandwidth::from_gbps(100));
         assert!(util > 0.0 && util < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid queueing config")]
+    fn builder_rejects_invalid_queueing_configs() {
+        let bw = Bandwidth::from_gbps(100);
+        let topo = star(2, bw, Duration::from_us(1));
+        // 5 data classes exceeds Priority::MAX_DATA_CLASSES: the builder
+        // must reject it here instead of letting the hot path panic later.
+        Experiment::builder("bad", topo, CcAlgorithm::hpcc_default(), bw).queueing(
+            hpcc_sim::QueueingConfig {
+                data_classes: 5,
+                ..hpcc_sim::QueueingConfig::legacy()
+            },
+        );
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub use campaign::{Campaign, CampaignReport, ScenarioResult, ShardPlan};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentResults};
 pub use presets::SCHEME_SET_FIG11;
 pub use scenario::{
-    BuildError, CcSpec, CdfSpec, FlowDecl, MeasurementSpec, ScenarioSpec, TopologyChoice,
-    WorkloadSpec,
+    BuildError, CcSpec, CdfSpec, FlowDecl, MeasurementSpec, QueueingSpec, ScenarioSpec,
+    SchedulerSpec, TopologyChoice, WorkloadSpec,
 };

@@ -9,12 +9,14 @@
 //! [`Campaign`] to run them in parallel.
 
 use crate::campaign::Campaign;
-use crate::scenario::{CcSpec, CdfSpec, FlowDecl, ScenarioSpec, TopologyChoice, WorkloadSpec};
+use crate::scenario::{
+    CcSpec, CdfSpec, FlowDecl, QueueingSpec, ScenarioSpec, TopologyChoice, WorkloadSpec,
+};
 use hpcc_cc::{CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig};
 use hpcc_sim::{EcnConfig, FlowControlMode};
 use hpcc_topology::{FatTreeParams, TopologySpec};
 use hpcc_types::{Bandwidth, Duration, NodeId, PortId};
-use hpcc_workload::{LocalitySpec, PairSpec, SkewSpec};
+use hpcc_workload::{LocalitySpec, PairSpec, PrioritySpec, SkewSpec};
 
 /// The six schemes compared in Figure 11, built for a given line rate and
 /// base RTT.
@@ -353,6 +355,77 @@ pub fn fattree_skew_sweep(
             })
             .collect(),
     )
+}
+
+/// A PIAS sweep on the Clos fabric: the legacy single-queue baseline plus
+/// one scenario per demotion-threshold set, everything else (scheme, seed,
+/// load, trace) held fixed. PIAS tags packets at the sender by bytes already
+/// sent — flows start in the top class and are demoted as they grow — so the
+/// sweep isolates how multi-queue scheduling reshapes the per-priority and
+/// short-flow FCT distributions under one congestion-control scheme.
+pub fn fattree_pias_sweep(
+    cc: impl Into<CcSpec> + Clone,
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    threshold_sets: &[Vec<u64>],
+    seed: u64,
+) -> Campaign {
+    let base = |name: String| {
+        ScenarioSpec::new(name, TopologyChoice::FatTree(params), cc.clone(), end)
+            .with_seed(seed)
+            .with_queue_sampling(Duration::from_us(5))
+            // The mice/elephant tags don't steer PIAS (bytes-sent demotion
+            // overrides static mapping); they key the per-priority FCT
+            // breakdown so the sweep's effect on mice is directly readable.
+            .with_workload(WorkloadSpec::poisson_with_prio(
+                CdfSpec::FbHadoop,
+                load,
+                PrioritySpec::ShortFlows { threshold: 100_000 },
+            ))
+    };
+    let mut scenarios = vec![base("queueing SP-1 (legacy)".into())];
+    for thresholds in threshold_sets {
+        let q = QueueingSpec::pias(thresholds.clone());
+        scenarios.push(base(format!("queueing {}", q.label())).with_queueing(q));
+    }
+    Campaign::from_scenarios(scenarios)
+}
+
+/// A scheduler comparison under a mice/elephant priority mix: the same
+/// FB_Hadoop background load, with flows below `mice_threshold` bytes tagged
+/// latency-sensitive, run through (a) the legacy single queue, (b) strict
+/// priority over `classes` data classes, and (c) DWRR with uniform weights.
+/// The priority tags are a pure size function, so all three scenarios inject
+/// the bit-identical flow list — only the switches schedule it differently.
+pub fn priority_mix(
+    cc: impl Into<CcSpec> + Clone,
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    mice_threshold: u64,
+    classes: u8,
+    seed: u64,
+) -> Campaign {
+    let base = |name: String| {
+        ScenarioSpec::new(name, TopologyChoice::FatTree(params), cc.clone(), end)
+            .with_seed(seed)
+            .with_queue_sampling(Duration::from_us(5))
+            .with_workload(WorkloadSpec::poisson_with_prio(
+                CdfSpec::FbHadoop,
+                load,
+                PrioritySpec::ShortFlows {
+                    threshold: mice_threshold,
+                },
+            ))
+    };
+    Campaign::from_scenarios(vec![
+        base("prio-mix SP-1 (legacy)".into()),
+        base(format!("prio-mix SP-{classes}"))
+            .with_queueing(QueueingSpec::strict_priority(classes)),
+        base(format!("prio-mix DWRR-{classes}"))
+            .with_queueing(QueueingSpec::dwrr(vec![1; classes as usize])),
+    ])
 }
 
 /// A trace-replay scenario: drive `topology` with the flows recorded in a

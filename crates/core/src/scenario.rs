@@ -30,7 +30,7 @@ use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, SimTime};
 use hpcc_workload::trace::{TraceRecord, TraceSpec};
 use hpcc_workload::{
     fb_hadoop, fixed_size, websearch, FlowSizeCdf, IncastGenerator, LoadGenerator, LocalitySpec,
-    PairSpec, SkewSpec,
+    PairSpec, PrioritySpec, SkewSpec,
 };
 use std::fmt;
 
@@ -345,6 +345,10 @@ pub enum WorkloadSpec {
         first_flow_id: u64,
         /// How src/dst host pairs are drawn.
         pairs: PairSpec,
+        /// How generated flows are priority-tagged (default: all normal).
+        /// Assignment is a pure size function after generation, so it never
+        /// perturbs the flow list itself.
+        prio: PrioritySpec,
     },
     /// Repeating N-to-1 bursts at a target fraction of network capacity
     /// (§5.3's "incast traffic load is 2% of the network capacity").
@@ -380,6 +384,7 @@ impl WorkloadSpec {
             load,
             first_flow_id: 0,
             pairs: PairSpec::Uniform,
+            prio: PrioritySpec::default(),
         }
     }
 
@@ -391,6 +396,19 @@ impl WorkloadSpec {
             load,
             first_flow_id: 0,
             pairs,
+            prio: PrioritySpec::default(),
+        }
+    }
+
+    /// Poisson background load with a priority-assignment stage (e.g.
+    /// mice-vs-elephants tagging for multi-queue studies).
+    pub fn poisson_with_prio(cdf: CdfSpec, load: f64, prio: PrioritySpec) -> Self {
+        WorkloadSpec::Poisson {
+            cdf,
+            load,
+            first_flow_id: 0,
+            pairs: PairSpec::Uniform,
+            prio,
         }
     }
 
@@ -438,6 +456,7 @@ impl WorkloadSpec {
                 load,
                 first_flow_id,
                 pairs,
+                prio,
             } => {
                 // Validate manifest-supplied parameters here so untrusted
                 // input surfaces as a typed error, never as a generator
@@ -453,6 +472,7 @@ impl WorkloadSpec {
                     LoadGenerator::new(hosts.to_vec(), host_bw, *load, cdf, seed)
                         .with_first_flow_id(*first_flow_id)
                         .with_pair_sampler(sampler)
+                        .with_priority(*prio)
                         .generate(duration),
                 )
             }
@@ -513,6 +533,134 @@ impl WorkloadSpec {
     }
 }
 
+/// The egress scheduling discipline of a scenario's switches, as plain data.
+///
+/// Together with [`QueueingSpec::ecn_scale`] this resolves into the
+/// simulator's [`hpcc_sim::QueueingConfig`]. The number of data classes is
+/// implied: explicit for strict priority, the weight count for DWRR, one
+/// more than the threshold count for PIAS.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedulerSpec {
+    /// Strict priority over `classes` data classes (class 0 first). One
+    /// class is the paper's deployment and the legacy default.
+    StrictPriority {
+        /// Number of data classes (`1..=Priority::MAX_DATA_CLASSES`).
+        classes: u8,
+    },
+    /// Deficit-weighted round robin, one weight per data class.
+    Dwrr {
+        /// Per-class DWRR weights (all `>= 1`); the length is the class
+        /// count.
+        weights: Vec<u32>,
+    },
+    /// PIAS-style dynamic demotion: senders tag packets by the bytes their
+    /// flow has already sent (crossing threshold `i` demotes to class
+    /// `i + 1`) and switches serve the classes in strict priority.
+    Pias {
+        /// Strictly increasing bytes-sent demotion thresholds; the class
+        /// count is `thresholds.len() + 1`.
+        thresholds: Vec<u64>,
+    },
+}
+
+/// Multi-class switch queueing of a scenario, as plain data (JSON key
+/// `"queueing"`; omitted from manifests ⇒ the legacy single-class default,
+/// so every pre-existing manifest parses — and stays canonical — unchanged).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueingSpec {
+    /// The egress scheduling discipline (and implied class count).
+    pub scheduler: SchedulerSpec,
+    /// Optional per-class multipliers on the base ECN thresholds (empty =
+    /// every class marks at the base `Kmin`/`Kmax`).
+    pub ecn_scale: Vec<f64>,
+}
+
+impl QueueingSpec {
+    /// The explicit legacy default: one data class under strict priority.
+    /// Building with this spec is bit-identical to omitting it.
+    pub fn legacy() -> Self {
+        QueueingSpec {
+            scheduler: SchedulerSpec::StrictPriority { classes: 1 },
+            ecn_scale: Vec::new(),
+        }
+    }
+
+    /// Strict priority over `classes` data classes.
+    pub fn strict_priority(classes: u8) -> Self {
+        QueueingSpec {
+            scheduler: SchedulerSpec::StrictPriority { classes },
+            ecn_scale: Vec::new(),
+        }
+    }
+
+    /// DWRR with the given per-class weights.
+    pub fn dwrr(weights: Vec<u32>) -> Self {
+        QueueingSpec {
+            scheduler: SchedulerSpec::Dwrr { weights },
+            ecn_scale: Vec::new(),
+        }
+    }
+
+    /// PIAS with the given bytes-sent demotion thresholds.
+    pub fn pias(thresholds: Vec<u64>) -> Self {
+        QueueingSpec {
+            scheduler: SchedulerSpec::Pias { thresholds },
+            ecn_scale: Vec::new(),
+        }
+    }
+
+    /// Attach per-class ECN threshold scaling.
+    pub fn with_ecn_scale(mut self, scale: Vec<f64>) -> Self {
+        self.ecn_scale = scale;
+        self
+    }
+
+    /// The number of data classes this spec configures.
+    pub fn classes(&self) -> usize {
+        match &self.scheduler {
+            SchedulerSpec::StrictPriority { classes } => *classes as usize,
+            SchedulerSpec::Dwrr { weights } => weights.len(),
+            SchedulerSpec::Pias { thresholds } => thresholds.len() + 1,
+        }
+    }
+
+    /// A short label for scenario names and reports ("SP-1", "DWRR-4",
+    /// "PIAS-3").
+    pub fn label(&self) -> String {
+        match &self.scheduler {
+            SchedulerSpec::StrictPriority { classes } => format!("SP-{classes}"),
+            SchedulerSpec::Dwrr { weights } => format!("DWRR-{}", weights.len()),
+            SchedulerSpec::Pias { thresholds } => format!("PIAS-{}", thresholds.len() + 1),
+        }
+    }
+
+    /// Resolve into the simulator's [`hpcc_sim::QueueingConfig`], validating
+    /// every invariant on the way (class counts, weight/threshold/scale
+    /// shapes) so malformed manifests surface as typed [`BuildError`]s.
+    pub fn resolve(&self) -> Result<hpcc_sim::QueueingConfig, BuildError> {
+        let classes = self.classes();
+        let cfg = hpcc_sim::QueueingConfig {
+            data_classes: classes.min(u8::MAX as usize) as u8,
+            scheduler: match self.scheduler {
+                SchedulerSpec::Dwrr { .. } => hpcc_sim::SchedulerKind::Dwrr,
+                _ => hpcc_sim::SchedulerKind::StrictPriority,
+            },
+            weights: match &self.scheduler {
+                SchedulerSpec::Dwrr { weights } => weights.clone(),
+                _ => Vec::new(),
+            },
+            pias_thresholds: match &self.scheduler {
+                SchedulerSpec::Pias { thresholds } => thresholds.clone(),
+                _ => Vec::new(),
+            },
+            ecn_scale: self.ecn_scale.clone(),
+        };
+        cfg.validate()
+            .map_err(|e| BuildError(format!("queueing: {e}")))?;
+        Ok(cfg)
+    }
+}
+
 /// Measurement options of a scenario, as plain data.
 ///
 /// (Formerly named `TraceSpec`; renamed so that "trace" unambiguously means
@@ -556,6 +704,9 @@ pub struct ScenarioSpec {
     pub buffer_bytes: Option<u64>,
     /// ECN threshold override (`None` keeps the scheme's default).
     pub ecn: Option<EcnConfig>,
+    /// Multi-class switch queueing (`None` keeps the legacy single-class
+    /// strict-priority path, bit-identically).
+    pub queueing: Option<QueueingSpec>,
     /// Measurement options.
     pub trace: MeasurementSpec,
 }
@@ -579,6 +730,7 @@ impl ScenarioSpec {
             flow_control: FlowControlMode::Lossless,
             buffer_bytes: None,
             ecn: None,
+            queueing: None,
             trace: MeasurementSpec::default(),
         }
     }
@@ -610,6 +762,13 @@ impl ScenarioSpec {
     /// Override the ECN thresholds.
     pub fn with_ecn(mut self, ecn: EcnConfig) -> Self {
         self.ecn = Some(ecn);
+        self
+    }
+
+    /// Configure multi-class switch queueing (scheduler, class count, PIAS
+    /// thresholds, per-class ECN scaling).
+    pub fn with_queueing(mut self, queueing: QueueingSpec) -> Self {
+        self.queueing = Some(queueing);
         self
     }
 
@@ -683,6 +842,9 @@ impl ScenarioSpec {
         }
         if let Some(ecn) = self.ecn {
             b = b.ecn(ecn);
+        }
+        if let Some(q) = &self.queueing {
+            b = b.queueing(q.resolve()?);
         }
         if let Some(interval) = self.trace.queue_sample_interval {
             b = b.queue_sampling(interval);
@@ -771,6 +933,9 @@ impl ScenarioSpec {
                 ]),
             ));
         }
+        if let Some(q) = &self.queueing {
+            pairs.push(("queueing", queueing_to_json(q)));
+        }
         pairs.push(("trace", trace_to_json(&self.trace)));
         obj(pairs)
     }
@@ -807,6 +972,9 @@ impl ScenarioSpec {
                 kmax_bytes: ecn.require("kmax_bytes")?.as_u64()?,
                 pmax: ecn.require("pmax")?.as_f64()?,
             });
+        }
+        if let Some(q) = v.get("queueing") {
+            spec.queueing = Some(queueing_from_json(q)?);
         }
         if let Some(trace) = v.get("trace") {
             spec.trace = trace_from_json(trace)?;
@@ -1087,17 +1255,15 @@ fn pair_from_json(v: &JsonValue) -> Result<PairSpec, JsonError> {
 }
 
 /// A trace record as the compact array `[start_ps, src, dst, bytes, prio]`
-/// (exact picosecond integers; `prio` 0 = normal, 1 = latency-sensitive).
+/// (exact picosecond integers; `prio` is the [`hpcc_types::FlowPriority`]
+/// wire code: 0 = normal, 1 = latency-sensitive, 2+c = data class c).
 fn trace_record_to_json(r: &TraceRecord) -> JsonValue {
     JsonValue::Array(vec![
         JsonValue::UInt(r.start.as_ps()),
         JsonValue::UInt(r.src as u64),
         JsonValue::UInt(r.dst as u64),
         JsonValue::UInt(r.bytes),
-        JsonValue::UInt(match r.prio {
-            hpcc_types::FlowPriority::Normal => 0,
-            hpcc_types::FlowPriority::LatencySensitive => 1,
-        }),
+        JsonValue::UInt(r.prio.wire_code() as u64),
     ])
 }
 
@@ -1114,12 +1280,47 @@ fn trace_record_from_json(v: &JsonValue) -> Result<TraceRecord, JsonError> {
         parts[2].as_usize()?,
         parts[3].as_u64()?,
     );
-    r.prio = match parts[4].as_u64()? {
-        0 => hpcc_types::FlowPriority::Normal,
-        1 => hpcc_types::FlowPriority::LatencySensitive,
-        other => return Err(JsonError(format!("unknown trace priority {other}"))),
-    };
+    let code = parts[4].as_u64()?;
+    if code > 1 + hpcc_types::Priority::MAX_DATA_CLASSES as u64 {
+        return Err(JsonError(format!("unknown trace priority {code}")));
+    }
+    r.prio = hpcc_types::FlowPriority::from_wire_code(code as u8);
     Ok(r)
+}
+
+/// Serialize a [`PrioritySpec`]; the default is canonical-omitted by the
+/// caller, so this only sees non-default stages.
+fn prio_spec_to_json(p: &PrioritySpec) -> JsonValue {
+    match p {
+        PrioritySpec::Normal => obj(vec![("kind", JsonValue::Str("Normal".into()))]),
+        PrioritySpec::Uniform(fp) => obj(vec![
+            ("kind", JsonValue::Str("Uniform".into())),
+            ("prio", JsonValue::UInt(fp.wire_code() as u64)),
+        ]),
+        PrioritySpec::ShortFlows { threshold } => obj(vec![
+            ("kind", JsonValue::Str("ShortFlows".into())),
+            ("threshold", JsonValue::UInt(*threshold)),
+        ]),
+    }
+}
+
+fn prio_spec_from_json(v: &JsonValue) -> Result<PrioritySpec, JsonError> {
+    match v.require("kind")?.as_str()? {
+        "Normal" => Ok(PrioritySpec::Normal),
+        "Uniform" => {
+            let code = v.require("prio")?.as_u64()?;
+            if code > 1 + hpcc_types::Priority::MAX_DATA_CLASSES as u64 {
+                return Err(JsonError(format!("unknown priority code {code}")));
+            }
+            Ok(PrioritySpec::Uniform(
+                hpcc_types::FlowPriority::from_wire_code(code as u8),
+            ))
+        }
+        "ShortFlows" => Ok(PrioritySpec::ShortFlows {
+            threshold: v.require("threshold")?.as_u64()?,
+        }),
+        other => Err(JsonError(format!("unknown priority kind {other:?}"))),
+    }
 }
 
 fn workload_to_json(w: &WorkloadSpec) -> JsonValue {
@@ -1129,6 +1330,7 @@ fn workload_to_json(w: &WorkloadSpec) -> JsonValue {
             load,
             first_flow_id,
             pairs,
+            prio,
         } => {
             let mut fields = vec![
                 ("kind", JsonValue::Str("Poisson".into())),
@@ -1136,10 +1338,14 @@ fn workload_to_json(w: &WorkloadSpec) -> JsonValue {
                 ("load", JsonValue::Float(*load)),
                 ("first_flow_id", JsonValue::UInt(*first_flow_id)),
             ];
-            // Uniform is the default and is omitted, so pre-existing
-            // manifests and their canonical renderings stay byte-stable.
+            // Uniform pairs and normal priorities are the defaults and are
+            // omitted, so pre-existing manifests and their canonical
+            // renderings stay byte-stable.
             if *pairs != PairSpec::Uniform {
                 fields.push(("pairs", pair_to_json(pairs)));
+            }
+            if !prio.is_default() {
+                fields.push(("prio", prio_spec_to_json(prio)));
             }
             obj(fields)
         }
@@ -1205,6 +1411,10 @@ fn workload_from_json(v: &JsonValue) -> Result<WorkloadSpec, JsonError> {
                 Some(p) => pair_from_json(p)?,
                 None => PairSpec::Uniform,
             },
+            prio: match v.get("prio") {
+                Some(p) => prio_spec_from_json(p)?,
+                None => PrioritySpec::default(),
+            },
         }),
         "Incast" => Ok(WorkloadSpec::Incast {
             fan_in: v.require("fan_in")?.as_usize()?,
@@ -1249,6 +1459,81 @@ fn workload_from_json(v: &JsonValue) -> Result<WorkloadSpec, JsonError> {
         }
         other => Err(JsonError(format!("unknown workload kind {other:?}"))),
     }
+}
+
+fn queueing_to_json(q: &QueueingSpec) -> JsonValue {
+    let mut fields = match &q.scheduler {
+        SchedulerSpec::StrictPriority { classes } => vec![
+            ("kind", JsonValue::Str("SP".into())),
+            ("classes", JsonValue::UInt(*classes as u64)),
+        ],
+        SchedulerSpec::Dwrr { weights } => vec![
+            ("kind", JsonValue::Str("DWRR".into())),
+            (
+                "weights",
+                JsonValue::Array(weights.iter().map(|&w| JsonValue::UInt(w as u64)).collect()),
+            ),
+        ],
+        SchedulerSpec::Pias { thresholds } => vec![
+            ("kind", JsonValue::Str("PIAS".into())),
+            (
+                "thresholds",
+                JsonValue::Array(thresholds.iter().map(|&t| JsonValue::UInt(t)).collect()),
+            ),
+        ],
+    };
+    if !q.ecn_scale.is_empty() {
+        fields.push((
+            "ecn_scale",
+            JsonValue::Array(q.ecn_scale.iter().map(|&s| JsonValue::Float(s)).collect()),
+        ));
+    }
+    obj(fields)
+}
+
+fn queueing_from_json(v: &JsonValue) -> Result<QueueingSpec, JsonError> {
+    let scheduler = match v.require("kind")?.as_str()? {
+        "SP" => {
+            let classes = v.require("classes")?.as_u64()?;
+            if classes > u8::MAX as u64 {
+                return Err(JsonError(format!(
+                    "queueing classes {classes} out of range"
+                )));
+            }
+            SchedulerSpec::StrictPriority {
+                classes: classes as u8,
+            }
+        }
+        "DWRR" => {
+            let mut weights = Vec::new();
+            for w in v.require("weights")?.as_array()? {
+                let w = w.as_u64()?;
+                if w > u32::MAX as u64 {
+                    return Err(JsonError(format!("DWRR weight {w} out of range")));
+                }
+                weights.push(w as u32);
+            }
+            SchedulerSpec::Dwrr { weights }
+        }
+        "PIAS" => {
+            let mut thresholds = Vec::new();
+            for t in v.require("thresholds")?.as_array()? {
+                thresholds.push(t.as_u64()?);
+            }
+            SchedulerSpec::Pias { thresholds }
+        }
+        other => return Err(JsonError(format!("unknown queueing kind {other:?}"))),
+    };
+    let mut ecn_scale = Vec::new();
+    if let Some(scale) = v.get("ecn_scale") {
+        for s in scale.as_array()? {
+            ecn_scale.push(s.as_f64()?);
+        }
+    }
+    Ok(QueueingSpec {
+        scheduler,
+        ecn_scale,
+    })
 }
 
 fn trace_to_json(t: &MeasurementSpec) -> JsonValue {
@@ -1368,6 +1653,7 @@ mod tests {
             pairs: PairSpec::Locality(LocalitySpec::Matrix {
                 rows: vec![vec![0.5, 0.5, 0.0, 0.0]; 4],
             }),
+            prio: PrioritySpec::ShortFlows { threshold: 30_000 },
         })
         .with_workload(WorkloadSpec::poisson_with_pairs(
             CdfSpec::Fixed(1_000),
@@ -1397,6 +1683,89 @@ mod tests {
         let uniform = rich_spec().to_json_string();
         assert!(!uniform.contains("\"pairs\""), "{uniform}");
         assert_eq!(text.matches("\"pairs\"").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn queueing_specs_round_trip_through_json() {
+        let base = || {
+            ScenarioSpec::new(
+                "multi-class",
+                TopologyChoice::star(4, Bandwidth::from_gbps(25)),
+                CcSpec::by_label("HPCC"),
+                Duration::from_ms(1),
+            )
+        };
+        for q in [
+            QueueingSpec::legacy(),
+            QueueingSpec::strict_priority(4),
+            QueueingSpec::dwrr(vec![4, 2, 1]),
+            QueueingSpec::pias(vec![50_000, 1_000_000]),
+            QueueingSpec::dwrr(vec![2, 1]).with_ecn_scale(vec![1.0, 0.25]),
+        ] {
+            let spec = base().with_queueing(q.clone());
+            let text = spec.to_json_string();
+            assert!(text.contains("\"queueing\""), "{text}");
+            let back = ScenarioSpec::from_json_str(&text)
+                .unwrap_or_else(|e| panic!("{e} while parsing {text}"));
+            assert_eq!(back, spec, "round trip changed {text}");
+            assert_eq!(back.queueing.as_ref().unwrap().label(), q.label());
+        }
+        // Omitted queueing is canonical-omitted: no key in the JSON, and a
+        // manifest without the key parses back to None.
+        let plain = base();
+        let text = plain.to_json_string();
+        assert!(!text.contains("queueing"), "{text}");
+        assert_eq!(ScenarioSpec::from_json_str(&text).unwrap().queueing, None);
+    }
+
+    #[test]
+    fn queueing_labels_and_class_counts() {
+        assert_eq!(QueueingSpec::legacy().label(), "SP-1");
+        assert_eq!(QueueingSpec::legacy().classes(), 1);
+        assert_eq!(QueueingSpec::strict_priority(3).label(), "SP-3");
+        assert_eq!(QueueingSpec::dwrr(vec![1, 1]).classes(), 2);
+        assert_eq!(QueueingSpec::pias(vec![10, 20]).label(), "PIAS-3");
+        assert_eq!(QueueingSpec::pias(vec![10, 20]).classes(), 3);
+    }
+
+    #[test]
+    fn malformed_queueing_specs_are_typed_build_errors() {
+        let base = |q: QueueingSpec| {
+            ScenarioSpec::new(
+                "bad queueing",
+                TopologyChoice::star(3, Bandwidth::from_gbps(25)),
+                CcSpec::by_label("HPCC"),
+                Duration::from_ms(1),
+            )
+            .with_workload(WorkloadSpec::poisson(CdfSpec::Fixed(1_000), 0.1))
+            .with_queueing(q)
+        };
+        let cases: Vec<(QueueingSpec, &str)> = vec![
+            (QueueingSpec::strict_priority(0), "data_classes"),
+            (QueueingSpec::strict_priority(9), "data_classes"),
+            (QueueingSpec::dwrr(vec![]), "data_classes"),
+            (QueueingSpec::dwrr(vec![1, 0]), ">= 1"),
+            (QueueingSpec::pias(vec![200, 100]), "increasing"),
+            (
+                QueueingSpec::strict_priority(2).with_ecn_scale(vec![1.0]),
+                "ecn_scale",
+            ),
+            (
+                QueueingSpec::strict_priority(2).with_ecn_scale(vec![1.0, f64::NAN]),
+                "positive",
+            ),
+        ];
+        for (q, needle) in cases {
+            let err = match base(q.clone()).try_build() {
+                Err(e) => e,
+                Ok(_) => panic!("{q:?} must fail"),
+            };
+            assert!(err.to_string().contains("queueing"), "{q:?} -> {err}");
+            assert!(err.to_string().contains(needle), "{q:?} -> {err}");
+        }
+        // A valid multi-class spec resolves and runs.
+        let ok = base(QueueingSpec::pias(vec![10_000]));
+        assert_eq!(ok.try_build().unwrap().config().queueing.data_classes, 2);
     }
 
     #[test]

@@ -156,7 +156,7 @@ impl ScenarioResult {
     /// time, no raw simulator output. See the [module docs](self) for the
     /// determinism contract this buys.
     pub fn to_json(&self) -> JsonValue {
-        obj(vec![
+        let mut fields = vec![
             ("name", JsonValue::Str(self.name.clone())),
             ("scheme", JsonValue::Str(self.scheme.clone())),
             ("slowdown", opt_percentiles_to_json(&self.slowdown)),
@@ -184,8 +184,34 @@ impl ScenarioResult {
                 "flows_completed",
                 JsonValue::UInt(self.flows_completed as u64),
             ),
-            ("digest", JsonValue::UInt(self.digest)),
-        ])
+        ];
+        // Multi-class scheduling extensions (additive, optional): emitted
+        // only when populated, so single-class results render byte-identical
+        // to the pre-scheduling wire format and old decoders keep working.
+        if !self.prio_slowdown.is_empty() {
+            fields.push((
+                "prio_slowdown",
+                JsonValue::Array(
+                    self.prio_slowdown
+                        .iter()
+                        .map(|(code, stats)| {
+                            obj(vec![
+                                ("prio", JsonValue::UInt(*code as u64)),
+                                ("stats", opt_percentiles_to_json(stats)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.class_queue_p99.is_empty() {
+            fields.push((
+                "class_queue_p99",
+                JsonValue::Array(self.class_queue_p99.iter().map(opt_u64_to_json).collect()),
+            ));
+        }
+        fields.push(("digest", JsonValue::UInt(self.digest)));
+        obj(fields)
     }
 
     /// Decode a canonical result object. The decoded result carries no raw
@@ -195,6 +221,27 @@ impl ScenarioResult {
         let mut buckets = Vec::new();
         for b in v.require("slowdown_buckets")?.as_array()? {
             buckets.push(bucket_stats_from_json(b)?);
+        }
+        // Optional multi-class fields: absent on (and before) the
+        // single-class wire format, which must keep decoding.
+        let mut prio_slowdown = Vec::new();
+        if let Some(rows) = v.get("prio_slowdown") {
+            for row in rows.as_array()? {
+                let code = row.require("prio")?.as_u64()?;
+                if code > u8::MAX as u64 {
+                    return Err(JsonError(format!("priority code {code} out of range")));
+                }
+                prio_slowdown.push((
+                    code as u8,
+                    opt_percentiles_from_json(row.require("stats")?)?,
+                ));
+            }
+        }
+        let mut class_queue_p99 = Vec::new();
+        if let Some(rows) = v.get("class_queue_p99") {
+            for row in rows.as_array()? {
+                class_queue_p99.push(opt_u64_from_json(row)?);
+            }
         }
         Ok(ScenarioResult {
             name: v.require("name")?.as_str()?.to_string(),
@@ -210,6 +257,8 @@ impl ScenarioResult {
             drops: v.require("drops")?.as_u64()?,
             completion: v.require("completion")?.as_f64()?,
             flows_completed: v.require("flows_completed")?.as_usize()?,
+            prio_slowdown,
+            class_queue_p99,
             digest: v.require("digest")?.as_u64()?,
             wall: std::time::Duration::ZERO,
             results: None,
@@ -359,6 +408,12 @@ mod tests {
             drops: 7,
             completion: 0.975,
             flows_completed: 39,
+            prio_slowdown: vec![
+                (0, Percentiles::of(&[1.0, 2.0])),
+                (1, None),
+                (4, Percentiles::of(&[3.5])),
+            ],
+            class_queue_p99: vec![Some(12_288), None, Some(0)],
             digest,
             wall: std::time::Duration::from_millis(12),
             results: None,
@@ -384,6 +439,31 @@ mod tests {
         assert_eq!(back.pfc, original.pfc);
         assert_eq!(back.slowdown_buckets[0].bucket.label, "<3K");
         assert_eq!(back.slowdown_buckets[1].bucket.label, "10M");
+        assert_eq!(back.prio_slowdown, original.prio_slowdown);
+        assert_eq!(back.class_queue_p99, original.class_queue_p99);
+    }
+
+    #[test]
+    fn single_class_results_omit_the_multi_class_keys_and_old_lines_decode() {
+        let mut legacy = synthetic("legacy", 5);
+        legacy.prio_slowdown.clear();
+        legacy.class_queue_p99.clear();
+        let text = legacy.to_json().render();
+        // The canonical single-class object is byte-identical to the
+        // pre-scheduling wire format: no multi-class keys at all.
+        assert!(!text.contains("prio_slowdown"), "{text}");
+        assert!(!text.contains("class_queue_p99"), "{text}");
+        // And a line without those keys (an "old" producer) decodes to the
+        // empty defaults.
+        let back =
+            ScenarioResult::from_json(&crate::json::JsonValue::parse(&text).unwrap()).unwrap();
+        assert!(back.prio_slowdown.is_empty());
+        assert!(back.class_queue_p99.is_empty());
+        assert_eq!(
+            back.to_json().render(),
+            text,
+            "decode -> re-encode is byte-stable"
+        );
     }
 
     #[test]

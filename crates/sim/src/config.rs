@@ -2,7 +2,7 @@
 //! is not part of the topology or the workload.
 
 use hpcc_cc::CcAlgorithm;
-use hpcc_types::{Bandwidth, Duration, NodeId, PortId, SimTime};
+use hpcc_types::{Bandwidth, Duration, FlowPriority, NodeId, PortId, Priority, SimTime};
 
 /// How losses are prevented or recovered (§5.3, Figure 12).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -87,6 +87,163 @@ impl EcnConfig {
     }
 }
 
+/// Which algorithm arbitrates among the data classes of one switch egress
+/// port. The control class is outside the scheduler: it is always served
+/// first (the paper's never-pause, never-drop invariant for ACK/NACK/CNP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Strict priority: the lowest-numbered non-empty, non-paused data class
+    /// always transmits. With one data class this is the paper's FIFO.
+    #[default]
+    StrictPriority,
+    /// Deficit-weighted round robin over the data classes, one weight per
+    /// class (see [`QueueingConfig::weights`]).
+    Dwrr,
+}
+
+/// Multi-class queueing configuration of every switch egress (and of the
+/// host-side packet tagging that feeds it).
+///
+/// The default — one data class under strict priority, no PIAS thresholds,
+/// no per-class ECN scaling — reproduces the paper's two-class deployment
+/// bit for bit; every knob here only takes effect when it departs from that
+/// default.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueingConfig {
+    /// Number of data classes per egress port (`1..=MAX_DATA_CLASSES`).
+    pub data_classes: u8,
+    /// How the data classes share the egress link.
+    pub scheduler: SchedulerKind,
+    /// DWRR weights, one per data class (ignored under strict priority;
+    /// empty means equal weights).
+    pub weights: Vec<u32>,
+    /// PIAS-style demotion thresholds in bytes, strictly increasing, one
+    /// fewer than `data_classes`. When non-empty, senders tag each data
+    /// packet by the bytes the flow has already sent: a packet starting at
+    /// byte `seq` travels in class `#{t : t <= seq}` — new flows start in
+    /// the top class and are demoted as they grow, approximating
+    /// shortest-job-first without size information. Empty = static tagging
+    /// by [`FlowPriority::initial_class`].
+    pub pias_thresholds: Vec<u64>,
+    /// Per-class multipliers applied to the base ECN thresholds
+    /// (`kmin`/`kmax`), one per data class. Empty = all classes use the base
+    /// thresholds unchanged.
+    pub ecn_scale: Vec<f64>,
+}
+
+impl Default for QueueingConfig {
+    fn default() -> Self {
+        QueueingConfig::legacy()
+    }
+}
+
+impl QueueingConfig {
+    /// The paper's deployment: a single data class under strict priority.
+    pub fn legacy() -> Self {
+        QueueingConfig {
+            data_classes: 1,
+            scheduler: SchedulerKind::StrictPriority,
+            weights: Vec::new(),
+            pias_thresholds: Vec::new(),
+            ecn_scale: Vec::new(),
+        }
+    }
+
+    /// True when this configuration is behaviourally the legacy single-class
+    /// path.
+    pub fn is_legacy(&self) -> bool {
+        self.data_classes == 1 && self.pias_thresholds.is_empty()
+    }
+
+    /// The data class a sender stamps on the packet of `prio`'s flow whose
+    /// first payload byte is `seq`: PIAS bytes-sent demotion when thresholds
+    /// are configured, the static [`FlowPriority::initial_class`] mapping
+    /// otherwise.
+    #[inline]
+    pub fn tag_class(&self, prio: FlowPriority, seq: u64) -> u8 {
+        if self.pias_thresholds.is_empty() {
+            prio.initial_class(self.data_classes)
+        } else {
+            let demotions = self
+                .pias_thresholds
+                .iter()
+                .take_while(|&&t| seq >= t)
+                .count() as u8;
+            demotions.min(self.data_classes - 1)
+        }
+    }
+
+    /// The DWRR weight of a data class (1 when unspecified).
+    pub fn weight(&self, class: u8) -> u32 {
+        self.weights
+            .get(class as usize)
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// The ECN thresholds of one data class: the base config scaled by this
+    /// class's `ecn_scale` entry (identity when no scaling is configured).
+    #[inline]
+    pub fn class_ecn(&self, base: &EcnConfig, class: u8) -> EcnConfig {
+        match self.ecn_scale.get(class as usize) {
+            None => *base,
+            Some(&s) => EcnConfig {
+                kmin_bytes: (base.kmin_bytes as f64 * s) as u64,
+                kmax_bytes: (base.kmax_bytes as f64 * s) as u64,
+                pmax: base.pmax,
+            },
+        }
+    }
+
+    /// Validate the invariants documented on the fields; returns a
+    /// human-readable reason on failure. Scenario resolution calls this so
+    /// malformed manifests surface as typed errors, never as panics in the
+    /// hot path.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.data_classes as usize;
+        if n == 0 || n > Priority::MAX_DATA_CLASSES {
+            return Err(format!(
+                "data_classes must be in 1..={}, got {n}",
+                Priority::MAX_DATA_CLASSES
+            ));
+        }
+        if !self.weights.is_empty() && self.weights.len() != n {
+            return Err(format!(
+                "weights has {} entries for {n} data classes",
+                self.weights.len()
+            ));
+        }
+        if self.weights.contains(&0) {
+            return Err("DWRR weights must be >= 1".into());
+        }
+        if !self.pias_thresholds.is_empty() {
+            if self.pias_thresholds.len() != n - 1 {
+                return Err(format!(
+                    "PIAS needs data_classes - 1 = {} thresholds, got {}",
+                    n - 1,
+                    self.pias_thresholds.len()
+                ));
+            }
+            if !self.pias_thresholds.windows(2).all(|w| w[0] < w[1]) {
+                return Err("PIAS thresholds must be strictly increasing".into());
+            }
+        }
+        if !self.ecn_scale.is_empty() {
+            if self.ecn_scale.len() != n {
+                return Err(format!(
+                    "ecn_scale has {} entries for {n} data classes",
+                    self.ecn_scale.len()
+                ));
+            }
+            if self.ecn_scale.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+                return Err("ecn_scale entries must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Full behavioural configuration of a simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -137,6 +294,10 @@ pub struct SimConfig {
     /// If set, per-flow goodput is accumulated into bins of this width
     /// (Figures 9a–9d, 13a, 14a).
     pub flow_throughput_bin: Option<Duration>,
+    /// Multi-class queueing: data-class count, egress scheduler, PIAS
+    /// tagging thresholds and per-class ECN scaling. The default reproduces
+    /// the paper's single-data-class deployment bit for bit.
+    pub queueing: QueueingConfig,
 }
 
 impl SimConfig {
@@ -173,6 +334,7 @@ impl SimConfig {
             trace_ports: Vec::new(),
             trace_interval: Duration::from_us(1),
             flow_throughput_bin: None,
+            queueing: QueueingConfig::legacy(),
         }
     }
 
@@ -241,6 +403,131 @@ mod tests {
         let dctcp = SimConfig::for_cc(CcAlgorithm::Dctcp(DctcpConfig::default()), LINE, RTT);
         assert_eq!(dctcp.ecn.unwrap().kmin_bytes, 300_000);
         assert!(!dctcp.cnp_enabled);
+    }
+
+    #[test]
+    fn queueing_legacy_tags_everything_into_class_zero() {
+        let q = QueueingConfig::legacy();
+        assert!(q.is_legacy());
+        q.validate().unwrap();
+        for prio in [
+            FlowPriority::Normal,
+            FlowPriority::LatencySensitive,
+            FlowPriority::Class(3),
+        ] {
+            for seq in [0, 1_000_000] {
+                assert_eq!(q.tag_class(prio, seq), 0);
+            }
+        }
+        // No ECN scaling: thresholds pass through untouched.
+        let base = EcnConfig::thresholds_kb(12, 50);
+        assert_eq!(q.class_ecn(&base, 0), base);
+    }
+
+    #[test]
+    fn pias_tagging_demotes_by_bytes_sent() {
+        let q = QueueingConfig {
+            data_classes: 3,
+            pias_thresholds: vec![100_000, 1_000_000],
+            ..QueueingConfig::legacy()
+        };
+        q.validate().unwrap();
+        assert!(!q.is_legacy());
+        // Tag ignores the static priority: PIAS is purely bytes-sent.
+        for prio in [FlowPriority::Normal, FlowPriority::LatencySensitive] {
+            assert_eq!(q.tag_class(prio, 0), 0);
+            assert_eq!(q.tag_class(prio, 99_999), 0);
+            assert_eq!(q.tag_class(prio, 100_000), 1);
+            assert_eq!(q.tag_class(prio, 999_999), 1);
+            assert_eq!(q.tag_class(prio, 1_000_000), 2);
+            assert_eq!(q.tag_class(prio, u64::MAX), 2);
+        }
+    }
+
+    #[test]
+    fn queueing_validation_rejects_malformed_configs() {
+        let base = QueueingConfig::legacy();
+        let cases = vec![
+            (
+                QueueingConfig {
+                    data_classes: 0,
+                    ..base.clone()
+                },
+                "data_classes",
+            ),
+            (
+                QueueingConfig {
+                    data_classes: 9,
+                    ..base.clone()
+                },
+                "data_classes",
+            ),
+            (
+                QueueingConfig {
+                    data_classes: 2,
+                    weights: vec![1, 2, 3],
+                    ..base.clone()
+                },
+                "weights",
+            ),
+            (
+                QueueingConfig {
+                    data_classes: 2,
+                    weights: vec![0, 1],
+                    ..base.clone()
+                },
+                ">= 1",
+            ),
+            (
+                QueueingConfig {
+                    data_classes: 3,
+                    pias_thresholds: vec![100],
+                    ..base.clone()
+                },
+                "thresholds",
+            ),
+            (
+                QueueingConfig {
+                    data_classes: 3,
+                    pias_thresholds: vec![200, 100],
+                    ..base.clone()
+                },
+                "increasing",
+            ),
+            (
+                QueueingConfig {
+                    data_classes: 2,
+                    ecn_scale: vec![1.0],
+                    ..base.clone()
+                },
+                "ecn_scale",
+            ),
+            (
+                QueueingConfig {
+                    data_classes: 2,
+                    ecn_scale: vec![1.0, -0.5],
+                    ..base.clone()
+                },
+                "positive",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err(&format!("{cfg:?} must fail"));
+            assert!(err.contains(needle), "{cfg:?} -> {err}");
+        }
+        // Per-class ECN scaling scales both thresholds, not pmax.
+        let scaled = QueueingConfig {
+            data_classes: 2,
+            ecn_scale: vec![1.0, 0.5],
+            ..base
+        };
+        scaled.validate().unwrap();
+        let b = EcnConfig::thresholds_kb(100, 400);
+        assert_eq!(scaled.class_ecn(&b, 0), b);
+        let half = scaled.class_ecn(&b, 1);
+        assert_eq!(half.kmin_bytes, 50_000);
+        assert_eq!(half.kmax_bytes, 200_000);
+        assert_eq!(half.pmax, b.pmax);
     }
 
     #[test]

@@ -94,7 +94,8 @@ pub struct Host {
     delay: Duration,
     ctrl_queue: VecDeque<Box<Packet>>,
     busy: bool,
-    data_paused: bool,
+    /// Per-data-class PFC pause state (legacy runs only ever toggle class 0).
+    paused_classes: [bool; Priority::MAX_DATA_CLASSES],
     pause_started: Option<SimTime>,
     /// NIC port counters (tx bytes, pause time, …).
     pub counters: PortCounters,
@@ -134,7 +135,7 @@ impl Host {
             delay: p.delay,
             ctrl_queue: VecDeque::with_capacity(16),
             busy: false,
-            data_paused: false,
+            paused_classes: [false; Priority::MAX_DATA_CLASSES],
             pause_started: None,
             counters: PortCounters::default(),
             flows: Vec::new(),
@@ -147,6 +148,25 @@ impl Host {
     /// Number of unfinished sender flows.
     pub fn active_flows(&self) -> usize {
         self.flows.iter().filter(|f| !f.finished).count()
+    }
+
+    fn any_data_paused(&self) -> bool {
+        self.paused_classes.iter().any(|&p| p)
+    }
+
+    /// True when every configured data class is paused (with one class this
+    /// is exactly the historical single `data_paused` flag).
+    fn all_data_paused(&self, cfg: &SimConfig) -> bool {
+        self.paused_classes[..cfg.queueing.data_classes as usize]
+            .iter()
+            .all(|&p| p)
+    }
+
+    /// The data class of the next packet flow `f` would emit (its head
+    /// retransmission, or the next new byte).
+    fn next_packet_class(f: &SenderFlow, cfg: &SimConfig) -> u8 {
+        let seq = f.rtx_queue.iter().next().copied().unwrap_or(f.snd_nxt);
+        cfg.queueing.tag_class(f.spec.priority, seq)
     }
 
     /// The current (window, rate) of a flow, if it exists (for tracing).
@@ -177,6 +197,7 @@ impl Host {
                 size: spec.size,
                 start: now,
                 finish: now,
+                prio: spec.priority.wire_code(),
             });
             return;
         }
@@ -330,14 +351,22 @@ impl Host {
     ) {
         match pkt.kind {
             PacketKind::Pfc { class, pause } => {
-                if class == Priority::DATA {
-                    if pause != self.data_paused {
-                        self.data_paused = pause;
-                        if pause {
+                if let Some(c) = class.class() {
+                    let c = c as usize;
+                    if self.paused_classes[c] != pause {
+                        // Pause counters cover the interval during which any
+                        // data class is blocked (identical to the historical
+                        // accounting when only class 0 exists).
+                        let was_any = self.any_data_paused();
+                        self.paused_classes[c] = pause;
+                        let is_any = self.any_data_paused();
+                        if !was_any && is_any {
                             self.pause_started = Some(now);
                             self.counters.pause_events += 1;
-                        } else if let Some(start) = self.pause_started.take() {
-                            self.counters.pause_duration += now.saturating_since(start);
+                        } else if was_any && !is_any {
+                            if let Some(start) = self.pause_started.take() {
+                                self.counters.pause_duration += now.saturating_since(start);
+                            }
                         }
                     }
                     if !pause {
@@ -485,6 +514,7 @@ impl Host {
                             size: flow.spec.size,
                             start: flow.spec.start,
                             finish: now,
+                            prio: flow.spec.priority.wire_code(),
                         });
                     }
                 }
@@ -546,16 +576,22 @@ impl Host {
         eff.kicks.push((self.id, PortId(0)));
     }
 
-    /// Round-robin pick of a flow that may transmit right now.
-    fn pick_flow(&mut self, now: SimTime) -> Option<usize> {
+    /// Round-robin pick of a flow that may transmit right now. A flow whose
+    /// next packet's data class is PFC-paused is skipped (moot on the legacy
+    /// path, where an all-classes pause returns before the pick).
+    fn pick_flow(&mut self, now: SimTime, cfg: &SimConfig) -> Option<usize> {
         let n = self.flows.len();
         if n == 0 {
             return None;
         }
+        let any_paused = self.any_data_paused();
         for k in 0..n {
             let idx = (self.rr_cursor + k) % n;
             let f = &self.flows[idx];
             if f.finished || !f.has_data_to_send() || !f.window_open() || f.next_avail > now {
+                continue;
+            }
+            if any_paused && self.paused_classes[Self::next_packet_class(f, cfg) as usize] {
                 continue;
             }
             self.rr_cursor = (idx + 1) % n;
@@ -585,10 +621,10 @@ impl Host {
             self.start_wire(now, pkt, cfg, eff);
             return;
         }
-        if self.data_paused {
+        if self.all_data_paused(cfg) {
             return;
         }
-        let Some(idx) = self.pick_flow(now) else {
+        let Some(idx) = self.pick_flow(now, cfg) else {
             // Nothing ready: if a flow is only waiting for its pacer, ask to
             // be woken at that instant.
             if let Some(t) = self.earliest_wake(now) {
@@ -614,6 +650,10 @@ impl Host {
             };
             let payload = (f.spec.size - seq).min(cfg.mtu_payload);
             let mut pkt = Packet::data(f.spec.id, f.spec.src, f.spec.dst, seq, payload, now);
+            // Stamp the data class: PIAS bytes-sent demotion or the static
+            // FlowPriority mapping (class 0 — Priority::DATA — on the
+            // legacy single-class path, which Packet::data already set).
+            pkt.priority = Priority::data_class(cfg.queueing.tag_class(f.spec.priority, seq));
             pkt.src_slot = idx as u32;
             pkt.dst_slot = f.dst_slot;
             if seq + payload >= f.spec.size {

@@ -4,10 +4,12 @@
 //! reproduce "HPCC: High Precision Congestion Control" (SIGCOMM 2019). It
 //! plays the role ns-3 plays in the paper's evaluation:
 //!
-//! * **switches** with a shared buffer, per-priority egress queues,
-//!   WRED/ECN marking, dynamic-threshold PFC (pause/resume frames), dynamic
-//!   drop thresholds for lossy configurations, destination-based ECMP and
-//!   INT stamping at dequeue (§4.1),
+//! * **switches** with a shared buffer, multi-class egress queues behind a
+//!   pluggable scheduler ([`sched`]: strict priority or DWRR; PIAS-style
+//!   dynamic demotion tags at the sender), WRED/ECN marking with per-class
+//!   thresholds, dynamic-threshold PFC (per-class pause/resume frames),
+//!   dynamic drop thresholds for lossy configurations, destination-based
+//!   ECMP and INT stamping at dequeue (§4.1),
 //! * **host NICs** with per-flow rate pacing and window limiting driven by a
 //!   pluggable congestion-control algorithm (`hpcc-cc`), per-packet ACKs
 //!   echoing INT, CNP generation for DCQCN, go-back-N and IRN-style loss
@@ -27,11 +29,12 @@ pub mod engine;
 pub mod host;
 pub mod output;
 pub mod rng;
+pub mod sched;
 pub mod switch;
 
 mod simulator;
 
-pub use config::{EcnConfig, FlowControlMode, SimConfig};
+pub use config::{EcnConfig, FlowControlMode, QueueingConfig, SchedulerKind, SimConfig};
 pub use engine::Event;
 pub use output::{FlowRecord, PortKey, SimOutput};
 pub use simulator::Simulator;

@@ -25,6 +25,10 @@ pub struct FlowRecord {
     pub start: SimTime,
     /// Time the sender received the acknowledgement of the last byte.
     pub finish: SimTime,
+    /// The flow's application priority as its wire code
+    /// ([`hpcc_types::FlowPriority::wire_code`]; 0 = normal) — the key of
+    /// the per-priority FCT breakdowns.
+    pub prio: u8,
 }
 
 impl FlowRecord {
@@ -77,10 +81,16 @@ pub struct SimOutput {
     /// Per-port counters.
     pub ports: HashMap<PortKey, PortCounters>,
     /// Histogram of sampled data-queue lengths across all switch egress
-    /// ports, in `queue_histogram_bin` byte bins.
+    /// ports, in `queue_histogram_bin` byte bins (total across data
+    /// classes, so single-class runs are unchanged by the class dimension).
     pub queue_histogram: Vec<u64>,
     /// Bin width of `queue_histogram` in bytes.
     pub queue_histogram_bin: u64,
+    /// Per-data-class queue histograms (same sampling instants and bin
+    /// width as `queue_histogram`), one per configured data class. Empty on
+    /// the legacy single-class path, so pre-existing outputs and digests
+    /// are untouched.
+    pub class_queue_histograms: Vec<Vec<u64>>,
     /// Time series of traced ports: `(port, samples of (time, qlen bytes))`.
     pub port_traces: HashMap<PortKey, Vec<(SimTime, u64)>>,
     /// Per-flow goodput series: bytes newly acknowledged in each bin.
@@ -123,6 +133,17 @@ impl SimOutput {
             self.queue_histogram.resize(bin + 1, 0);
         }
         self.queue_histogram[bin] += 1;
+    }
+
+    /// Record one sampled per-class queue length (multi-class runs only;
+    /// `class_queue_histograms` must have been sized by the simulator).
+    pub(crate) fn record_class_queue_sample(&mut self, class: usize, qlen_bytes: u64) {
+        let bin = (qlen_bytes / self.queue_histogram_bin.max(1)) as usize;
+        let hist = &mut self.class_queue_histograms[class];
+        if hist.len() <= bin {
+            hist.resize(bin + 1, 0);
+        }
+        hist[bin] += 1;
     }
 
     /// Record a PFC pause-frame emission (bounded).
@@ -186,7 +207,15 @@ impl SimOutput {
                 return Some(i as u64 * self.queue_histogram_bin);
             }
         }
-        Some((self.queue_histogram.len() as u64) * self.queue_histogram_bin)
+        // Out-of-range percentile (p > 100 after rounding): report the last
+        // *occupied* bin, not the histogram's trailing edge — trailing empty
+        // bins must not inflate the maximum (see hpcc_stats::queue).
+        let last = self
+            .queue_histogram
+            .iter()
+            .rposition(|&c| c != 0)
+            .unwrap_or(0);
+        Some(last as u64 * self.queue_histogram_bin)
     }
 }
 
@@ -203,6 +232,7 @@ mod tests {
             size: 1_000_000,
             start: SimTime::from_us(10),
             finish: SimTime::from_us(110),
+            prio: 0,
         };
         assert_eq!(r.fct(), Duration::from_us(100));
     }

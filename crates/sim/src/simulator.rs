@@ -65,7 +65,7 @@ impl Simulator {
             let id = NodeId(i as u32);
             let node = match topo.kind(id) {
                 NodeKind::Host => Node::Host(Host::new(id, topo.ports(id))),
-                NodeKind::Switch => Node::Switch(Switch::new(id, topo.ports(id), cfg.seed)),
+                NodeKind::Switch => Node::Switch(Switch::new(id, topo.ports(id), &cfg)),
             };
             nodes.push(node);
         }
@@ -76,7 +76,12 @@ impl Simulator {
         if !cfg.trace_ports.is_empty() {
             events.push(SimTime::ZERO + cfg.trace_interval, Event::TraceSample);
         }
-        let out = SimOutput::new(1024, cfg.flow_throughput_bin.unwrap_or(Duration::ZERO));
+        let mut out = SimOutput::new(1024, cfg.flow_throughput_bin.unwrap_or(Duration::ZERO));
+        // Per-class histograms exist only on the multi-class path, so the
+        // legacy single-class output (and its digest) is byte-identical.
+        if cfg.queueing.data_classes > 1 {
+            out.class_queue_histograms = vec![Vec::new(); cfg.queueing.data_classes as usize];
+        }
         let node_count = topo.node_count();
         Simulator {
             time: SimTime::ZERO,
@@ -181,10 +186,19 @@ impl Simulator {
                 }
             }
             Event::Sample => {
+                let classes = self.cfg.queueing.data_classes;
                 for node in &self.nodes {
                     if let Node::Switch(s) = node {
                         for port in s.ports() {
                             self.out.record_queue_sample(port.data_queue_bytes());
+                            if classes > 1 {
+                                for c in 0..classes {
+                                    self.out.record_class_queue_sample(
+                                        c as usize,
+                                        port.class_queue_bytes(c),
+                                    );
+                                }
+                            }
                         }
                     }
                 }

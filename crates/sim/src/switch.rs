@@ -1,25 +1,32 @@
-//! The switch model: shared buffer, per-priority egress queues, ECN/WRED
-//! marking, dynamic-threshold PFC, lossy drops, destination-based ECMP and
-//! INT stamping at dequeue.
+//! The switch model: shared buffer, per-priority egress queues behind a
+//! pluggable scheduler, ECN/WRED marking, dynamic-threshold PFC, lossy
+//! drops, destination-based ECMP and INT stamping at dequeue.
 //!
 //! The model follows the paper's deployment (§2.1, §4.1, §5.1):
 //!
-//! * two priority classes per egress port — class 0 for ACK/NACK/CNP/PFC
-//!   control traffic (strict priority, never paused, never dropped), class 1
-//!   for data,
+//! * class 0 of every egress port carries ACK/NACK/CNP/PFC control traffic
+//!   (strict priority, never paused, never dropped); classes
+//!   `1..=data_classes` carry data and are arbitrated by the configured
+//!   egress scheduler (strict priority or DWRR — see [`crate::sched`]). The
+//!   default single data class reproduces the paper's two-class deployment,
 //! * one shared buffer per switch; PFC pauses an upstream sender when the
-//!   bytes buffered from that ingress exceed a fraction of the *free*
-//!   buffer, and resumes below a hysteresis,
-//! * WRED-style ECN marking on the data class at enqueue,
-//! * in lossy configurations, data packets are dropped when the egress queue
-//!   exceeds the dynamic threshold (α = 1, footnote 6 of the paper),
+//!   bytes buffered from that ingress *in one data class* exceed a fraction
+//!   of the free buffer, and resumes below a hysteresis (per-class pause
+//!   frames; the control class is never paused),
+//! * WRED-style ECN marking on the data classes at enqueue, against each
+//!   class's (optionally scaled) thresholds,
+//! * in lossy configurations, data packets are dropped when their class's
+//!   egress queue exceeds the dynamic threshold (α = 1, footnote 6),
 //! * INT: when a data packet starts transmission the switch appends
-//!   `(B, ts, txBytes, qLen)` for that egress port (Figure 7).
+//!   `(B, ts, txBytes, qLen)` for that egress port (Figure 7); `qLen` is the
+//!   port's total data occupancy across classes, which an HPCC sender reacts
+//!   to regardless of which class queued the bytes.
 
 use crate::config::SimConfig;
 use crate::engine::{Effects, Event};
 use crate::output::{PfcEvent, PortCounters};
 use crate::rng::SplitMix64;
+use crate::sched::{ClassLane, Scheduler};
 use hpcc_topology::{PortDesc, TopologySpec};
 use hpcc_types::{
     Bandwidth, Duration, IntHopRecord, NodeId, Packet, PacketKind, PortId, Priority, SimTime,
@@ -62,39 +69,60 @@ pub struct SwitchPort {
     pause_started: Option<SimTime>,
     tx_bytes_cum: u64,
     rx_enqueued_cum: u64,
+    sched: Scheduler,
     /// Accumulated statistics for this egress.
     pub counters: PortCounters,
 }
 
 impl SwitchPort {
-    fn new(desc: &PortDesc) -> Self {
+    fn new(desc: &PortDesc, sched: Scheduler) -> Self {
         SwitchPort {
             peer_node: desc.peer_node,
             peer_port: desc.peer_port,
             bandwidth: desc.bandwidth,
             delay: desc.delay,
-            queues: [
-                VecDeque::with_capacity(CTRL_RING_CAPACITY),
-                VecDeque::with_capacity(DATA_RING_CAPACITY),
-            ],
+            // The control ring and the first data ring are pre-sized (the
+            // classes every run uses); additional data classes start empty
+            // and reach their high-water capacity on first use.
+            queues: std::array::from_fn(|i| match i {
+                0 => VecDeque::with_capacity(CTRL_RING_CAPACITY),
+                1 => VecDeque::with_capacity(DATA_RING_CAPACITY),
+                _ => VecDeque::new(),
+            }),
             queue_bytes: [0; Priority::COUNT],
             busy: false,
             paused: [false; Priority::COUNT],
             pause_started: None,
             tx_bytes_cum: 0,
             rx_enqueued_cum: 0,
+            sched,
             counters: PortCounters::default(),
         }
     }
 
-    /// Current data-class queue occupancy in bytes.
+    /// Current data occupancy of this egress in bytes, summed over all data
+    /// classes (with one data class: exactly that class's queue).
     pub fn data_queue_bytes(&self) -> u64 {
-        self.queue_bytes[Priority::DATA.index()]
+        self.queue_bytes[1..].iter().sum()
     }
 
-    /// Whether the data class of this egress is currently paused by PFC.
+    /// Current occupancy of one data class in bytes.
+    pub fn class_queue_bytes(&self, class: u8) -> u64 {
+        self.queue_bytes[Priority::data_class(class).index()]
+    }
+
+    /// Whether any data class of this egress is currently paused by PFC.
     pub fn is_paused(&self) -> bool {
-        self.paused[Priority::DATA.index()]
+        self.paused[1..].iter().any(|&p| p)
+    }
+
+    /// Whether one specific data class is paused.
+    pub fn is_class_paused(&self, class: u8) -> bool {
+        self.paused[Priority::data_class(class).index()]
+    }
+
+    fn any_data_paused(&self) -> bool {
+        self.paused[1..].iter().any(|&p| p)
     }
 
     fn set_paused(&mut self, now: SimTime, class: Priority, pause: bool) {
@@ -102,13 +130,20 @@ impl SwitchPort {
         if self.paused[idx] == pause {
             return;
         }
+        // Pause counters measure the interval during which *any* data class
+        // is blocked (with a single data class: exactly the old per-class
+        // accounting).
+        let was_any = self.any_data_paused();
         self.paused[idx] = pause;
-        if class == Priority::DATA {
-            if pause {
+        if class.is_data() {
+            let is_any = self.any_data_paused();
+            if !was_any && is_any {
                 self.pause_started = Some(now);
                 self.counters.pause_events += 1;
-            } else if let Some(start) = self.pause_started.take() {
-                self.counters.pause_duration += now.saturating_since(start);
+            } else if was_any && !is_any {
+                if let Some(start) = self.pause_started.take() {
+                    self.counters.pause_duration += now.saturating_since(start);
+                }
             }
         }
     }
@@ -132,18 +167,22 @@ pub struct Switch {
 }
 
 impl Switch {
-    /// Build a switch from its topology port descriptors.
-    pub fn new(id: NodeId, ports: &[PortDesc], seed: u64) -> Self {
+    /// Build a switch from its topology port descriptors; `cfg` supplies the
+    /// RNG seed and the egress scheduling discipline.
+    pub fn new(id: NodeId, ports: &[PortDesc], cfg: &SimConfig) -> Self {
         Switch {
             id,
             // 12-bit INT switch id; +1 so that the id is never zero and a
             // single-hop path always yields a non-trivial pathID.
             int_id: ((id.0 + 1) as u16) & 0x0fff,
-            ports: ports.iter().map(SwitchPort::new).collect(),
+            ports: ports
+                .iter()
+                .map(|p| SwitchPort::new(p, Scheduler::new(&cfg.queueing)))
+                .collect(),
             buffer_used: 0,
             ingress_bytes: vec![[0; Priority::COUNT]; ports.len()],
             pause_sent: vec![[false; Priority::COUNT]; ports.len()],
-            rng: SplitMix64::new(seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            rng: SplitMix64::new(cfg.seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)),
         }
     }
 
@@ -235,9 +274,11 @@ impl Switch {
             return;
         }
 
-        // ECN marking at enqueue (data class only).
+        // ECN marking at enqueue (data classes only), against the class's
+        // own — optionally scaled — thresholds.
         if is_data {
-            if let Some(ecn) = &cfg.ecn {
+            if let Some(base) = &cfg.ecn {
+                let ecn = cfg.queueing.class_ecn(base, class.class().unwrap_or(0));
                 let q = self.ports[egress.index()].queue_bytes[class.index()];
                 let mark = if q >= ecn.kmax_bytes {
                     true
@@ -265,11 +306,9 @@ impl Switch {
             });
             port.queue_bytes[class.index()] += wire;
             port.rx_enqueued_cum += wire;
-            if class == Priority::DATA {
-                port.counters.max_queue_bytes = port
-                    .counters
-                    .max_queue_bytes
-                    .max(port.queue_bytes[class.index()]);
+            if class.is_data() {
+                port.counters.max_queue_bytes =
+                    port.counters.max_queue_bytes.max(port.data_queue_bytes());
             }
         }
         self.buffer_used += wire;
@@ -277,7 +316,7 @@ impl Switch {
 
         // PFC: pause the upstream sender when this ingress class holds more
         // than the dynamic threshold.
-        if cfg.flow_control.pfc_enabled() && class == Priority::DATA {
+        if cfg.flow_control.pfc_enabled() && class.is_data() {
             let threshold = self.pause_threshold(cfg);
             if self.ingress_bytes[ingress.index()][class.index()] > threshold
                 && !self.pause_sent[ingress.index()][class.index()]
@@ -333,21 +372,32 @@ impl Switch {
         cfg: &SimConfig,
         eff: &mut Effects,
     ) {
-        // Select the next packet: strict priority, control first; the data
-        // class is skipped while paused.
+        // Select the next packet: control always first (never paused), then
+        // whichever data class the port's scheduler grants; paused classes
+        // are skipped (strict priority) or retain their credit (DWRR).
         let (entry, class) = {
             let port = &mut self.ports[port_id.index()];
             if port.busy {
                 return;
             }
             let ctrl = Priority::CONTROL.index();
-            let data = Priority::DATA.index();
             if !port.queues[ctrl].is_empty() {
                 (port.queues[ctrl].pop_front().unwrap(), Priority::CONTROL)
-            } else if !port.paused[data] && !port.queues[data].is_empty() {
-                (port.queues[data].pop_front().unwrap(), Priority::DATA)
             } else {
-                return;
+                let n = cfg.queueing.data_classes as usize;
+                let mut lanes = [ClassLane::default(); Priority::MAX_DATA_CLASSES];
+                for (c, lane) in lanes.iter_mut().enumerate().take(n) {
+                    let idx = c + 1;
+                    lane.head_wire = port.queues[idx].front().map(|e| e.wire);
+                    lane.paused = port.paused[idx];
+                }
+                match port.sched.pick(&lanes[..n]) {
+                    Some(c) => (
+                        port.queues[c + 1].pop_front().unwrap(),
+                        Priority::data_class(c as u8),
+                    ),
+                    None => return,
+                }
             }
         };
         let QueuedPacket {
@@ -370,7 +420,7 @@ impl Switch {
             // PFC resume once the ingress class drains below the threshold
             // minus the hysteresis.
             if cfg.flow_control.pfc_enabled()
-                && class == Priority::DATA
+                && class.is_data()
                 && self.pause_sent[ing.index()][class.index()]
             {
                 let threshold = self.pause_threshold(cfg);
@@ -392,7 +442,7 @@ impl Switch {
                     ts: now,
                     tx_bytes: port.tx_bytes_cum,
                     rx_bytes: port.rx_enqueued_cum,
-                    qlen: port.queue_bytes[Priority::DATA.index()],
+                    qlen: port.data_queue_bytes(),
                 },
             );
         }
@@ -422,7 +472,9 @@ impl Switch {
         for port in &mut self.ports {
             if let Some(start) = port.pause_started.take() {
                 port.counters.pause_duration += now.saturating_since(start);
-                port.paused[Priority::DATA.index()] = false;
+                for p in &mut port.paused[1..] {
+                    *p = false;
+                }
             }
         }
     }
@@ -461,7 +513,7 @@ mod tests {
 
     fn new_switch(topo: &TopologySpec) -> Switch {
         let sw_id = topo.switches()[0];
-        Switch::new(sw_id, topo.ports(sw_id), 1)
+        Switch::new(sw_id, topo.ports(sw_id), &cfg())
     }
 
     #[test]
@@ -716,7 +768,7 @@ mod tests {
         b.link(s1, tor2, LINE, Duration::from_us(1));
         b.link(h1, tor2, LINE, Duration::from_us(1));
         let topo = b.build();
-        let sw = Switch::new(tor, topo.ports(tor), 1);
+        let sw = Switch::new(tor, topo.ports(tor), &cfg());
         let candidates = topo.next_hops(tor, h1);
         assert_eq!(candidates.len(), 2);
         let mut uses = [0u32; 2];

@@ -93,6 +93,25 @@ impl FctAnalyzer {
         let v: Vec<f64> = flows.iter().map(|f| self.slowdown(f)).collect();
         Percentiles::of(&v)
     }
+
+    /// Slowdown percentiles per group key (e.g. the flow-priority wire
+    /// code), one entry per key present, ascending. The per-priority FCT
+    /// breakdowns of multi-class scheduling studies ride on this.
+    pub fn grouped(&self, flows: &[(u8, FlowFct)]) -> Vec<(u8, Option<Percentiles>)> {
+        let mut keys: Vec<u8> = flows.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter()
+            .map(|key| {
+                let v: Vec<f64> = flows
+                    .iter()
+                    .filter(|(k, _)| *k == key)
+                    .map(|(_, f)| self.slowdown(f))
+                    .collect();
+                (key, Percentiles::of(&v))
+            })
+            .collect()
+    }
 }
 
 /// A flow-size bucket (inclusive upper edge) with a display label.
@@ -312,5 +331,28 @@ mod tests {
         assert_eq!(s.count, 100);
         assert!((s.p50 - 50.0).abs() < 1.0);
         assert!(a.overall(&[]).is_none());
+    }
+
+    #[test]
+    fn grouped_summaries_split_by_key() {
+        let a = FctAnalyzer::new(LINE, RTT, true);
+        let slow = |mult: u64| FlowFct {
+            size: 1000,
+            fct: a.ideal_fct(1000) * mult,
+        };
+        // Mice (key 1) at 2x ideal, elephants (key 0) at 10x; key 7 unused
+        // keys never appear, keys come back ascending.
+        let flows = vec![(1, slow(2)), (0, slow(10)), (1, slow(2)), (0, slow(10))];
+        let groups = a.grouped(&flows);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[1].0, 1);
+        let g0 = groups[0].1.unwrap();
+        let g1 = groups[1].1.unwrap();
+        assert_eq!(g0.count, 2);
+        assert_eq!(g1.count, 2);
+        assert!(g0.p50 > g1.p50, "elephants slower than mice");
+        assert!((g1.p50 - 2.0).abs() < 0.1);
+        assert!(a.grouped(&[]).is_empty());
     }
 }

@@ -17,10 +17,14 @@ pub fn queue_cdf(histogram: &[u64], bin_width: u64) -> Vec<(u64, f64)> {
         acc += count;
         out.push((i as u64 * bin_width, acc as f64 / total as f64));
     }
-    // Make sure the CDF closes at 1.0 even if trailing bins were skipped.
-    if let Some(last) = out.last() {
+    // The loop visits every occupied bin, so the final point already sits
+    // on the last occupied bin's edge; if float rounding left its fraction
+    // short of 1.0, clamp it there. (Never append a closing point at
+    // `histogram.len() * bin_width`: trailing empty bins must not overstate
+    // the maximum queue length.)
+    if let Some(last) = out.last_mut() {
         if last.1 < 1.0 {
-            out.push(((histogram.len() as u64) * bin_width, 1.0));
+            last.1 = 1.0;
         }
     }
     out
@@ -43,7 +47,10 @@ pub fn queue_percentile(histogram: &[u64], bin_width: u64, p: f64) -> Option<u64
             return Some(i as u64 * bin_width);
         }
     }
-    Some(histogram.len() as u64 * bin_width)
+    // Defensive fallback (float rounding pushed `target` past `total`):
+    // report the last occupied bin, never the histogram's trailing edge —
+    // trailing empty bins must not inflate the maximum.
+    Some(histogram.iter().rposition(|&c| c != 0).unwrap_or(0) as u64 * bin_width)
 }
 
 #[cfg(test)]
@@ -85,5 +92,33 @@ mod tests {
             assert!(w[0].1 <= w[1].1);
         }
         assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_empty_bins_never_inflate_the_closing_point() {
+        // Samples stop at bin 4; bins 5..=9 are empty tail (a histogram
+        // shape hand-built analyses produce; the simulator's own histograms
+        // only grow on occupancy). The CDF must close at bin 4's edge and
+        // the 100th percentile must report bin 4 — a closing point of
+        // `histogram.len() * bin_width` (bin 10) would overstate the
+        // maximum queue by 6 bins.
+        let mut h = vec![0u64; 10];
+        h[0] = 5;
+        h[4] = 5;
+        let cdf = queue_cdf(&h, 1000);
+        assert_eq!(cdf.last().unwrap().0, 4 * 1000, "{cdf:?}");
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(
+            cdf.iter().all(|&(x, _)| x <= 4 * 1000),
+            "no CDF point beyond the last occupied bin: {cdf:?}"
+        );
+        assert_eq!(queue_percentile(&h, 1000, 100.0), Some(4 * 1000));
+        // Percentiles above the clamp behave like 100 (never the tail).
+        assert_eq!(queue_percentile(&h, 1000, 250.0), Some(4 * 1000));
+        // All-in-bin-0 with an empty tail closes at 0.
+        let mut z = vec![0u64; 8];
+        z[0] = 3;
+        assert_eq!(queue_cdf(&z, 512), vec![(0, 1.0)]);
+        assert_eq!(queue_percentile(&z, 512, 100.0), Some(0));
     }
 }

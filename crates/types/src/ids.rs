@@ -19,24 +19,62 @@ pub struct FlowId(pub u64);
 
 /// Egress queue priority class.
 ///
-/// The reproduction uses two classes, matching the paper's deployment model:
-/// class 0 carries control traffic (ACK/NACK/CNP), class 1 carries data and
-/// is the class subject to PFC and ECN.
+/// Class 0 carries control traffic (ACK/NACK/CNP/PFC) and is served at
+/// strict priority, never paused and never ECN-marked — the paper's
+/// deployment invariant. Classes `1..=MAX_DATA_CLASSES` are *data* classes:
+/// data class `c` travels in `Priority(1 + c)` and is subject to ECN and
+/// PFC. The default configuration uses a single data class (class 0, i.e.
+/// [`Priority::DATA`]), reproducing the paper's two-class deployment; the
+/// scheduling subsystem opens the remaining classes for SP/DWRR/PIAS
+/// multi-queue studies.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Priority(pub u8);
 
 impl Priority {
     /// Control traffic class (ACKs, NACKs, CNPs) — served first, never paused.
     pub const CONTROL: Priority = Priority(0);
-    /// Data traffic class — subject to ECN marking and PFC.
+    /// The first (highest-priority) data class — the only data class in the
+    /// paper's deployment, subject to ECN marking and PFC.
     pub const DATA: Priority = Priority(1);
-    /// Number of priority classes modelled.
-    pub const COUNT: usize = 2;
+    /// Maximum number of data classes a switch egress can schedule.
+    pub const MAX_DATA_CLASSES: usize = 4;
+    /// Number of priority classes modelled (control + data classes).
+    pub const COUNT: usize = 1 + Self::MAX_DATA_CLASSES;
+
+    /// The priority carrying data class `class` (0-based, highest first).
+    ///
+    /// # Panics
+    /// Panics if `class >= MAX_DATA_CLASSES`.
+    #[inline]
+    pub fn data_class(class: u8) -> Priority {
+        assert!(
+            (class as usize) < Self::MAX_DATA_CLASSES,
+            "data class {class} out of range"
+        );
+        Priority(1 + class)
+    }
 
     /// The index of this priority in per-class arrays.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// True for data classes (everything except [`Priority::CONTROL`]).
+    #[inline]
+    pub fn is_data(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The 0-based data-class number of a data priority (`None` for
+    /// control).
+    #[inline]
+    pub fn class(self) -> Option<u8> {
+        if self.is_data() {
+            Some(self.0 - 1)
+        } else {
+            None
+        }
     }
 }
 
@@ -93,7 +131,20 @@ mod tests {
     fn priority_constants() {
         assert_eq!(Priority::CONTROL.index(), 0);
         assert_eq!(Priority::DATA.index(), 1);
-        assert_eq!(Priority::COUNT, 2);
+        assert_eq!(Priority::COUNT, 1 + Priority::MAX_DATA_CLASSES);
+        assert_eq!(Priority::data_class(0), Priority::DATA);
+        assert_eq!(Priority::data_class(3), Priority(4));
+        assert!(!Priority::CONTROL.is_data());
+        assert!(Priority::DATA.is_data());
+        assert_eq!(Priority::CONTROL.class(), None);
+        assert_eq!(Priority::DATA.class(), Some(0));
+        assert_eq!(Priority::data_class(2).class(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn data_class_out_of_range_panics() {
+        Priority::data_class(Priority::MAX_DATA_CLASSES as u8);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::cdf::FlowSizeCdf;
 use crate::locality::PairSampler;
+use crate::priority::PrioritySpec;
 use hpcc_types::rng::SplitMix64;
 use hpcc_types::{Bandwidth, Duration, FlowId, FlowSpec, NodeId, SimTime};
 
@@ -33,6 +34,7 @@ pub struct LoadGenerator {
     seed: u64,
     next_flow_id: u64,
     pairs: PairSampler,
+    priority: PrioritySpec,
 }
 
 impl LoadGenerator {
@@ -64,6 +66,7 @@ impl LoadGenerator {
             seed,
             next_flow_id: 0,
             pairs: PairSampler::Uniform { n },
+            priority: PrioritySpec::default(),
         }
     }
 
@@ -80,6 +83,15 @@ impl LoadGenerator {
     /// draw sequence is bit-compatible with the historical generator.
     pub fn with_pair_sampler(mut self, pairs: PairSampler) -> Self {
         self.pairs = pairs;
+        self
+    }
+
+    /// Install a priority-assignment stage ([`PrioritySpec`]). Priorities
+    /// are a pure function of each flow's size, assigned after generation,
+    /// so the flow list itself (ids, endpoints, sizes, starts) is
+    /// bit-identical to the untagged workload.
+    pub fn with_priority(mut self, priority: PrioritySpec) -> Self {
+        self.priority = priority;
         self
     }
 
@@ -119,6 +131,7 @@ impl LoadGenerator {
                 SimTime::ZERO + Duration::from_secs_f64(t),
             ));
         }
+        self.priority.assign(&mut flows);
         flows
     }
 }
@@ -258,6 +271,36 @@ mod tests {
                 "flow {f:?} crossed racks"
             );
         }
+    }
+
+    #[test]
+    fn priority_stage_tags_without_perturbing_the_flow_list() {
+        use crate::priority::PrioritySpec;
+        use hpcc_types::FlowPriority;
+        let make = |prio: PrioritySpec| {
+            LoadGenerator::new(hosts(8), Bandwidth::from_gbps(25), 0.3, websearch(), 7)
+                .with_priority(prio)
+                .generate(Duration::from_ms(20))
+        };
+        let plain = make(PrioritySpec::default());
+        let tagged = make(PrioritySpec::ShortFlows { threshold: 30_000 });
+        assert_eq!(plain.len(), tagged.len());
+        let mut mice = 0;
+        for (p, t) in plain.iter().zip(&tagged) {
+            // Everything but the tag is bit-identical.
+            assert_eq!(
+                (p.id, p.src, p.dst, p.size, p.start),
+                (t.id, t.src, t.dst, t.size, t.start)
+            );
+            let expect = if t.size < 30_000 {
+                mice += 1;
+                FlowPriority::LatencySensitive
+            } else {
+                FlowPriority::Normal
+            };
+            assert_eq!(t.priority, expect);
+        }
+        assert!(mice > 0, "WebSearch draws must contain mice");
     }
 
     #[test]

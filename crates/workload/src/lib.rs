@@ -13,6 +13,9 @@
 //! * [`locality`] — the pair samplers: uniform (the paper's default),
 //!   rack-level locality matrices ([`LocalitySpec`]) and Zipf heavy-hitter
 //!   skew ([`SkewSpec`]), selected by a plain-data [`PairSpec`],
+//! * [`priority`] — the priority-assignment stage ([`PrioritySpec`]): tag
+//!   generated flows (uniformly or mice-vs-elephants by size) for the
+//!   switch scheduling subsystem, without perturbing a single RNG draw,
 //! * [`incast()`] / [`IncastGenerator`] — the N-to-1 bursts used throughout
 //!   §5.2–§5.4 (e.g. 60-to-1 of 500 KB in Figure 11),
 //! * [`trace`] — flow traces as reproducible artifacts: a dependency-free
@@ -30,10 +33,12 @@ pub mod cdf;
 pub mod generator;
 pub mod incast;
 pub mod locality;
+pub mod priority;
 pub mod trace;
 
 pub use cdf::{fb_hadoop, fixed_size, websearch, FlowSizeCdf};
 pub use generator::LoadGenerator;
 pub use incast::{incast, IncastGenerator};
 pub use locality::{LocalityError, LocalitySpec, PairSampler, PairSpec, SkewSpec};
+pub use priority::PrioritySpec;
 pub use trace::{Trace, TraceError, TraceRecord, TraceSpec};

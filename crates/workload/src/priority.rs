@@ -1,0 +1,105 @@
+//! The priority-assignment stage of the workload pipeline.
+//!
+//! Generators produce flows whose [`FlowPriority`] defaults to
+//! [`FlowPriority::Normal`]; a [`PrioritySpec`] rewrites the tags after
+//! generation. Assignment is a pure function of each flow's *size* (and the
+//! spec), so it perturbs no RNG draw: plugging a priority stage into an
+//! existing workload leaves the flow list — ids, endpoints, sizes, start
+//! times — bit-identical and only changes the tags the switch scheduling
+//! subsystem maps onto data classes.
+
+use hpcc_types::{FlowPriority, FlowSpec};
+
+/// How a generated workload tags its flows, as plain data (serializable in
+/// campaign manifests through `hpcc-core`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PrioritySpec {
+    /// Every flow keeps [`FlowPriority::Normal`] — the paper's single-class
+    /// deployment and the default.
+    #[default]
+    Normal,
+    /// Every flow gets the same explicit tag.
+    Uniform(FlowPriority),
+    /// Flows strictly smaller than `threshold` bytes are tagged
+    /// latency-sensitive (the "mice"), the rest stay normal — the classic
+    /// mice/elephant split driving SP/DWRR multi-queue studies.
+    ShortFlows {
+        /// Size in bytes below which a flow counts as a mouse.
+        threshold: u64,
+    },
+}
+
+impl PrioritySpec {
+    /// True for the default (leave-everything-normal) spec.
+    pub fn is_default(&self) -> bool {
+        *self == PrioritySpec::Normal
+    }
+
+    /// The tag a flow of `size` bytes receives.
+    pub fn tag(&self, size: u64) -> FlowPriority {
+        match *self {
+            PrioritySpec::Normal => FlowPriority::Normal,
+            PrioritySpec::Uniform(p) => p,
+            PrioritySpec::ShortFlows { threshold } => {
+                if size < threshold {
+                    FlowPriority::LatencySensitive
+                } else {
+                    FlowPriority::Normal
+                }
+            }
+        }
+    }
+
+    /// Rewrite the priorities of a generated flow list in place.
+    pub fn assign(&self, flows: &mut [FlowSpec]) {
+        if self.is_default() {
+            return;
+        }
+        for f in flows {
+            f.priority = self.tag(f.size);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_types::{FlowId, NodeId, SimTime};
+
+    fn flows(sizes: &[u64]) -> Vec<FlowSpec> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| FlowSpec::new(FlowId(i as u64), NodeId(0), NodeId(1), s, SimTime::ZERO))
+            .collect()
+    }
+
+    #[test]
+    fn default_leaves_flows_untouched() {
+        let mut f = flows(&[100, 1_000_000]);
+        let before = f.clone();
+        PrioritySpec::default().assign(&mut f);
+        assert_eq!(f, before);
+        assert!(PrioritySpec::Normal.is_default());
+    }
+
+    #[test]
+    fn uniform_tags_every_flow() {
+        let mut f = flows(&[100, 1_000_000]);
+        PrioritySpec::Uniform(FlowPriority::Class(2)).assign(&mut f);
+        assert!(f.iter().all(|x| x.priority == FlowPriority::Class(2)));
+    }
+
+    #[test]
+    fn short_flows_split_mice_from_elephants() {
+        let mut f = flows(&[100, 29_999, 30_000, 1_000_000]);
+        PrioritySpec::ShortFlows { threshold: 30_000 }.assign(&mut f);
+        assert_eq!(f[0].priority, FlowPriority::LatencySensitive);
+        assert_eq!(f[1].priority, FlowPriority::LatencySensitive);
+        assert_eq!(f[2].priority, FlowPriority::Normal);
+        assert_eq!(f[3].priority, FlowPriority::Normal);
+        // Only the tags moved: sizes, ids, starts are untouched.
+        assert_eq!(f[0].size, 100);
+        assert_eq!(f[3].id, FlowId(3));
+    }
+}

@@ -14,8 +14,10 @@
 //! simulator's picosecond timestamps survive *exactly* and a workload
 //! exported with [`Trace::from_flows`] and replayed with [`Trace::replay`]
 //! reproduces the identical per-flow tuples (and therefore identical
-//! campaign digests). `prio` is optional: `0` is [`FlowPriority::Normal`]
-//! (the default), `1` is [`FlowPriority::LatencySensitive`].
+//! campaign digests). `prio` is optional and carries the
+//! [`FlowPriority::wire_code`]: `0` is [`FlowPriority::Normal`] (the
+//! default), `1` is [`FlowPriority::LatencySensitive`], and `2 + c` is the
+//! explicit data class `c` ([`FlowPriority::Class`]).
 //!
 //! Malformed input never panics: every parse or replay failure is a typed
 //! [`TraceError`] carrying the 1-based line (or record) number.
@@ -139,7 +141,7 @@ impl Trace {
             out.push_str(&format_start_ns(r.start));
             out.push_str(&format!(",{},{},{}", r.src, r.dst, r.bytes));
             if r.prio != FlowPriority::Normal {
-                out.push_str(&format!(",{}", prio_code(r.prio)));
+                out.push_str(&format!(",{}", r.prio.wire_code()));
             }
             out.push('\n');
         }
@@ -156,7 +158,7 @@ impl Trace {
                 r.src,
                 r.dst,
                 r.bytes,
-                prio_code(r.prio)
+                r.prio.wire_code()
             ));
         }
         out
@@ -286,21 +288,21 @@ impl TraceSpec {
     }
 }
 
-fn prio_code(p: FlowPriority) -> u8 {
-    match p {
-        FlowPriority::Normal => 0,
-        FlowPriority::LatencySensitive => 1,
-    }
-}
+/// Largest valid priority code: `0` normal, `1` latency-sensitive,
+/// `2 + c` explicit data class `c` (see [`FlowPriority::wire_code`]).
+const MAX_PRIO_CODE: u64 = 1 + hpcc_types::Priority::MAX_DATA_CLASSES as u64;
 
 fn prio_from_code(code: u64, line: usize) -> Result<FlowPriority, TraceError> {
-    match code {
-        0 => Ok(FlowPriority::Normal),
-        1 => Ok(FlowPriority::LatencySensitive),
-        other => Err(TraceError::at(
+    if code <= MAX_PRIO_CODE {
+        Ok(FlowPriority::from_wire_code(code as u8))
+    } else {
+        Err(TraceError::at(
             line,
-            format!("unknown priority {other} (0 = normal, 1 = latency-sensitive)"),
-        )),
+            format!(
+                "unknown priority {code} (0 = normal, 1 = latency-sensitive, \
+                 2+c = data class c)"
+            ),
+        ))
     }
 }
 
