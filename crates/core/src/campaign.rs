@@ -274,6 +274,19 @@ fn run_one(spec: &ScenarioSpec) -> ScenarioResult {
     let class_queue_p99 = (0..results.out.class_queue_histograms.len())
         .map(|c| results.class_queue_percentile(c, 99.0))
         .collect();
+    let faults = (results.out.fault_events > 0).then(|| FaultSummary {
+        events: results.out.fault_events,
+        link_downtime_ps: results
+            .out
+            .link_downtime
+            .iter()
+            .map(|&(_, d)| d.as_ps())
+            .sum(),
+        dropped_bytes: results.out.fault_dropped_bytes,
+        dropped_packets: results.out.fault_dropped_packets,
+        goodput_during_faults: results.out.goodput_during_faults,
+        utilization_while_up: results.utilization_while_up(spec.topology.host_bw()),
+    });
     ScenarioResult {
         name: spec.name.clone(),
         scheme: spec.scheme_label(),
@@ -290,6 +303,7 @@ fn run_one(spec: &ScenarioSpec) -> ScenarioResult {
         flows_completed: results.out.flows.len(),
         prio_slowdown,
         class_queue_p99,
+        faults,
         digest: digest_output(&results.out),
         wall,
         results: Some(results),
@@ -362,6 +376,10 @@ pub struct ScenarioResult {
     /// 99th-percentile sampled queue length per data class, in class order.
     /// Empty on the legacy single-class path.
     pub class_queue_p99: Vec<Option<u64>>,
+    /// Fault-injection summary (`None` on fault-free runs, so legacy
+    /// results — and their canonical wire lines — are byte-identical to the
+    /// pre-fault era).
+    pub faults: Option<FaultSummary>,
     /// FNV-1a digest over the raw simulator output (flows, counters,
     /// histograms, traces) — equal digests mean bit-identical runs.
     pub digest: u64,
@@ -373,6 +391,28 @@ pub struct ScenarioResult {
     /// decoded from the JSONL wire format (the raw simulator output never
     /// crosses process boundaries — only the summary and digest do).
     pub results: Option<ExperimentResults>,
+}
+
+/// Per-scenario fault-injection observability: what the configured fault
+/// timeline actually did to the run. Attached to a [`ScenarioResult`] only
+/// when at least one fault transition was applied.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSummary {
+    /// Number of fault-timeline transitions applied.
+    pub events: u64,
+    /// Total administratively-down link time, summed over faulted links.
+    pub link_downtime_ps: u64,
+    /// Wire bytes lost to fault injection (down links in drop mode plus iid
+    /// losses on degraded links).
+    pub dropped_bytes: u64,
+    /// Packets lost to fault injection.
+    pub dropped_packets: u64,
+    /// Bytes newly acknowledged while at least one fault window was active
+    /// (goodput during the fault window).
+    pub goodput_during_faults: u64,
+    /// Average utilization over the host-seconds the NICs were up (see
+    /// [`ExperimentResults::utilization_while_up`]).
+    pub utilization_while_up: f64,
 }
 
 /// The outcome of one campaign: per-scenario results in scenario order.
@@ -536,6 +576,18 @@ pub fn digest_output(out: &SimOutput) -> u64 {
                 d.write(count);
             }
         }
+    }
+    if out.fault_events > 0 {
+        d.write(0x6661756c); // section marker: "faul"
+        d.write(out.fault_events);
+        for &(link, downtime) in &out.link_downtime {
+            d.write(link as u64);
+            d.write(downtime.as_ps());
+        }
+        d.write(out.fault_dropped_bytes);
+        d.write(out.fault_dropped_packets);
+        d.write(out.goodput_during_faults);
+        d.write(out.host_nic_downtime.as_ps());
     }
     d.finish()
 }

@@ -185,6 +185,23 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attach a fault-injection plan (link outages/flaps, degraded links,
+    /// straggler hosts). The default is a healthy network — and a run
+    /// bit-identical to a build without the fault machinery.
+    ///
+    /// # Panics
+    /// Panics when the plan references links or hosts the topology lacks or
+    /// violates a window invariant — the fallible path is a
+    /// [`crate::FaultSpec`] on a scenario, whose `try_build` surfaces the
+    /// same violations as typed [`crate::BuildError`]s.
+    pub fn faults(mut self, faults: hpcc_sim::FaultConfig) -> Self {
+        faults
+            .validate(self.topo.links().len(), self.topo.hosts().len())
+            .unwrap_or_else(|e| panic!("invalid fault config: {e}"));
+        self.cfg.faults = Some(faults);
+        self
+    }
+
     /// Override the base RTT handed to the congestion-control algorithms
     /// (and the timers derived from it).
     pub fn base_rtt(mut self, rtt: Duration) -> Self {
@@ -393,6 +410,20 @@ impl ExperimentResults {
             return 0.0;
         }
         (bytes as f64 * 8.0) / (secs * self.host_count as f64 * host_bw.as_bps() as f64)
+    }
+
+    /// [`ExperimentResults::average_utilization`] with the denominator
+    /// reduced by the host-NIC downtime fault injection imposed: goodput is
+    /// divided by the host-seconds the NICs were actually *up*. On a
+    /// fault-free run (zero downtime) this equals the legacy figure exactly.
+    pub fn utilization_while_up(&self, host_bw: Bandwidth) -> f64 {
+        let bytes: u64 = self.out.flows.iter().map(|f| f.size).sum();
+        let host_secs = self.out.elapsed.as_secs_f64() * self.host_count as f64
+            - self.out.host_nic_downtime.as_secs_f64();
+        if host_secs <= 0.0 {
+            return 0.0;
+        }
+        (bytes as f64 * 8.0) / (host_secs * host_bw.as_bps() as f64)
     }
 }
 

@@ -36,10 +36,10 @@ pub mod report;
 pub mod scenario;
 pub mod wire;
 
-pub use campaign::{Campaign, CampaignReport, ScenarioResult, ShardPlan};
+pub use campaign::{Campaign, CampaignReport, FaultSummary, ScenarioResult, ShardPlan};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentResults};
 pub use presets::SCHEME_SET_FIG11;
 pub use scenario::{
-    BuildError, CcSpec, CdfSpec, FlowDecl, MeasurementSpec, QueueingSpec, ScenarioSpec,
+    BuildError, CcSpec, CdfSpec, FaultSpec, FlowDecl, MeasurementSpec, QueueingSpec, ScenarioSpec,
     SchedulerSpec, TopologyChoice, WorkloadSpec,
 };

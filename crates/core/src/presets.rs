@@ -10,11 +10,11 @@
 
 use crate::campaign::Campaign;
 use crate::scenario::{
-    CcSpec, CdfSpec, FlowDecl, QueueingSpec, ScenarioSpec, TopologyChoice, WorkloadSpec,
+    CcSpec, CdfSpec, FaultSpec, FlowDecl, QueueingSpec, ScenarioSpec, TopologyChoice, WorkloadSpec,
 };
 use hpcc_cc::{CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, TimelyConfig};
-use hpcc_sim::{EcnConfig, FlowControlMode};
-use hpcc_topology::{FatTreeParams, TopologySpec};
+use hpcc_sim::{DegradedLink, EcnConfig, FlowControlMode, LinkDownMode, LinkFault, StragglerHost};
+use hpcc_topology::{FatTreeParams, NodeKind, TopologySpec};
 use hpcc_types::{Bandwidth, Duration, NodeId, PortId};
 use hpcc_workload::{LocalitySpec, PairSpec, PrioritySpec, SkewSpec};
 
@@ -392,6 +392,148 @@ pub fn fattree_pias_sweep(
     Campaign::from_scenarios(scenarios)
 }
 
+/// The first switch–switch (fabric) link of a topology, by index into
+/// [`TopologySpec::links`]. The fault presets flap or degrade this link so
+/// the faulted element is a deterministic function of the topology alone —
+/// on the Clos fabrics it is a ToR uplink, the oversubscribed tier where a
+/// failure hurts the most.
+pub fn first_fabric_link(topo: &TopologySpec) -> usize {
+    topo.links()
+        .iter()
+        .position(|l| {
+            matches!(topo.kind(l.a), NodeKind::Switch) && matches!(topo.kind(l.b), NodeKind::Switch)
+        })
+        .expect("topology has no switch-switch link")
+}
+
+/// A link-flap sweep on the Clos fabric: one scenario per flap count, with
+/// the first fabric uplink (see [`first_fabric_link`]) going down for 4% of
+/// the horizon starting at 20%, repeating every 10% of the horizon. Pause
+/// mode holds frames at the egress while the link is down, so each outage is
+/// a burst of head-of-line blocking — and, because routing stays static, the
+/// ECMP paths crossing the link blackhole until it returns. Everything else
+/// (scheme, seed, load, trace) is held fixed, so the sweep isolates how much
+/// FCT/pause damage each additional flap inflicts.
+pub fn fattree_linkflap_sweep(
+    cc: impl Into<CcSpec> + Clone,
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    flap_counts: &[u32],
+    seed: u64,
+) -> Campaign {
+    let link = first_fabric_link(&TopologyChoice::FatTree(params).build());
+    Campaign::from_scenarios(
+        flap_counts
+            .iter()
+            .map(|&flaps| {
+                fattree_fb_hadoop(
+                    format!("linkflap x{}", flaps as u64 + 1),
+                    cc.clone(),
+                    params,
+                    load,
+                    end,
+                    false,
+                    FlowControlMode::Lossless,
+                    seed,
+                )
+                .with_faults(FaultSpec::new().with_link_fault(LinkFault {
+                    link,
+                    at: end.mul_f64(0.2),
+                    down_for: end.mul_f64(0.04),
+                    flaps,
+                    period: end.mul_f64(0.1),
+                    mode: LinkDownMode::Pause,
+                }))
+            })
+            .collect(),
+    )
+}
+
+/// The Figure 11 matrix under a degraded fabric link: the six-scheme set on
+/// the Clos fabric, every scenario carrying one identical fault timeline —
+/// the first fabric uplink gains 5 µs of extra latency and 1% iid loss over
+/// the middle half of the run. The fabric runs IRN (lossy, selective
+/// retransmission) so the loss is recovered rather than fatal, and the only
+/// variable across scenarios is the congestion-control scheme: how each one
+/// misreads fault loss/delay as congestion is exactly what separates them.
+pub fn degraded_link_cc_matrix(
+    params: FatTreeParams,
+    load: f64,
+    end: Duration,
+    seed: u64,
+) -> Campaign {
+    let link = first_fabric_link(&TopologyChoice::FatTree(params).build());
+    let faults = FaultSpec::new().with_degraded_link(DegradedLink {
+        link,
+        from: end.mul_f64(0.25),
+        until: end.mul_f64(0.75),
+        extra_delay: Duration::from_us(5),
+        loss: 0.01,
+    });
+    Campaign::from_scenarios(
+        SCHEME_SET_FIG11
+            .iter()
+            .map(|label| {
+                fattree_fb_hadoop(
+                    format!("degraded {label}"),
+                    CcSpec::by_label(*label),
+                    params,
+                    load,
+                    end,
+                    false,
+                    FlowControlMode::LossyIrn,
+                    seed,
+                )
+                .with_faults(faults.clone())
+            })
+            .collect(),
+    )
+}
+
+/// The CI fault smoke: a two-scenario campaign on the small Clos fabric —
+/// one link flap (pause mode, one extra cycle) and one straggler host whose
+/// NIC drops to 40% rate over the middle of the run. Small enough to run in
+/// seconds, faulty enough to exercise every fault path end to end.
+pub fn fault_smoke(params: FatTreeParams, load: f64, end: Duration, seed: u64) -> Campaign {
+    let link = first_fabric_link(&TopologyChoice::FatTree(params).build());
+    let base = |name: &str, faults: FaultSpec| {
+        fattree_fb_hadoop(
+            name,
+            CcSpec::by_label("HPCC"),
+            params,
+            load,
+            end,
+            false,
+            FlowControlMode::Lossless,
+            seed,
+        )
+        .with_faults(faults)
+    };
+    Campaign::from_scenarios(vec![
+        base(
+            "smoke linkflap",
+            FaultSpec::new().with_link_fault(LinkFault {
+                link,
+                at: end.mul_f64(0.2),
+                down_for: end.mul_f64(0.05),
+                flaps: 1,
+                period: end.mul_f64(0.15),
+                mode: LinkDownMode::Pause,
+            }),
+        ),
+        base(
+            "smoke straggler",
+            FaultSpec::new().with_straggler(StragglerHost {
+                host: 0,
+                from: end.mul_f64(0.25),
+                until: end.mul_f64(0.75),
+                rate_factor: 0.4,
+            }),
+        ),
+    ])
+}
+
 /// A scheduler comparison under a mice/elephant priority mix: the same
 /// FB_Hadoop background load, with flows below `mice_threshold` bytes tagged
 /// latency-sensitive, run through (a) the legacy single queue, (b) strict
@@ -646,6 +788,62 @@ mod tests {
         // The sweep serializes into a manifest and back.
         let back = Campaign::from_json_str(&skew.to_json_string()).unwrap();
         assert_eq!(back, skew);
+    }
+
+    #[test]
+    fn fault_presets_declare_identical_timelines() {
+        let params = FatTreeParams::small();
+        let topo = TopologyChoice::FatTree(params).build();
+        let link = first_fabric_link(&topo);
+        assert!(matches!(topo.kind(topo.links()[link].a), NodeKind::Switch));
+        assert!(matches!(topo.kind(topo.links()[link].b), NodeKind::Switch));
+
+        let sweep = fattree_linkflap_sweep(
+            CcSpec::by_label("HPCC"),
+            params,
+            0.3,
+            Duration::from_ms(2),
+            &[0, 2],
+            9,
+        );
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep.scenarios()[0].name, "linkflap x1");
+        assert_eq!(sweep.scenarios()[1].name, "linkflap x3");
+        for spec in sweep.scenarios() {
+            let faults = spec.faults.as_ref().unwrap();
+            assert_eq!(faults.link_faults[0].link, link);
+            assert_eq!(faults.link_faults[0].mode, LinkDownMode::Pause);
+            // Every point resolves into a runnable experiment.
+            assert!(spec.try_build().is_ok());
+        }
+
+        let matrix = degraded_link_cc_matrix(params, 0.3, Duration::from_ms(2), 9);
+        assert_eq!(matrix.len(), SCHEME_SET_FIG11.len());
+        let reference = matrix.scenarios()[0].faults.clone().unwrap();
+        for (spec, label) in matrix.scenarios().iter().zip(SCHEME_SET_FIG11) {
+            assert_eq!(spec.scheme_label(), label);
+            // The fault timeline is bit-identical across all six schemes.
+            assert_eq!(spec.faults.as_ref(), Some(&reference));
+            assert_eq!(spec.flow_control, FlowControlMode::LossyIrn);
+        }
+
+        let smoke = fault_smoke(params, 0.2, Duration::from_ms(1), 3);
+        assert_eq!(smoke.len(), 2);
+        assert!(!smoke.scenarios()[0]
+            .faults
+            .as_ref()
+            .unwrap()
+            .link_faults
+            .is_empty());
+        assert!(!smoke.scenarios()[1]
+            .faults
+            .as_ref()
+            .unwrap()
+            .stragglers
+            .is_empty());
+        // The campaign serializes into a manifest and back.
+        let back = Campaign::from_json_str(&smoke.to_json_string()).unwrap();
+        assert_eq!(back, smoke);
     }
 
     #[test]

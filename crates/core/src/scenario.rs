@@ -20,8 +20,10 @@
 use crate::experiment::{Experiment, ExperimentBuilder, ExperimentResults, MTU_WIRE_SIZE};
 use crate::json::{obj, JsonError, JsonValue};
 use crate::presets::scheme_by_label;
-use hpcc_cc::{CcAlgorithm, DcqcnConfig, HpccConfig, HpccReactionMode};
-use hpcc_sim::{EcnConfig, FlowControlMode};
+use hpcc_cc::{CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, HpccReactionMode, TimelyConfig};
+use hpcc_sim::{
+    DegradedLink, EcnConfig, FaultConfig, FlowControlMode, LinkDownMode, LinkFault, StragglerHost,
+};
 use hpcc_topology::{
     dumbbell, fat_tree, leaf_spine, star, testbed_pod, FatTreeParams, TopologySpec,
 };
@@ -186,6 +188,29 @@ pub enum CcSpec {
         /// Rate-decrease minimum interval `Td`.
         td: Duration,
     },
+    /// TIMELY with explicit gradient-band parameters (sweeps over the
+    /// `Tlow`/`Thigh` thresholds, the multiplicative-decrease factor and the
+    /// HAI threshold); the remaining fields keep the recommended defaults
+    /// for the line rate and base RTT.
+    Timely {
+        /// Add the paper's window bound (the "TIMELY+win" variant).
+        window: bool,
+        /// Gradient band lower RTT threshold `Tlow`.
+        t_low: Duration,
+        /// Gradient band upper RTT threshold `Thigh`.
+        t_high: Duration,
+        /// Multiplicative decrease factor `beta`.
+        beta: f64,
+        /// Completion events of negative gradient before hyper-active
+        /// increase.
+        hai_threshold: u32,
+    },
+    /// DCTCP with an explicit ECN-fraction EWMA gain `g` (the convergence
+    /// sweep); everything else keeps the defaults.
+    Dctcp {
+        /// EWMA gain of the marked-fraction estimator.
+        g: f64,
+    },
 }
 
 impl CcSpec {
@@ -201,6 +226,9 @@ impl CcSpec {
             CcSpec::Label(l) => l.clone(),
             CcSpec::Hpcc(cfg) => CcAlgorithm::Hpcc(*cfg).label().to_string(),
             CcSpec::DcqcnTimers { .. } => "DCQCN".to_string(),
+            CcSpec::Timely { window: true, .. } => "TIMELY+win".to_string(),
+            CcSpec::Timely { window: false, .. } => "TIMELY".to_string(),
+            CcSpec::Dctcp { .. } => "DCTCP".to_string(),
         }
     }
 
@@ -213,6 +241,30 @@ impl CcSpec {
             CcSpec::DcqcnTimers { ti, td } => {
                 CcAlgorithm::Dcqcn(DcqcnConfig::vendor_default(line_rate).with_timers(*ti, *td))
             }
+            CcSpec::Timely {
+                window,
+                t_low,
+                t_high,
+                beta,
+                hai_threshold,
+            } => {
+                let cfg = TimelyConfig {
+                    t_low: *t_low,
+                    t_high: *t_high,
+                    beta: *beta,
+                    hai_threshold: *hai_threshold,
+                    ..TimelyConfig::recommended(line_rate, base_rtt)
+                };
+                if *window {
+                    CcAlgorithm::TimelyWin(cfg)
+                } else {
+                    CcAlgorithm::Timely(cfg)
+                }
+            }
+            CcSpec::Dctcp { g } => CcAlgorithm::Dctcp(DctcpConfig {
+                g: *g,
+                ..DctcpConfig::default()
+            }),
         }
     }
 }
@@ -661,6 +713,82 @@ impl QueueingSpec {
     }
 }
 
+/// The fault plan of a scenario, as plain data (JSON key `"faults"`;
+/// omitted from manifests ⇒ a healthy network: no timeline is allocated and
+/// every pre-existing manifest parses — and stays canonical — unchanged).
+///
+/// The three fault families are the simulator's own plain-data records
+/// ([`LinkFault`], [`DegradedLink`], [`StragglerHost`]), so a spec is
+/// sweepable exactly like any other scenario field: clone, mutate one knob,
+/// queue into a campaign. Resolution validates link/host indices and window
+/// shapes against the built topology and surfaces violations as typed
+/// [`BuildError`]s — malformed manifests never panic a worker.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Scheduled link outages / flaps.
+    pub link_faults: Vec<LinkFault>,
+    /// Degraded-link windows (added latency, iid loss).
+    pub degraded_links: Vec<DegradedLink>,
+    /// Straggler-host windows (reduced NIC rate).
+    pub stragglers: Vec<StragglerHost>,
+}
+
+impl FaultSpec {
+    /// An empty fault plan (attachable, but resolves to a healthy network).
+    pub fn new() -> Self {
+        FaultSpec::default()
+    }
+
+    /// A single outage of `link` at `at` lasting `down_for`, in `mode`.
+    pub fn link_down(link: usize, at: Duration, down_for: Duration, mode: LinkDownMode) -> Self {
+        FaultSpec::new().with_link_fault(LinkFault {
+            link,
+            at,
+            down_for,
+            flaps: 0,
+            period: Duration::ZERO,
+            mode,
+        })
+    }
+
+    /// Append a link outage / flap.
+    pub fn with_link_fault(mut self, f: LinkFault) -> Self {
+        self.link_faults.push(f);
+        self
+    }
+
+    /// Append a degraded-link window.
+    pub fn with_degraded_link(mut self, d: DegradedLink) -> Self {
+        self.degraded_links.push(d);
+        self
+    }
+
+    /// Append a straggler-host window.
+    pub fn with_straggler(mut self, s: StragglerHost) -> Self {
+        self.stragglers.push(s);
+        self
+    }
+
+    /// True when no fault of any kind is declared.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty() && self.degraded_links.is_empty() && self.stragglers.is_empty()
+    }
+
+    /// Resolve into the simulator's [`FaultConfig`], validating every link
+    /// and host index and every window shape against a topology with
+    /// `links` links and `hosts` hosts.
+    pub fn resolve(&self, links: usize, hosts: usize) -> Result<FaultConfig, BuildError> {
+        let cfg = FaultConfig {
+            link_faults: self.link_faults.clone(),
+            degraded_links: self.degraded_links.clone(),
+            stragglers: self.stragglers.clone(),
+        };
+        cfg.validate(links, hosts)
+            .map_err(|e| BuildError(format!("faults: {e}")))?;
+        Ok(cfg)
+    }
+}
+
 /// Measurement options of a scenario, as plain data.
 ///
 /// (Formerly named `TraceSpec`; renamed so that "trace" unambiguously means
@@ -707,6 +835,9 @@ pub struct ScenarioSpec {
     /// Multi-class switch queueing (`None` keeps the legacy single-class
     /// strict-priority path, bit-identically).
     pub queueing: Option<QueueingSpec>,
+    /// Fault injection plan (`None` keeps the healthy network,
+    /// bit-identically: no timeline is allocated).
+    pub faults: Option<FaultSpec>,
     /// Measurement options.
     pub trace: MeasurementSpec,
 }
@@ -731,6 +862,7 @@ impl ScenarioSpec {
             buffer_bytes: None,
             ecn: None,
             queueing: None,
+            faults: None,
             trace: MeasurementSpec::default(),
         }
     }
@@ -769,6 +901,13 @@ impl ScenarioSpec {
     /// thresholds, per-class ECN scaling).
     pub fn with_queueing(mut self, queueing: QueueingSpec) -> Self {
         self.queueing = Some(queueing);
+        self
+    }
+
+    /// Attach a fault-injection plan (link outages/flaps, degraded links,
+    /// straggler hosts).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -845,6 +984,10 @@ impl ScenarioSpec {
         }
         if let Some(q) = &self.queueing {
             b = b.queueing(q.resolve()?);
+        }
+        if let Some(f) = &self.faults {
+            let (links, hosts) = (b.topology().links().len(), b.topology().hosts().len());
+            b = b.faults(f.resolve(links, hosts)?);
         }
         if let Some(interval) = self.trace.queue_sample_interval {
             b = b.queue_sampling(interval);
@@ -936,6 +1079,9 @@ impl ScenarioSpec {
         if let Some(q) = &self.queueing {
             pairs.push(("queueing", queueing_to_json(q)));
         }
+        if let Some(f) = &self.faults {
+            pairs.push(("faults", faults_to_json(f)));
+        }
         pairs.push(("trace", trace_to_json(&self.trace)));
         obj(pairs)
     }
@@ -975,6 +1121,9 @@ impl ScenarioSpec {
         }
         if let Some(q) = v.get("queueing") {
             spec.queueing = Some(queueing_from_json(q)?);
+        }
+        if let Some(f) = v.get("faults") {
+            spec.faults = Some(faults_from_json(f)?);
         }
         if let Some(trace) = v.get("trace") {
             spec.trace = trace_from_json(trace)?;
@@ -1133,6 +1282,24 @@ fn cc_to_json(cc: &CcSpec) -> JsonValue {
             ("ti_ps", dur_json(*ti)),
             ("td_ps", dur_json(*td)),
         ]),
+        CcSpec::Timely {
+            window,
+            t_low,
+            t_high,
+            beta,
+            hai_threshold,
+        } => obj(vec![
+            ("kind", JsonValue::Str("Timely".into())),
+            ("window", JsonValue::Bool(*window)),
+            ("t_low_ps", dur_json(*t_low)),
+            ("t_high_ps", dur_json(*t_high)),
+            ("beta", JsonValue::Float(*beta)),
+            ("hai_threshold", JsonValue::UInt(*hai_threshold as u64)),
+        ]),
+        CcSpec::Dctcp { g } => obj(vec![
+            ("kind", JsonValue::Str("Dctcp".into())),
+            ("g", JsonValue::Float(*g)),
+        ]),
     }
 }
 
@@ -1155,6 +1322,22 @@ fn cc_from_json(v: &JsonValue) -> Result<CcSpec, JsonError> {
         "DcqcnTimers" => Ok(CcSpec::DcqcnTimers {
             ti: dur_from(v.require("ti_ps")?)?,
             td: dur_from(v.require("td_ps")?)?,
+        }),
+        "Timely" => Ok(CcSpec::Timely {
+            window: v.require("window")?.as_bool()?,
+            t_low: dur_from(v.require("t_low_ps")?)?,
+            t_high: dur_from(v.require("t_high_ps")?)?,
+            beta: v.require("beta")?.as_f64()?,
+            hai_threshold: {
+                let t = v.require("hai_threshold")?.as_u64()?;
+                if t > u32::MAX as u64 {
+                    return Err(JsonError(format!("hai_threshold {t} out of range")));
+                }
+                t as u32
+            },
+        }),
+        "Dctcp" => Ok(CcSpec::Dctcp {
+            g: v.require("g")?.as_f64()?,
         }),
         other => Err(JsonError(format!("unknown cc kind {other:?}"))),
     }
@@ -1534,6 +1717,118 @@ fn queueing_from_json(v: &JsonValue) -> Result<QueueingSpec, JsonError> {
         scheduler,
         ecn_scale,
     })
+}
+
+fn faults_to_json(f: &FaultSpec) -> JsonValue {
+    let mut fields = Vec::new();
+    if !f.link_faults.is_empty() {
+        fields.push((
+            "links",
+            JsonValue::Array(
+                f.link_faults
+                    .iter()
+                    .map(|f| {
+                        obj(vec![
+                            ("link", JsonValue::UInt(f.link as u64)),
+                            ("at_ps", dur_json(f.at)),
+                            ("down_for_ps", dur_json(f.down_for)),
+                            ("flaps", JsonValue::UInt(f.flaps as u64)),
+                            ("period_ps", dur_json(f.period)),
+                            ("mode", JsonValue::Str(f.mode.label().into())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !f.degraded_links.is_empty() {
+        fields.push((
+            "degraded",
+            JsonValue::Array(
+                f.degraded_links
+                    .iter()
+                    .map(|d| {
+                        obj(vec![
+                            ("link", JsonValue::UInt(d.link as u64)),
+                            ("from_ps", dur_json(d.from)),
+                            ("until_ps", dur_json(d.until)),
+                            ("extra_delay_ps", dur_json(d.extra_delay)),
+                            ("loss", JsonValue::Float(d.loss)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !f.stragglers.is_empty() {
+        fields.push((
+            "stragglers",
+            JsonValue::Array(
+                f.stragglers
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("host", JsonValue::UInt(s.host as u64)),
+                            ("from_ps", dur_json(s.from)),
+                            ("until_ps", dur_json(s.until)),
+                            ("rate_factor", JsonValue::Float(s.rate_factor)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    obj(fields)
+}
+
+fn faults_from_json(v: &JsonValue) -> Result<FaultSpec, JsonError> {
+    let mut spec = FaultSpec::new();
+    if let Some(links) = v.get("links") {
+        for f in links.as_array()? {
+            spec.link_faults.push(LinkFault {
+                link: f.require("link")?.as_usize()?,
+                at: dur_from(f.require("at_ps")?)?,
+                down_for: dur_from(f.require("down_for_ps")?)?,
+                flaps: {
+                    let n = f.require("flaps")?.as_u64()?;
+                    if n > u32::MAX as u64 {
+                        return Err(JsonError(format!("flap count {n} out of range")));
+                    }
+                    n as u32
+                },
+                period: dur_from(f.require("period_ps")?)?,
+                mode: match f.require("mode")?.as_str()? {
+                    "Drop" => LinkDownMode::Drop,
+                    "Pause" => LinkDownMode::Pause,
+                    other => {
+                        return Err(JsonError(format!("unknown link-down mode {other:?}")));
+                    }
+                },
+            });
+        }
+    }
+    if let Some(degraded) = v.get("degraded") {
+        for d in degraded.as_array()? {
+            spec.degraded_links.push(DegradedLink {
+                link: d.require("link")?.as_usize()?,
+                from: dur_from(d.require("from_ps")?)?,
+                until: dur_from(d.require("until_ps")?)?,
+                extra_delay: dur_from(d.require("extra_delay_ps")?)?,
+                loss: d.require("loss")?.as_f64()?,
+            });
+        }
+    }
+    if let Some(stragglers) = v.get("stragglers") {
+        for s in stragglers.as_array()? {
+            spec.stragglers.push(StragglerHost {
+                host: s.require("host")?.as_usize()?,
+                from: dur_from(s.require("from_ps")?)?,
+                until: dur_from(s.require("until_ps")?)?,
+                rate_factor: s.require("rate_factor")?.as_f64()?,
+            });
+        }
+    }
+    Ok(spec)
 }
 
 fn trace_to_json(t: &MeasurementSpec) -> JsonValue {

@@ -36,7 +36,7 @@
 //! byte-identical string as [`crate::Campaign::run_serial`]. Equal strings
 //! (or equal [`CampaignReport::digests`]) mean bit-identical runs.
 
-use crate::campaign::{CampaignReport, ScenarioResult};
+use crate::campaign::{CampaignReport, FaultSummary, ScenarioResult};
 use crate::json::{obj, JsonError, JsonValue};
 use hpcc_stats::fct::{fb_hadoop_buckets, websearch_buckets, FctBucket, SizeBucketStats};
 use hpcc_stats::pfc::PfcSummary;
@@ -210,6 +210,28 @@ impl ScenarioResult {
                 JsonValue::Array(self.class_queue_p99.iter().map(opt_u64_to_json).collect()),
             ));
         }
+        // Fault-injection summary (additive, optional): present only when a
+        // fault timeline actually fired, so fault-free results render
+        // byte-identical to the pre-fault wire format.
+        if let Some(f) = &self.faults {
+            fields.push((
+                "faults",
+                obj(vec![
+                    ("events", JsonValue::UInt(f.events)),
+                    ("link_downtime_ps", JsonValue::UInt(f.link_downtime_ps)),
+                    ("dropped_bytes", JsonValue::UInt(f.dropped_bytes)),
+                    ("dropped_packets", JsonValue::UInt(f.dropped_packets)),
+                    (
+                        "goodput_during_faults",
+                        JsonValue::UInt(f.goodput_during_faults),
+                    ),
+                    (
+                        "utilization_while_up",
+                        JsonValue::Float(f.utilization_while_up),
+                    ),
+                ]),
+            ));
+        }
         fields.push(("digest", JsonValue::UInt(self.digest)));
         obj(fields)
     }
@@ -243,6 +265,17 @@ impl ScenarioResult {
                 class_queue_p99.push(opt_u64_from_json(row)?);
             }
         }
+        let faults = match v.get("faults") {
+            Some(f) => Some(FaultSummary {
+                events: f.require("events")?.as_u64()?,
+                link_downtime_ps: f.require("link_downtime_ps")?.as_u64()?,
+                dropped_bytes: f.require("dropped_bytes")?.as_u64()?,
+                dropped_packets: f.require("dropped_packets")?.as_u64()?,
+                goodput_during_faults: f.require("goodput_during_faults")?.as_u64()?,
+                utilization_while_up: f.require("utilization_while_up")?.as_f64()?,
+            }),
+            None => None,
+        };
         Ok(ScenarioResult {
             name: v.require("name")?.as_str()?.to_string(),
             scheme: v.require("scheme")?.as_str()?.to_string(),
@@ -259,6 +292,7 @@ impl ScenarioResult {
             flows_completed: v.require("flows_completed")?.as_usize()?,
             prio_slowdown,
             class_queue_p99,
+            faults,
             digest: v.require("digest")?.as_u64()?,
             wall: std::time::Duration::ZERO,
             results: None,
@@ -414,6 +448,14 @@ mod tests {
                 (4, Percentiles::of(&[3.5])),
             ],
             class_queue_p99: vec![Some(12_288), None, Some(0)],
+            faults: Some(FaultSummary {
+                events: 6,
+                link_downtime_ps: 400_000_000,
+                dropped_bytes: 88_512,
+                dropped_packets: 80,
+                goodput_during_faults: 1_234_567,
+                utilization_while_up: 0.625,
+            }),
             digest,
             wall: std::time::Duration::from_millis(12),
             results: None,
@@ -441,6 +483,7 @@ mod tests {
         assert_eq!(back.slowdown_buckets[1].bucket.label, "10M");
         assert_eq!(back.prio_slowdown, original.prio_slowdown);
         assert_eq!(back.class_queue_p99, original.class_queue_p99);
+        assert_eq!(back.faults, original.faults);
     }
 
     #[test]
@@ -448,17 +491,21 @@ mod tests {
         let mut legacy = synthetic("legacy", 5);
         legacy.prio_slowdown.clear();
         legacy.class_queue_p99.clear();
+        legacy.faults = None;
         let text = legacy.to_json().render();
-        // The canonical single-class object is byte-identical to the
-        // pre-scheduling wire format: no multi-class keys at all.
+        // The canonical single-class, fault-free object is byte-identical to
+        // the pre-scheduling / pre-fault wire format: no optional keys at
+        // all.
         assert!(!text.contains("prio_slowdown"), "{text}");
         assert!(!text.contains("class_queue_p99"), "{text}");
+        assert!(!text.contains("faults"), "{text}");
         // And a line without those keys (an "old" producer) decodes to the
         // empty defaults.
         let back =
             ScenarioResult::from_json(&crate::json::JsonValue::parse(&text).unwrap()).unwrap();
         assert!(back.prio_slowdown.is_empty());
         assert!(back.class_queue_p99.is_empty());
+        assert!(back.faults.is_none());
         assert_eq!(
             back.to_json().render(),
             text,

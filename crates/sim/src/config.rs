@@ -298,6 +298,11 @@ pub struct SimConfig {
     /// tagging thresholds and per-class ECN scaling. The default reproduces
     /// the paper's single-data-class deployment bit for bit.
     pub queueing: QueueingConfig,
+    /// Fault-injection plan: scheduled link outages/flaps, degraded links
+    /// and straggler hosts (see [`crate::fault`]). `None` (the default)
+    /// allocates no fault timeline and reproduces the healthy-network run
+    /// bit for bit.
+    pub faults: Option<crate::fault::FaultConfig>,
 }
 
 impl SimConfig {
@@ -335,6 +340,7 @@ impl SimConfig {
             trace_interval: Duration::from_us(1),
             flow_throughput_bin: None,
             queueing: QueueingConfig::legacy(),
+            faults: None,
         }
     }
 

@@ -87,6 +87,10 @@ pub enum Event {
     Sample,
     /// Periodic sampling of explicitly traced ports.
     TraceSample,
+    /// The next batch of fault-timeline transitions (link down/up, degraded
+    /// windows, straggler windows) is due. Scheduled only when the run has a
+    /// fault config, so fault-free runs never see it.
+    FaultTransition,
 }
 
 /// Side effects produced while a node handles one event.

@@ -15,6 +15,7 @@
 use crate::config::SimConfig;
 use crate::engine::{Effects, Event};
 use crate::output::{FlowRecord, PortCounters};
+use crate::rng::SplitMix64;
 use hpcc_cc::{build_cc, AckEvent, CongestionControl};
 use hpcc_topology::PortDesc;
 use hpcc_types::{
@@ -105,6 +106,24 @@ pub struct Host {
     /// per-host slots assigned by the simulator at flow registration).
     recv: Vec<ReceiverFlow>,
     wake_at: Option<SimTime>,
+    /// Fault injection: NIC link administratively down.
+    fault_down: bool,
+    /// Down-link semantics: drop (frames serialize and are lost) when true,
+    /// pause-and-requeue when false.
+    fault_drop: bool,
+    /// Extra one-way latency while the NIC link is degraded.
+    fault_extra_delay: Duration,
+    /// iid frame-loss probability while the NIC link is degraded.
+    fault_loss: f64,
+    /// Effective NIC rate while straggling (`None` = configured line rate).
+    fault_rate: Option<Bandwidth>,
+    /// Dedicated RNG stream for degraded-link iid loss (installed only when
+    /// a fault config attaches loss to this host's link).
+    fault_rng: Option<SplitMix64>,
+    /// Wire bytes lost to fault injection at this NIC.
+    fault_dropped_bytes: u64,
+    /// Packets lost to fault injection at this NIC.
+    fault_dropped_packets: u64,
 }
 
 impl std::fmt::Debug for Host {
@@ -142,7 +161,43 @@ impl Host {
             rr_cursor: 0,
             recv: Vec::new(),
             wake_at: None,
+            fault_down: false,
+            fault_drop: false,
+            fault_extra_delay: Duration::ZERO,
+            fault_loss: 0.0,
+            fault_rate: None,
+            fault_rng: None,
+            fault_dropped_bytes: 0,
+            fault_dropped_packets: 0,
         }
+    }
+
+    /// Apply or clear an administrative down state on the NIC link (fault
+    /// injection; see [`crate::fault`] for the semantics of `drop_mode`).
+    pub(crate) fn set_link_down(&mut self, down: bool, drop_mode: bool) {
+        self.fault_down = down;
+        self.fault_drop = drop_mode;
+    }
+
+    /// Apply or clear a degraded-link state on the NIC link.
+    pub(crate) fn set_link_degraded(&mut self, extra_delay: Duration, loss: f64) {
+        self.fault_extra_delay = extra_delay;
+        self.fault_loss = loss;
+    }
+
+    /// Set or clear the straggler NIC rate (`None` restores line rate).
+    pub(crate) fn set_straggle(&mut self, rate: Option<Bandwidth>) {
+        self.fault_rate = rate;
+    }
+
+    /// Install the dedicated fault-loss RNG stream.
+    pub(crate) fn set_fault_rng(&mut self, rng: SplitMix64) {
+        self.fault_rng = Some(rng);
+    }
+
+    /// Total `(packets, bytes)` lost to fault injection at this NIC.
+    pub(crate) fn fault_drops(&self) -> (u64, u64) {
+        (self.fault_dropped_packets, self.fault_dropped_bytes)
     }
 
     /// Number of unfinished sender flows.
@@ -616,6 +671,11 @@ impl Host {
         if self.busy {
             return;
         }
+        if self.fault_down && !self.fault_drop {
+            // Pause-and-requeue outage semantics: the NIC holds everything
+            // until the up transition kicks it again.
+            return;
+        }
         // Control traffic (ACK/NACK/CNP) always goes first.
         if let Some(pkt) = self.ctrl_queue.pop_front() {
             self.start_wire(now, pkt, cfg, eff);
@@ -691,7 +751,10 @@ impl Host {
         let wire = pkt.wire_size(cfg.int_enabled);
         self.busy = true;
         self.counters.tx_bytes += wire;
-        let tx_time = self.bandwidth.tx_time(wire);
+        // Straggler: serialize at the reduced NIC rate while the window is
+        // active; fault-free runs take `self.bandwidth` untouched.
+        let bw = self.fault_rate.unwrap_or(self.bandwidth);
+        let tx_time = bw.tx_time(wire);
         eff.events.push((
             now + tx_time,
             Event::PortReady {
@@ -699,14 +762,32 @@ impl Host {
                 port: PortId(0),
             },
         ));
-        eff.events.push((
-            now + tx_time + self.delay,
-            Event::PacketArrive {
-                node: self.peer_node,
-                port: self.peer_port,
-                packet: pkt,
-            },
-        ));
+        // Down link in drop mode loses every frame; a degraded link loses
+        // iid on the dedicated fault RNG stream.
+        let fault_lost = if self.fault_down {
+            true
+        } else if self.fault_loss > 0.0 {
+            let loss = self.fault_loss;
+            self.fault_rng
+                .as_mut()
+                .is_some_and(|rng| rng.next_f64() < loss)
+        } else {
+            false
+        };
+        if fault_lost {
+            self.fault_dropped_packets += 1;
+            self.fault_dropped_bytes += wire;
+            eff.recycle(pkt);
+        } else {
+            eff.events.push((
+                now + tx_time + self.delay + self.fault_extra_delay,
+                Event::PacketArrive {
+                    node: self.peer_node,
+                    port: self.peer_port,
+                    packet: pkt,
+                },
+            ));
+        }
     }
 
     /// Close out pause accounting at the end of the run.

@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod host;
 pub mod output;
 pub mod rng;
@@ -36,5 +37,6 @@ mod simulator;
 
 pub use config::{EcnConfig, FlowControlMode, QueueingConfig, SchedulerKind, SimConfig};
 pub use engine::Event;
+pub use fault::{DegradedLink, FaultConfig, FaultTimeline, LinkDownMode, LinkFault, StragglerHost};
 pub use output::{FlowRecord, PortKey, SimOutput};
 pub use simulator::Simulator;

@@ -112,6 +112,26 @@ pub struct SimOutput {
     pub packets_delivered: u64,
     /// Total data packets sent by hosts (including retransmissions).
     pub packets_sent: u64,
+    /// Number of fault-timeline transitions applied during the run. Zero on
+    /// fault-free runs (and then none of the fault fields below fold into
+    /// campaign digests).
+    pub fault_events: u64,
+    /// Administratively-down time per faulted link, `(link index, downtime)`
+    /// in link-index order. Empty on fault-free runs.
+    pub link_downtime: Vec<(usize, Duration)>,
+    /// Wire bytes lost to fault injection: frames serialized onto a down
+    /// link in drop mode plus iid losses on degraded links.
+    pub fault_dropped_bytes: u64,
+    /// Packets lost to fault injection (same sources as
+    /// `fault_dropped_bytes`).
+    pub fault_dropped_packets: u64,
+    /// Bytes newly acknowledged while at least one fault window (outage,
+    /// degradation or straggle) was active.
+    pub goodput_during_faults: u64,
+    /// Total administratively-down time of host NIC links, summed over
+    /// hosts — the time excluded from the `utilization_while_up`
+    /// denominator.
+    pub host_nic_downtime: Duration,
 }
 
 impl SimOutput {

@@ -3,8 +3,10 @@
 
 use crate::config::SimConfig;
 use crate::engine::{Effects, Event, EventQueue};
+use crate::fault::{FaultConfig, FaultTimeline, LinkDownMode, Transition, FAULT_RNG_STREAM};
 use crate::host::Host;
 use crate::output::SimOutput;
+use crate::rng::SplitMix64;
 use crate::switch::Switch;
 use hpcc_topology::{NodeKind, TopologySpec};
 use hpcc_types::{Duration, FlowSpec, NodeId, PortId, SimTime};
@@ -14,6 +16,69 @@ use hpcc_types::{Duration, FlowSpec, NodeId, PortId, SimTime};
 enum Node {
     Host(Host),
     Switch(Switch),
+}
+
+/// Runtime state of fault injection. Allocated only when the run has a
+/// non-empty [`FaultConfig`], so fault-free runs carry a `None` and execute
+/// the exact legacy event sequence.
+#[derive(Debug)]
+struct FaultRuntime {
+    /// Compiled transition schedule.
+    timeline: FaultTimeline,
+    /// The plan the timeline was compiled from (window parameters are read
+    /// back when a transition fires).
+    plan: FaultConfig,
+    /// Directed endpoints of every topology link, in link order:
+    /// `((a, port on a), (b, port on b))`.
+    endpoints: Vec<((NodeId, PortId), (NodeId, PortId))>,
+    /// Number of host endpoints (0..=2) per link, for NIC-downtime
+    /// accounting.
+    host_ends: Vec<u8>,
+    /// When each link last went down (`None` = currently up).
+    down_since: Vec<Option<SimTime>>,
+    /// Accumulated downtime per link.
+    downtime: Vec<Duration>,
+    /// Accumulated host-NIC downtime (host endpoints of downed links).
+    host_nic_downtime: Duration,
+    /// Number of currently-open fault windows (outages, degradations and
+    /// straggles); goodput is attributed to the fault window while > 0.
+    active: u32,
+    /// Transitions applied so far.
+    events_applied: u64,
+}
+
+impl FaultRuntime {
+    fn new(plan: &FaultConfig, topo: &TopologySpec) -> FaultRuntime {
+        // Recover each link's two directed (node, port) endpoints by
+        // replaying the builder's dense port assignment: ports are numbered
+        // per node in link-insertion order.
+        let mut next_port = vec![0u32; topo.node_count()];
+        let mut endpoints = Vec::with_capacity(topo.links().len());
+        let mut host_ends = Vec::with_capacity(topo.links().len());
+        for l in topo.links() {
+            let pa = PortId(next_port[l.a.index()]);
+            next_port[l.a.index()] += 1;
+            let pb = PortId(next_port[l.b.index()]);
+            next_port[l.b.index()] += 1;
+            endpoints.push(((l.a, pa), (l.b, pb)));
+            host_ends.push(
+                matches!(topo.kind(l.a), NodeKind::Host) as u8
+                    + matches!(topo.kind(l.b), NodeKind::Host) as u8,
+            );
+        }
+        let n_links = topo.links().len();
+        FaultRuntime {
+            timeline: FaultTimeline::compile(plan),
+            plan: plan.clone(),
+            endpoints,
+            host_ends,
+            down_since: vec![None; n_links],
+            downtime: vec![Duration::ZERO; n_links],
+            host_nic_downtime: Duration::ZERO,
+            active: 0,
+            events_applied: 0,
+        }
+    }
 }
 
 /// A packet-level discrete-event simulation of one experiment.
@@ -55,6 +120,8 @@ pub struct Simulator {
     eff: Effects,
     /// Work stack of ports to kick (reused across events).
     kick_stack: Vec<(NodeId, PortId)>,
+    /// Fault-injection runtime; `None` on healthy (legacy) runs.
+    faults: Option<FaultRuntime>,
 }
 
 impl Simulator {
@@ -76,6 +143,34 @@ impl Simulator {
         if !cfg.trace_ports.is_empty() {
             events.push(SimTime::ZERO + cfg.trace_interval, Event::TraceSample);
         }
+        let faults = match &cfg.faults {
+            Some(plan) if !plan.is_empty() => {
+                let runtime = FaultRuntime::new(plan, &topo);
+                // Nodes touched by an iid-lossy degraded link get the
+                // dedicated fault RNG stream (never the ECN-marking RNG).
+                for d in &plan.degraded_links {
+                    if d.loss > 0.0 {
+                        let (ea, eb) = runtime.endpoints[d.link];
+                        for (n, _) in [ea, eb] {
+                            let rng = SplitMix64::new(
+                                cfg.seed
+                                    ^ FAULT_RNG_STREAM
+                                    ^ (n.0 as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                            );
+                            match &mut nodes[n.index()] {
+                                Node::Host(h) => h.set_fault_rng(rng),
+                                Node::Switch(s) => s.set_fault_rng(rng),
+                            }
+                        }
+                    }
+                }
+                if let Some(first) = runtime.timeline.next_time() {
+                    events.push(first, Event::FaultTransition);
+                }
+                Some(runtime)
+            }
+            _ => None,
+        };
         let mut out = SimOutput::new(1024, cfg.flow_throughput_bin.unwrap_or(Duration::ZERO));
         // Per-class histograms exist only on the multi-class path, so the
         // legacy single-class output (and its digest) is byte-identical.
@@ -96,6 +191,7 @@ impl Simulator {
             processed: 0,
             eff: Effects::default(),
             kick_stack: Vec::new(),
+            faults,
         }
     }
 
@@ -227,9 +323,95 @@ impl Simulator {
                     self.eff.events.push((next, Event::TraceSample));
                 }
             }
+            Event::FaultTransition => self.fault_transition(t),
         }
         self.apply_effects();
         true
+    }
+
+    /// Apply every fault transition due at `now` to the affected nodes, then
+    /// schedule the next [`Event::FaultTransition`]. Only reachable on runs
+    /// with a fault config.
+    fn fault_transition(&mut self, now: SimTime) {
+        let Some(fr) = self.faults.as_mut() else {
+            return;
+        };
+        for (_, tr) in fr.timeline.due(now) {
+            fr.events_applied += 1;
+            match tr {
+                Transition::LinkDown { link, mode } => {
+                    let drop_mode = mode == LinkDownMode::Drop;
+                    let (ea, eb) = fr.endpoints[link];
+                    for (n, p) in [ea, eb] {
+                        match &mut self.nodes[n.index()] {
+                            Node::Host(h) => h.set_link_down(true, drop_mode),
+                            Node::Switch(s) => s.set_link_down(p, true, drop_mode),
+                        }
+                    }
+                    fr.down_since[link] = Some(now);
+                    fr.active += 1;
+                }
+                Transition::LinkUp { link } => {
+                    let (ea, eb) = fr.endpoints[link];
+                    for (n, p) in [ea, eb] {
+                        match &mut self.nodes[n.index()] {
+                            Node::Host(h) => h.set_link_down(false, false),
+                            Node::Switch(s) => s.set_link_down(p, false, false),
+                        }
+                        // Kick so a paused egress resumes immediately.
+                        self.eff.kicks.push((n, p));
+                    }
+                    if let Some(since) = fr.down_since[link].take() {
+                        let dt = now.saturating_since(since);
+                        fr.downtime[link] += dt;
+                        fr.host_nic_downtime += dt * fr.host_ends[link] as u64;
+                    }
+                    fr.active = fr.active.saturating_sub(1);
+                }
+                Transition::DegradeOn { idx } => {
+                    let d = fr.plan.degraded_links[idx];
+                    let (ea, eb) = fr.endpoints[d.link];
+                    for (n, p) in [ea, eb] {
+                        match &mut self.nodes[n.index()] {
+                            Node::Host(h) => h.set_link_degraded(d.extra_delay, d.loss),
+                            Node::Switch(s) => s.set_link_degraded(p, d.extra_delay, d.loss),
+                        }
+                    }
+                    fr.active += 1;
+                }
+                Transition::DegradeOff { idx } => {
+                    let d = fr.plan.degraded_links[idx];
+                    let (ea, eb) = fr.endpoints[d.link];
+                    for (n, p) in [ea, eb] {
+                        match &mut self.nodes[n.index()] {
+                            Node::Host(h) => h.set_link_degraded(Duration::ZERO, 0.0),
+                            Node::Switch(s) => s.set_link_degraded(p, Duration::ZERO, 0.0),
+                        }
+                    }
+                    fr.active = fr.active.saturating_sub(1);
+                }
+                Transition::StraggleOn { idx } => {
+                    let s = fr.plan.stragglers[idx];
+                    let id = self.topo.hosts()[s.host];
+                    let line = self.topo.ports(id)[0].bandwidth;
+                    if let Node::Host(h) = &mut self.nodes[id.index()] {
+                        h.set_straggle(Some(line.mul_f64(s.rate_factor)));
+                    }
+                    fr.active += 1;
+                }
+                Transition::StraggleOff { idx } => {
+                    let s = fr.plan.stragglers[idx];
+                    let id = self.topo.hosts()[s.host];
+                    if let Node::Host(h) = &mut self.nodes[id.index()] {
+                        h.set_straggle(None);
+                    }
+                    fr.active = fr.active.saturating_sub(1);
+                }
+            }
+        }
+        if let Some(next) = fr.timeline.next_time() {
+            self.eff.events.push((next, Event::FaultTransition));
+        }
     }
 
     /// Apply the side effects accumulated in the arena by one event, then
@@ -263,7 +445,11 @@ impl Simulator {
         for ev in self.eff.pfc_events.drain(..) {
             self.out.record_pfc_event(ev);
         }
+        let fault_active = self.faults.as_ref().is_some_and(|fr| fr.active > 0);
         for (f, b) in self.eff.goodput.drain(..) {
+            if fault_active {
+                self.out.goodput_during_faults += b;
+            }
             self.out.record_goodput(f, self.time, b);
         }
         self.out.packets_delivered += self.eff.packets_delivered;
@@ -280,6 +466,9 @@ impl Simulator {
             match node {
                 Node::Switch(s) => {
                     s.finalize(now);
+                    let (fp, fb) = s.fault_drops();
+                    self.out.fault_dropped_packets += fp;
+                    self.out.fault_dropped_bytes += fb;
                     for (pi, port) in s.ports().iter().enumerate() {
                         self.out
                             .ports
@@ -289,9 +478,31 @@ impl Simulator {
                 Node::Host(h) => {
                     let unfinished = h.finalize(now);
                     self.out.unfinished_flows += unfinished;
+                    let (fp, fb) = h.fault_drops();
+                    self.out.fault_dropped_packets += fp;
+                    self.out.fault_dropped_bytes += fb;
                     self.out.ports.insert((id, PortId(0)), h.counters);
                 }
             }
+        }
+        if let Some(mut fr) = self.faults.take() {
+            // Close outage intervals still open at the horizon.
+            for link in 0..fr.down_since.len() {
+                if let Some(since) = fr.down_since[link].take() {
+                    let dt = now.saturating_since(since);
+                    fr.downtime[link] += dt;
+                    fr.host_nic_downtime += dt * fr.host_ends[link] as u64;
+                }
+            }
+            self.out.fault_events = fr.events_applied;
+            self.out.host_nic_downtime = fr.host_nic_downtime;
+            self.out.link_downtime = fr
+                .downtime
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| !d.is_zero())
+                .map(|(i, &d)| (i, d))
+                .collect();
         }
         self.out.elapsed = now;
         self.out.events_processed = self.processed;

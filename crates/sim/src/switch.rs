@@ -70,6 +70,19 @@ pub struct SwitchPort {
     tx_bytes_cum: u64,
     rx_enqueued_cum: u64,
     sched: Scheduler,
+    /// Fault injection: link administratively down.
+    fault_down: bool,
+    /// Down-link semantics: drop (frames serialize and are lost) when true,
+    /// pause-and-requeue (nothing serializes) when false.
+    fault_drop: bool,
+    /// Extra one-way latency while the link is degraded.
+    fault_extra_delay: Duration,
+    /// iid frame-loss probability while the link is degraded.
+    fault_loss: f64,
+    /// Wire bytes lost to fault injection at this egress.
+    fault_dropped_bytes: u64,
+    /// Packets lost to fault injection at this egress.
+    fault_dropped_packets: u64,
     /// Accumulated statistics for this egress.
     pub counters: PortCounters,
 }
@@ -96,6 +109,12 @@ impl SwitchPort {
             tx_bytes_cum: 0,
             rx_enqueued_cum: 0,
             sched,
+            fault_down: false,
+            fault_drop: false,
+            fault_extra_delay: Duration::ZERO,
+            fault_loss: 0.0,
+            fault_dropped_bytes: 0,
+            fault_dropped_packets: 0,
             counters: PortCounters::default(),
         }
     }
@@ -164,6 +183,10 @@ pub struct Switch {
     /// Whether we have an outstanding PAUSE towards each ingress, per class.
     pause_sent: Vec<[bool; Priority::COUNT]>,
     rng: SplitMix64,
+    /// Dedicated RNG stream for degraded-link iid loss; installed only when
+    /// a fault config attaches loss to one of this switch's links, so the
+    /// ECN-marking stream above is never perturbed by fault injection.
+    fault_rng: Option<SplitMix64>,
 }
 
 impl Switch {
@@ -183,7 +206,38 @@ impl Switch {
             ingress_bytes: vec![[0; Priority::COUNT]; ports.len()],
             pause_sent: vec![[false; Priority::COUNT]; ports.len()],
             rng: SplitMix64::new(cfg.seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            fault_rng: None,
         }
+    }
+
+    /// Apply or clear an administrative down state on one egress (fault
+    /// injection). `drop_mode` selects drop semantics (frames serialize and
+    /// are lost) over pause-and-requeue (nothing serializes).
+    pub(crate) fn set_link_down(&mut self, port: PortId, down: bool, drop_mode: bool) {
+        let p = &mut self.ports[port.index()];
+        p.fault_down = down;
+        p.fault_drop = drop_mode;
+    }
+
+    /// Apply or clear a degraded-link state on one egress (zero delay and
+    /// zero loss restore the healthy link).
+    pub(crate) fn set_link_degraded(&mut self, port: PortId, extra_delay: Duration, loss: f64) {
+        let p = &mut self.ports[port.index()];
+        p.fault_extra_delay = extra_delay;
+        p.fault_loss = loss;
+    }
+
+    /// Install the dedicated fault-loss RNG stream (only called when a fault
+    /// config attaches iid loss to one of this switch's links).
+    pub(crate) fn set_fault_rng(&mut self, rng: SplitMix64) {
+        self.fault_rng = Some(rng);
+    }
+
+    /// Total `(packets, bytes)` lost to fault injection at this switch.
+    pub(crate) fn fault_drops(&self) -> (u64, u64) {
+        self.ports.iter().fold((0, 0), |(p, b), port| {
+            (p + port.fault_dropped_packets, b + port.fault_dropped_bytes)
+        })
     }
 
     /// Access the egress ports (read-only, for statistics collection).
@@ -380,6 +434,12 @@ impl Switch {
             if port.busy {
                 return;
             }
+            if port.fault_down && !port.fault_drop {
+                // Pause-and-requeue outage semantics: the egress holds
+                // everything (control included) until the up transition
+                // kicks this port again.
+                return;
+            }
             let ctrl = Priority::CONTROL.index();
             if !port.queues[ctrl].is_empty() {
                 (port.queues[ctrl].pop_front().unwrap(), Priority::CONTROL)
@@ -432,9 +492,26 @@ impl Switch {
             }
         }
 
+        // Fault injection at the wire: a down link in drop mode loses every
+        // frame; a degraded link loses iid with `fault_loss`, drawn on the
+        // dedicated fault RNG stream (never the ECN stream).
+        let (f_down, f_loss, f_extra) = {
+            let p = &self.ports[port_id.index()];
+            (p.fault_down, p.fault_loss, p.fault_extra_delay)
+        };
+        let fault_lost = if f_down {
+            true
+        } else if f_loss > 0.0 {
+            self.fault_rng
+                .as_mut()
+                .is_some_and(|rng| rng.next_f64() < f_loss)
+        } else {
+            false
+        };
+
         // INT stamping at dequeue (Figure 7): data packets only.
         let port = &mut self.ports[port_id.index()];
-        if cfg.int_enabled && pkt.is_data() {
+        if cfg.int_enabled && pkt.is_data() && !fault_lost {
             pkt.int.push_hop(
                 self.int_id,
                 IntHopRecord {
@@ -457,14 +534,20 @@ impl Switch {
                 port: port_id,
             },
         ));
-        eff.events.push((
-            now + tx_time + port.delay,
-            Event::PacketArrive {
-                node: port.peer_node,
-                port: port.peer_port,
-                packet: pkt,
-            },
-        ));
+        if fault_lost {
+            port.fault_dropped_packets += 1;
+            port.fault_dropped_bytes += wire;
+            eff.recycle(pkt);
+        } else {
+            eff.events.push((
+                now + tx_time + port.delay + f_extra,
+                Event::PacketArrive {
+                    node: port.peer_node,
+                    port: port.peer_port,
+                    packet: pkt,
+                },
+            ));
+        }
     }
 
     /// Close out pause-duration accounting at the end of the run.

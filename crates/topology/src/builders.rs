@@ -180,6 +180,87 @@ pub fn fat_tree(p: FatTreeParams) -> TopologySpec {
     b.build()
 }
 
+/// A two-tier Clos with an explicit oversubscription ratio: each leaf's
+/// uplink capacity is sized to `hosts_per_leaf * host_bw / oversubscription`,
+/// split evenly across the spines. `oversubscription = 1.0` reproduces a
+/// non-blocking [`leaf_spine`]; `4.0` gives the 4:1 tapering common in
+/// production fabrics, which concentrates congestion on the ToR uplinks —
+/// exactly where the fault presets aim their link failures.
+pub fn oversubscribed_clos(
+    n_leaf: usize,
+    n_spine: usize,
+    hosts_per_leaf: usize,
+    host_bw: Bandwidth,
+    oversubscription: f64,
+    link_delay: Duration,
+) -> TopologySpec {
+    assert!(
+        oversubscription >= 1.0,
+        "oversubscription must be >= 1.0, got {oversubscription}"
+    );
+    assert!(n_spine > 0, "need at least one spine");
+    let uplink_bw = host_bw
+        .mul_f64(hosts_per_leaf as f64 / (n_spine as f64 * oversubscription))
+        .max(Bandwidth::from_bps(1));
+    let mut b = TopologyBuilder::new();
+    let mut tors = Vec::new();
+    for _ in 0..n_leaf {
+        let hosts = b.add_hosts(hosts_per_leaf);
+        let tor = b.add_switch();
+        for h in hosts {
+            b.link(h, tor, host_bw, link_delay);
+        }
+        tors.push(tor);
+    }
+    let spines = b.add_switches(n_spine);
+    for &t in &tors {
+        for &s in &spines {
+            b.link(t, s, uplink_bw, link_delay);
+        }
+    }
+    b.build()
+}
+
+/// An asymmetric two-tier Clos: identical to [`leaf_spine`] except that every
+/// link through the first spine runs at `slow_factor` of `fabric_bw`
+/// (`0 < slow_factor <= 1`). ECMP still spreads flows evenly across all
+/// spines — routing is capacity-oblivious — so the slow plane is a standing
+/// hash imbalance: the static-routing analogue of the partial-upgrade and
+/// degraded-linecard asymmetries that production fabrics live with.
+pub fn asymmetric_clos(
+    n_leaf: usize,
+    n_spine: usize,
+    hosts_per_leaf: usize,
+    host_bw: Bandwidth,
+    fabric_bw: Bandwidth,
+    slow_factor: f64,
+    link_delay: Duration,
+) -> TopologySpec {
+    assert!(
+        slow_factor > 0.0 && slow_factor <= 1.0,
+        "slow_factor must be in (0, 1], got {slow_factor}"
+    );
+    let slow_bw = fabric_bw.mul_f64(slow_factor).max(Bandwidth::from_bps(1));
+    let mut b = TopologyBuilder::new();
+    let mut tors = Vec::new();
+    for _ in 0..n_leaf {
+        let hosts = b.add_hosts(hosts_per_leaf);
+        let tor = b.add_switch();
+        for h in hosts {
+            b.link(h, tor, host_bw, link_delay);
+        }
+        tors.push(tor);
+    }
+    let spines = b.add_switches(n_spine);
+    for &t in &tors {
+        for (i, &s) in spines.iter().enumerate() {
+            let bw = if i == 0 { slow_bw } else { fabric_bw };
+            b.link(t, s, bw, link_delay);
+        }
+    }
+    b.build()
+}
+
 /// Pick the `i`-th host of a topology (convenience for workload generators
 /// and examples).
 pub fn host(topo: &TopologySpec, i: usize) -> NodeId {
@@ -268,6 +349,68 @@ mod tests {
         let h_far = t.hosts()[p.total_hosts() - 1];
         let tor_of_h0 = t.ports(h0)[0].peer_node;
         assert_eq!(t.next_hops(tor_of_h0, h_far).len(), 2);
+    }
+
+    #[test]
+    fn oversubscribed_clos_tapers_the_uplinks() {
+        // 8 hosts x 25G behind 2 spines at 4:1 -> each uplink 25G.
+        let t = oversubscribed_clos(2, 2, 8, Bandwidth::from_gbps(25), 4.0, Duration::from_us(1));
+        assert_eq!(t.hosts().len(), 16);
+        assert_eq!(t.switches().len(), 4);
+        let uplink = t
+            .links()
+            .iter()
+            .find(|l| {
+                t.kind(l.a) == crate::NodeKind::Switch && t.kind(l.b) == crate::NodeKind::Switch
+            })
+            .unwrap();
+        assert_eq!(uplink.bandwidth, Bandwidth::from_gbps(25));
+        // 1:1 reproduces the non-blocking fabric.
+        let flat =
+            oversubscribed_clos(2, 2, 8, Bandwidth::from_gbps(25), 1.0, Duration::from_us(1));
+        let flat_uplink = flat
+            .links()
+            .iter()
+            .find(|l| flat.kind(l.a) == crate::NodeKind::Switch)
+            .unwrap();
+        assert_eq!(flat_uplink.bandwidth, Bandwidth::from_gbps(100));
+    }
+
+    #[test]
+    fn asymmetric_clos_slows_exactly_one_plane() {
+        let t = asymmetric_clos(
+            3,
+            2,
+            2,
+            Bandwidth::from_gbps(25),
+            Bandwidth::from_gbps(100),
+            0.25,
+            Duration::from_us(1),
+        );
+        let fabric: Vec<_> = t
+            .links()
+            .iter()
+            .filter(|l| {
+                t.kind(l.a) == crate::NodeKind::Switch && t.kind(l.b) == crate::NodeKind::Switch
+            })
+            .collect();
+        assert_eq!(fabric.len(), 6);
+        let slow = fabric
+            .iter()
+            .filter(|l| l.bandwidth == Bandwidth::from_gbps(25))
+            .count();
+        assert_eq!(slow, 3, "one slow link per leaf");
+        // ECMP still offers both spines for cross-rack traffic.
+        let h0 = t.hosts()[0];
+        let h_far = t.hosts()[5];
+        let tor = t.ports(h0)[0].peer_node;
+        assert_eq!(t.next_hops(tor, h_far).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription")]
+    fn undersubscription_is_rejected() {
+        oversubscribed_clos(2, 2, 4, Bandwidth::from_gbps(25), 0.5, Duration::from_us(1));
     }
 
     #[test]
