@@ -14,6 +14,10 @@
 //! cargo run --release -p hpcc-bench --bin campaign -- --events-per-sec [out.json] \
 //!     [--baseline BENCH_hotpath.json] [--max-regress 0.15]
 //! cargo run --release -p hpcc-bench --bin campaign -- --bench
+//! cargo run --release -p hpcc-bench --bin campaign -- --cross-validate \
+//!     [--manifest f] [--tolerance 0.75] [--report out.json] [duration_ms]
+//! cargo run --release -p hpcc-bench --bin campaign -- --fluid-bench [out.json] \
+//!     [--min-fluid-speedup 100]
 //! cargo run --release -p hpcc-bench --bin campaign -- --shards N \
 //!     [--verify-serial] [--report out.json] [--manifest f] [duration_ms] [load]
 //! cargo run --release -p hpcc-bench --bin campaign -- --worker-shard i/N \
@@ -36,6 +40,20 @@
 //! engine throughput, miniature figure scenarios) and prints one line per
 //! benchmark.
 //!
+//! Backend cross-validation (see `hpcc_core::validate`):
+//!
+//! * `--cross-validate` — run the validation grid (or a `--manifest`) on
+//!   both the packet engine and the fluid backend, print the per-scenario
+//!   divergence table, and exit with status 3 when the worst FCT-slowdown
+//!   (relative) or utilization (absolute) divergence exceeds `--tolerance`
+//!   (default 0.75). `--report` writes the canonical (digest-stable)
+//!   divergence JSON.
+//! * `--fluid-bench` — run the same grid and write fluid-backend throughput
+//!   numbers (wall-clock speedup over the packet engine, events/sec
+//!   equivalent) to `BENCH_fluid.json` (or the given path); with
+//!   `--min-fluid-speedup X` it exits non-zero when the fluid backend is
+//!   less than `X` times faster than the packet engine.
+//!
 //! Distributed modes (see `hpcc_core::wire` for the JSONL schema and the
 //! determinism contract):
 //!
@@ -56,10 +74,13 @@
 //!   slip through as a shorter-but-valid report.
 
 use hpcc_core::campaign::digest_output;
-use hpcc_core::presets::{fattree_fb_hadoop, fig11_campaign};
-use hpcc_core::{wire, Campaign, CcSpec, ShardPlan};
+use hpcc_core::presets::{
+    corpus_sweep, fattree_fb_hadoop, fig11_campaign, validation_grid, CORPUS_FILES,
+};
+use hpcc_core::{wire, BackendSpec, Campaign, CcSpec, ScenarioSpec, ShardPlan, ValidationReport};
 use hpcc_sim::FlowControlMode;
 use hpcc_topology::FatTreeParams;
+use hpcc_types::Bandwidth;
 use hpcc_types::Duration;
 use std::hint::black_box;
 use std::io::Read as _;
@@ -354,6 +375,11 @@ struct Cli {
     baseline: Option<String>,
     max_regress: f64,
     bench: bool,
+    dump_fluid_manifest: bool,
+    cross_validate: bool,
+    tolerance: f64,
+    fluid_bench: Option<Option<String>>,
+    min_fluid_speedup: Option<f64>,
     positional: Vec<String>,
 }
 
@@ -362,6 +388,7 @@ impl Cli {
         let mut cli = Cli {
             positional: vec![args[0].clone()],
             max_regress: 0.15,
+            tolerance: 0.75,
             ..Cli::default()
         };
         let value = |i: usize, flag: &str| -> String {
@@ -414,6 +441,46 @@ impl Cli {
                 "--bench" => {
                     cli.bench = true;
                     i += 1;
+                }
+                "--cross-validate" => {
+                    cli.cross_validate = true;
+                    i += 1;
+                }
+                "--dump-fluid-manifest" => {
+                    cli.dump_fluid_manifest = true;
+                    i += 1;
+                }
+                "--tolerance" => {
+                    let f = value(i, "--tolerance");
+                    cli.tolerance = f
+                        .parse()
+                        .ok()
+                        .filter(|x: &f64| x.is_finite() && *x > 0.0)
+                        .unwrap_or_else(|| die(format!("bad tolerance {f:?}")));
+                    i += 2;
+                }
+                "--min-fluid-speedup" => {
+                    let f = value(i, "--min-fluid-speedup");
+                    cli.min_fluid_speedup = Some(
+                        f.parse()
+                            .ok()
+                            .filter(|x: &f64| x.is_finite() && *x > 0.0)
+                            .unwrap_or_else(|| die(format!("bad speedup floor {f:?}"))),
+                    );
+                    i += 2;
+                }
+                "--fluid-bench" => {
+                    // Optional output path, like --events-per-sec.
+                    match args.get(i + 1) {
+                        Some(next) if !next.starts_with("--") => {
+                            cli.fluid_bench = Some(Some(next.clone()));
+                            i += 2;
+                        }
+                        _ => {
+                            cli.fluid_bench = Some(None);
+                            i += 1;
+                        }
+                    }
                 }
                 "--baseline" => {
                     cli.baseline = Some(value(i, "--baseline"));
@@ -492,6 +559,89 @@ impl Cli {
             Some(path) => vec!["--manifest".to_string(), path.clone()],
             None => self.positional[1..].to_vec(),
         }
+    }
+
+    /// The scenario grid for the cross-validation modes: a `--manifest`
+    /// when given, otherwise the built-in validation grid at
+    /// `[duration_ms]` (seed 42). The default duration differs by mode:
+    /// 2 ms keeps `--cross-validate` a fast gate, while `--fluid-bench`
+    /// uses 10 ms so the packet engine's cost dominates its fixed setup
+    /// overhead and the measured speedup reflects steady state.
+    fn grid_specs(&self, default_ms: u64) -> Vec<ScenarioSpec> {
+        if self.manifest.is_some() {
+            self.build_campaign().specs().to_vec()
+        } else {
+            let ms = hpcc_bench::arg_or(&self.positional, 1, default_ms);
+            validation_grid(Duration::from_ms(ms), 42)
+        }
+    }
+}
+
+/// Cross-validation mode: run the grid on both backends, print the
+/// divergence table, optionally write the canonical report, and gate on the
+/// worst divergence (exit 3 — distinct from usage errors — when exceeded).
+fn run_cross_validate(specs: &[ScenarioSpec], tolerance: f64, report_path: Option<&str>) {
+    let report = ValidationReport::run(specs).unwrap_or_else(|e| die(format!("{e}")));
+    println!(
+        "== cross-validation: packet vs fluid, {} scenarios ==\n{}",
+        report.rows.len(),
+        report.table()
+    );
+    println!("canonical report digest: {:016x}", report.digest());
+    if let Some(path) = report_path {
+        std::fs::write(path, report.to_json_string() + "\n")
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+        println!("wrote {path}");
+    }
+    let slow = report.max_slowdown_divergence();
+    let util = report.max_utilization_divergence();
+    if slow > tolerance || util > tolerance {
+        eprintln!(
+            "campaign: cross-validation divergence above tolerance {tolerance}: \
+             slowdown {slow:.3} (relative), utilization {util:.4} (absolute)"
+        );
+        std::process::exit(3);
+    }
+    println!("cross-validation: OK (tolerance {tolerance})");
+}
+
+/// Fluid-bench mode: run the validation grid on both backends and record
+/// the fluid backend's throughput — wall-clock speedup over the packet
+/// engine and events/sec equivalent (packet events the grid would have
+/// cost, per second of fluid wall time) — as JSON for CI trend tracking.
+fn run_fluid_bench(specs: &[ScenarioSpec], out_path: &str, min_speedup: Option<f64>) {
+    let report = ValidationReport::run(specs).unwrap_or_else(|e| die(format!("{e}")));
+    let packet_wall: f64 = report
+        .rows
+        .iter()
+        .map(|r| r.packet_wall.as_secs_f64())
+        .sum();
+    let fluid_wall: f64 = report.rows.iter().map(|r| r.fluid_wall.as_secs_f64()).sum();
+    let packet_events: u64 = report.rows.iter().map(|r| r.packet_events).sum();
+    let speedup = report.speedup();
+    let json = format!(
+        "{{\n  \"bench\": \"fluid-validation-grid\",\n  \"scenarios\": {},\n  \"packet_events\": {},\n  \"packet_wall_seconds\": {:.6},\n  \"fluid_wall_seconds\": {:.6},\n  \"speedup\": {:.1},\n  \"fluid_events_per_sec_equivalent\": {:.0},\n  \"max_slowdown_divergence\": {:.6},\n  \"max_utilization_divergence\": {:.6},\n  \"report_digest\": \"{:016x}\",\n  \"note\": \"wall times are host-dependent; the digest pins the deterministic part\"\n}}\n",
+        report.rows.len(),
+        packet_events,
+        packet_wall,
+        fluid_wall,
+        speedup,
+        report.fluid_events_per_sec_equivalent(),
+        report.max_slowdown_divergence(),
+        report.max_utilization_divergence(),
+        report.digest(),
+    );
+    std::fs::write(out_path, &json)
+        .unwrap_or_else(|e| die(format!("cannot write {out_path}: {e}")));
+    println!("{json}");
+    println!("wrote {out_path}");
+    if let Some(floor) = min_speedup {
+        if speedup < floor {
+            die(format!(
+                "fluid backend speedup {speedup:.1}x is below the required {floor}x"
+            ));
+        }
+        println!("fluid speedup gate: OK ({speedup:.1}x >= {floor}x)");
     }
 }
 
@@ -627,6 +777,44 @@ fn main() {
     let cli = Cli::parse(&args);
     if cli.bench {
         run_bench();
+        return;
+    }
+    if cli.dump_fluid_manifest {
+        // The fluid smoke campaign committed as manifests/fluid_smoke.json:
+        // the validation grid on the fluid backend, plus the corpus sweep on
+        // both backends (one manifest sweeping the "backend" key end to
+        // end). Corpus paths are repo-relative — run it from the repo root.
+        let mut specs: Vec<ScenarioSpec> = validation_grid(Duration::from_ms(2), 42)
+            .into_iter()
+            .map(|s| s.with_backend(BackendSpec::Fluid))
+            .collect();
+        let corpus = corpus_sweep(
+            &CORPUS_FILES,
+            CcSpec::by_label("HPCC"),
+            Bandwidth::from_gbps(25),
+            0.3,
+            Duration::from_us(500),
+            42,
+        );
+        for spec in corpus.specs() {
+            specs.push(spec.clone());
+            let mut fluid = spec.clone().with_backend(BackendSpec::Fluid);
+            fluid.name = format!("{} (fluid)", spec.name);
+            specs.push(fluid);
+        }
+        println!("{}", Campaign::from_scenarios(specs).to_json_string());
+        return;
+    }
+    if cli.cross_validate {
+        run_cross_validate(&cli.grid_specs(2), cli.tolerance, cli.report.as_deref());
+        return;
+    }
+    if let Some(out) = &cli.fluid_bench {
+        run_fluid_bench(
+            &cli.grid_specs(10),
+            out.as_deref().unwrap_or("BENCH_fluid.json"),
+            cli.min_fluid_speedup,
+        );
         return;
     }
     if let Some(out) = &cli.events_per_sec {

@@ -10,8 +10,8 @@ use hpcc_core::presets::{
     pfc_storm, star_egress_to, testbed_websearch, two_to_one,
 };
 use hpcc_core::report;
-use hpcc_core::{analysis::FluidNetwork, CcSpec, ExperimentResults};
-use hpcc_sim::{EcnConfig, FlowControlMode};
+use hpcc_core::{CcSpec, ExperimentResults};
+use hpcc_sim::{fluid::FluidNetwork, EcnConfig, FlowControlMode};
 use hpcc_stats::fct::{fb_hadoop_buckets, websearch_buckets};
 use hpcc_stats::pfc::suppressed_bandwidth_fraction;
 use hpcc_stats::series::{goodput_series_gbps, jain_fairness_index, steady_state_gbps};
@@ -612,11 +612,9 @@ pub fn fluid_convergence() -> String {
             net.is_feasible(r, 1e-9)
         )
         .unwrap();
-        if i > 12 {
-            break;
-        }
     }
     let last = trajectory.last().unwrap();
+    writeln!(s, "\nconverged after {} steps", trajectory.len() - 1).unwrap();
     writeln!(
         s,
         "\nPareto optimal: {} (every path crosses a saturated resource)",

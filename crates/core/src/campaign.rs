@@ -76,6 +76,12 @@ impl Campaign {
         self.scenarios.is_empty()
     }
 
+    /// The scenarios, in campaign order (e.g. to feed a manifest into the
+    /// cross-validation harness, [`crate::ValidationReport::run`]).
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        &self.scenarios
+    }
+
     /// Run every scenario on the calling thread, in order.
     pub fn run_serial(&self) -> CampaignReport {
         let start = Instant::now();
@@ -304,6 +310,7 @@ fn run_one(spec: &ScenarioSpec) -> ScenarioResult {
         prio_slowdown,
         class_queue_p99,
         faults,
+        backend: spec.backend,
         digest: digest_output(&results.out),
         wall,
         results: Some(results),
@@ -380,6 +387,10 @@ pub struct ScenarioResult {
     /// results — and their canonical wire lines — are byte-identical to the
     /// pre-fault era).
     pub faults: Option<FaultSummary>,
+    /// The engine that produced this result. Wire-encoded only when not the
+    /// packet default, so legacy result lines are byte-identical to the
+    /// pre-boundary era.
+    pub backend: crate::BackendSpec,
     /// FNV-1a digest over the raw simulator output (flows, counters,
     /// histograms, traces) — equal digests mean bit-identical runs.
     pub digest: u64,

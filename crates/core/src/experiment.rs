@@ -7,7 +7,10 @@
 //! — hold by construction instead of by caller discipline.
 
 use hpcc_cc::CcAlgorithm;
-use hpcc_sim::{EcnConfig, FlowControlMode, QueueingConfig, SimConfig, SimOutput, Simulator};
+use hpcc_sim::{
+    backend_for, BackendKind, CompiledScenario, EcnConfig, FlowControlMode, QueueingConfig,
+    SimConfig, SimOutput,
+};
 use hpcc_stats::fct::{FlowFct, SizeBucketStats};
 use hpcc_stats::pfc::{pause_burst_spread, PfcSummary};
 use hpcc_stats::queue::{queue_cdf, queue_percentile};
@@ -30,6 +33,7 @@ pub struct Experiment {
     cfg: SimConfig,
     flows: Vec<FlowSpec>,
     host_bw: Bandwidth,
+    backend: BackendKind,
 }
 
 impl Experiment {
@@ -69,14 +73,27 @@ impl Experiment {
         self.host_bw
     }
 
+    /// The engine this experiment runs on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
     /// Run the simulation and wrap the raw output with analysis helpers.
+    ///
+    /// Dispatches through the [`hpcc_sim::Backend`] boundary: the default
+    /// [`BackendKind::Packet`] path issues exactly the calls the pre-boundary
+    /// code made (golden digests are pinned on it), while
+    /// [`BackendKind::Fluid`] answers the same scenario with the Appendix A.2
+    /// fluid model.
     pub fn run(self) -> ExperimentResults {
         let analyzer = FctAnalyzer::new(self.host_bw, self.cfg.base_rtt, self.cfg.int_enabled);
         let host_count = self.topo.hosts().len();
-        let mut sim = Simulator::new(self.topo, self.cfg);
         let flow_count = self.flows.len();
-        sim.add_flows(self.flows.iter().copied());
-        let out = sim.run();
+        let out = backend_for(self.backend).run(CompiledScenario {
+            topo: self.topo,
+            cfg: self.cfg,
+            flows: self.flows,
+        });
         ExperimentResults {
             label: self.label,
             analyzer,
@@ -117,6 +134,7 @@ pub struct ExperimentBuilder {
     cfg: SimConfig,
     flows: Vec<FlowSpec>,
     host_bw: Bandwidth,
+    backend: BackendKind,
 }
 
 impl ExperimentBuilder {
@@ -134,7 +152,17 @@ impl ExperimentBuilder {
             cfg,
             flows: Vec::new(),
             host_bw,
+            backend: BackendKind::Packet,
         }
+    }
+
+    /// Select the engine that answers the scenario (default: the packet
+    /// event-wheel). The fluid backend rejects nothing here — spec-level
+    /// validation of fluid × unsupported features lives on
+    /// [`crate::ScenarioSpec`].
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Simulation horizon (events after `ZERO + d` are not processed).
@@ -271,6 +299,7 @@ impl ExperimentBuilder {
             cfg: self.cfg,
             flows: self.flows,
             host_bw: self.host_bw,
+            backend: self.backend,
         }
     }
 }

@@ -20,9 +20,12 @@
 //!   [`experiment::ExperimentBuilder`]), run and analyse one simulation,
 //! * [`presets`] — ready-made scenario builders for every figure in the
 //!   paper's evaluation (§5.2–§5.4),
-//! * [`analysis`] — the Appendix A fluid model (fast convergence to a
-//!   Pareto-optimal allocation, additive-increase fairness equilibria), used
-//!   to cross-check the packet-level results against theory.
+//! * [`analysis`] — a re-export shim over `hpcc_sim::fluid`, where the
+//!   Appendix A fluid model now lives as a first-class simulation backend
+//!   (select it per scenario with [`BackendSpec`]),
+//! * [`validate`] — the cross-validation harness: run a scenario grid on
+//!   both backends and report per-scenario FCT/utilization divergence with
+//!   a digest-pinned canonical report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,12 +37,14 @@ pub mod json;
 pub mod presets;
 pub mod report;
 pub mod scenario;
+pub mod validate;
 pub mod wire;
 
 pub use campaign::{Campaign, CampaignReport, FaultSummary, ScenarioResult, ShardPlan};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentResults};
 pub use presets::SCHEME_SET_FIG11;
 pub use scenario::{
-    BuildError, CcSpec, CdfSpec, FaultSpec, FlowDecl, MeasurementSpec, QueueingSpec, ScenarioSpec,
-    SchedulerSpec, TopologyChoice, WorkloadSpec,
+    BackendSpec, BuildError, CcSpec, CdfSpec, FaultSpec, FlowDecl, MeasurementSpec, QueueingSpec,
+    ScenarioSpec, SchedulerSpec, TopologyChoice, WorkloadSpec,
 };
+pub use validate::{ValidationReport, ValidationRow};

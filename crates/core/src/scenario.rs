@@ -22,7 +22,8 @@ use crate::json::{obj, JsonError, JsonValue};
 use crate::presets::scheme_by_label;
 use hpcc_cc::{CcAlgorithm, DcqcnConfig, DctcpConfig, HpccConfig, HpccReactionMode, TimelyConfig};
 use hpcc_sim::{
-    DegradedLink, EcnConfig, FaultConfig, FlowControlMode, LinkDownMode, LinkFault, StragglerHost,
+    BackendKind, DegradedLink, EcnConfig, FaultConfig, FlowControlMode, LinkDownMode, LinkFault,
+    StragglerHost,
 };
 use hpcc_topology::{
     dumbbell, fat_tree, leaf_spine, star, testbed_pod, FatTreeParams, TopologySpec,
@@ -102,6 +103,18 @@ pub enum TopologyChoice {
     },
     /// The three-tier Clos fabric of §5.1 ("FatTree" in the paper).
     FatTree(FatTreeParams),
+    /// A topology imported from a corpus file (edge-list or GraphML subset,
+    /// see [`hpcc_topology::corpus`]). `host_bw` declares the NIC rate used
+    /// for ideal-FCT computation — corpus files may be heterogeneous, so the
+    /// spec author states the reference rate explicitly.
+    Corpus {
+        /// Path to the corpus file, relative to the process working
+        /// directory (campaign manifests conventionally use repo-relative
+        /// paths like `corpus/rocketfuel_pop.edges`).
+        path: String,
+        /// Reference host NIC bandwidth for slowdown computation.
+        host_bw: Bandwidth,
+    },
 }
 
 impl TopologyChoice {
@@ -122,21 +135,31 @@ impl TopologyChoice {
     }
 
     /// Instantiate the topology.
+    ///
+    /// # Panics
+    /// Panics when a [`TopologyChoice::Corpus`] file cannot be read or
+    /// parsed — use [`TopologyChoice::try_build`] for the typed-error form.
     pub fn build(&self) -> TopologySpec {
-        match *self {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`TopologyChoice::build`]: corpus-file I/O and
+    /// parse problems come back as typed [`BuildError`]s naming the file.
+    pub fn try_build(&self) -> Result<TopologySpec, BuildError> {
+        Ok(match self {
             TopologyChoice::Star {
                 hosts,
                 host_bw,
                 link_delay,
-            } => star(hosts, host_bw, link_delay),
+            } => star(*hosts, *host_bw, *link_delay),
             TopologyChoice::Dumbbell {
                 left,
                 right,
                 host_bw,
                 core_bw,
                 link_delay,
-            } => dumbbell(left, right, host_bw, core_bw, link_delay),
-            TopologyChoice::TestbedPod { link_delay } => testbed_pod(link_delay),
+            } => dumbbell(*left, *right, *host_bw, *core_bw, *link_delay),
+            TopologyChoice::TestbedPod { link_delay } => testbed_pod(*link_delay),
             TopologyChoice::LeafSpine {
                 leaves,
                 spines,
@@ -145,25 +168,74 @@ impl TopologyChoice {
                 fabric_bw,
                 link_delay,
             } => leaf_spine(
-                leaves,
-                spines,
-                hosts_per_leaf,
-                host_bw,
-                fabric_bw,
-                link_delay,
+                *leaves,
+                *spines,
+                *hosts_per_leaf,
+                *host_bw,
+                *fabric_bw,
+                *link_delay,
             ),
-            TopologyChoice::FatTree(params) => fat_tree(params),
-        }
+            TopologyChoice::FatTree(params) => fat_tree(*params),
+            TopologyChoice::Corpus { path, .. } => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| BuildError(format!("corpus topology {path:?}: {e}")))?;
+                hpcc_topology::corpus::parse(&text)
+                    .map_err(|e| BuildError(format!("corpus topology {path:?}: {e}")))?
+                    .build()
+            }
+        })
     }
 
     /// Host NIC bandwidth of this topology.
     pub fn host_bw(&self) -> Bandwidth {
-        match *self {
+        match self {
             TopologyChoice::Star { host_bw, .. }
             | TopologyChoice::Dumbbell { host_bw, .. }
-            | TopologyChoice::LeafSpine { host_bw, .. } => host_bw,
+            | TopologyChoice::LeafSpine { host_bw, .. }
+            | TopologyChoice::Corpus { host_bw, .. } => *host_bw,
             TopologyChoice::TestbedPod { .. } => Bandwidth::from_gbps(25),
             TopologyChoice::FatTree(params) => params.host_bw,
+        }
+    }
+}
+
+/// Which engine answers a scenario, as plain data.
+///
+/// The JSON form is the optional `"backend"` key (`"packet"` | `"fluid"`);
+/// an omitted key is canonical for [`BackendSpec::Packet`] and keeps every
+/// pre-existing manifest bit-identical. Fluid is a steady-state model:
+/// scenarios combining it with features it cannot answer (fault injection,
+/// multi-class/PIAS queueing) are rejected with a typed [`BuildError`] at
+/// `try_build` time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The packet-level event-wheel engine (the default, and the reference).
+    #[default]
+    Packet,
+    /// The Appendix A.2 fluid-model fast path.
+    Fluid,
+}
+
+impl BackendSpec {
+    /// The wire label ("packet" / "fluid").
+    pub fn label(self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// The engine-layer kind this spec resolves to.
+    pub fn kind(self) -> BackendKind {
+        match self {
+            BackendSpec::Packet => BackendKind::Packet,
+            BackendSpec::Fluid => BackendKind::Fluid,
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn from_label(label: &str) -> Result<Self, JsonError> {
+        match label {
+            "packet" => Ok(BackendSpec::Packet),
+            "fluid" => Ok(BackendSpec::Fluid),
+            other => Err(JsonError(format!("unknown backend {other:?}"))),
         }
     }
 }
@@ -838,6 +910,10 @@ pub struct ScenarioSpec {
     /// Fault injection plan (`None` keeps the healthy network,
     /// bit-identically: no timeline is allocated).
     pub faults: Option<FaultSpec>,
+    /// Which engine answers the scenario ([`BackendSpec::Packet`] is the
+    /// default and serializes as an omitted key, bit-identically to specs
+    /// predating the backend boundary).
+    pub backend: BackendSpec,
     /// Measurement options.
     pub trace: MeasurementSpec,
 }
@@ -863,6 +939,7 @@ impl ScenarioSpec {
             ecn: None,
             queueing: None,
             faults: None,
+            backend: BackendSpec::Packet,
             trace: MeasurementSpec::default(),
         }
     }
@@ -911,6 +988,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Select the engine that answers the scenario.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Enable queue-histogram sampling.
     pub fn with_queue_sampling(mut self, interval: Duration) -> Self {
         self.trace.queue_sample_interval = Some(interval);
@@ -955,7 +1038,27 @@ impl ScenarioSpec {
     /// [`BuildError`]s naming the workload and — for trace input — the
     /// offending line.
     pub fn try_build(&self) -> Result<Experiment, BuildError> {
-        let topo = self.topology.build();
+        if self.backend == BackendSpec::Fluid {
+            if self.faults.is_some() {
+                return Err(BuildError(
+                    "the fluid backend does not support fault injection \
+                     (steady-state model has no fault timeline); \
+                     use \"backend\": \"packet\" or drop \"faults\""
+                        .into(),
+                ));
+            }
+            if let Some(q) = &self.queueing {
+                if !q.resolve()?.is_legacy() {
+                    return Err(BuildError(
+                        "the fluid backend does not support multi-class/PIAS \
+                         queueing (steady-state model has a single data class); \
+                         use \"backend\": \"packet\" or drop \"queueing\""
+                            .into(),
+                    ));
+                }
+            }
+        }
+        let topo = self.topology.try_build()?;
         let host_bw = self.topology.host_bw();
         let base_rtt = topo.suggested_base_rtt(MTU_WIRE_SIZE);
         let cc = self.cc.resolve(host_bw, base_rtt);
@@ -975,7 +1078,8 @@ impl ScenarioSpec {
         let mut b: ExperimentBuilder = Experiment::builder(self.name.clone(), topo, cc, host_bw)
             .duration(self.duration)
             .seed(self.seed)
-            .flow_control(self.flow_control);
+            .flow_control(self.flow_control)
+            .backend(self.backend.kind());
         if let Some(bytes) = self.buffer_bytes {
             b = b.buffer_bytes(bytes);
         }
@@ -1019,7 +1123,7 @@ impl ScenarioSpec {
     /// equal the original's — but it no longer depends on the generator
     /// code: it is a self-contained, shippable reproduction artifact.
     pub fn freeze(&self) -> Result<ScenarioSpec, BuildError> {
-        let topo = self.topology.build();
+        let topo = self.topology.try_build()?;
         let host_bw = self.topology.host_bw();
         let mut frozen = self.clone();
         for (stream, workload) in self.workloads.iter().enumerate() {
@@ -1082,6 +1186,9 @@ impl ScenarioSpec {
         if let Some(f) = &self.faults {
             pairs.push(("faults", faults_to_json(f)));
         }
+        if self.backend != BackendSpec::Packet {
+            pairs.push(("backend", JsonValue::Str(self.backend.label().to_string())));
+        }
         pairs.push(("trace", trace_to_json(&self.trace)));
         obj(pairs)
     }
@@ -1125,6 +1232,9 @@ impl ScenarioSpec {
         if let Some(f) = v.get("faults") {
             spec.faults = Some(faults_from_json(f)?);
         }
+        if let Some(b) = v.get("backend") {
+            spec.backend = BackendSpec::from_label(b.as_str()?)?;
+        }
         if let Some(trace) = v.get("trace") {
             spec.trace = trace_from_json(trace)?;
         }
@@ -1155,6 +1265,11 @@ fn dur_from(v: &JsonValue) -> Result<Duration, JsonError> {
 
 fn topology_to_json(t: &TopologyChoice) -> JsonValue {
     match *t {
+        TopologyChoice::Corpus { ref path, host_bw } => obj(vec![
+            ("kind", JsonValue::Str("Corpus".into())),
+            ("path", JsonValue::Str(path.clone())),
+            ("host_bw_bps", bw_json(host_bw)),
+        ]),
         TopologyChoice::Star {
             hosts,
             host_bw,
@@ -1248,6 +1363,10 @@ fn topology_from_json(v: &JsonValue) -> Result<TopologyChoice, JsonError> {
             fabric_bw: bw_from(v.require("fabric_bw_bps")?)?,
             link_delay: dur_from(v.require("link_delay_ps")?)?,
         })),
+        "Corpus" => Ok(TopologyChoice::Corpus {
+            path: v.require("path")?.as_str()?.to_string(),
+            host_bw: bw_from(v.require("host_bw_bps")?)?,
+        }),
         other => Err(JsonError(format!("unknown topology kind {other:?}"))),
     }
 }

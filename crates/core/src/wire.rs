@@ -38,6 +38,7 @@
 
 use crate::campaign::{CampaignReport, FaultSummary, ScenarioResult};
 use crate::json::{obj, JsonError, JsonValue};
+use crate::scenario::BackendSpec;
 use hpcc_stats::fct::{fb_hadoop_buckets, websearch_buckets, FctBucket, SizeBucketStats};
 use hpcc_stats::pfc::PfcSummary;
 use hpcc_stats::Percentiles;
@@ -232,6 +233,12 @@ impl ScenarioResult {
                 ]),
             ));
         }
+        // Backend marker (additive, optional): present only when the result
+        // came from a non-default engine, so packet results render
+        // byte-identical to the pre-boundary wire format.
+        if self.backend != BackendSpec::Packet {
+            fields.push(("backend", JsonValue::Str(self.backend.label().to_string())));
+        }
         fields.push(("digest", JsonValue::UInt(self.digest)));
         obj(fields)
     }
@@ -293,6 +300,10 @@ impl ScenarioResult {
             prio_slowdown,
             class_queue_p99,
             faults,
+            backend: match v.get("backend") {
+                Some(b) => BackendSpec::from_label(b.as_str()?)?,
+                None => BackendSpec::Packet,
+            },
             digest: v.require("digest")?.as_u64()?,
             wall: std::time::Duration::ZERO,
             results: None,
@@ -456,6 +467,7 @@ mod tests {
                 goodput_during_faults: 1_234_567,
                 utilization_while_up: 0.625,
             }),
+            backend: BackendSpec::Fluid,
             digest,
             wall: std::time::Duration::from_millis(12),
             results: None,
@@ -492,13 +504,15 @@ mod tests {
         legacy.prio_slowdown.clear();
         legacy.class_queue_p99.clear();
         legacy.faults = None;
+        legacy.backend = BackendSpec::Packet;
         let text = legacy.to_json().render();
-        // The canonical single-class, fault-free object is byte-identical to
-        // the pre-scheduling / pre-fault wire format: no optional keys at
-        // all.
+        // The canonical single-class, fault-free, packet-backend object is
+        // byte-identical to the pre-scheduling / pre-fault / pre-boundary
+        // wire format: no optional keys at all.
         assert!(!text.contains("prio_slowdown"), "{text}");
         assert!(!text.contains("class_queue_p99"), "{text}");
         assert!(!text.contains("faults"), "{text}");
+        assert!(!text.contains("backend"), "{text}");
         // And a line without those keys (an "old" producer) decodes to the
         // empty defaults.
         let back =

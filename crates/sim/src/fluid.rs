@@ -1,0 +1,1023 @@
+//! The Appendix A fluid model, promoted to a first-class backend.
+//!
+//! Two layers live here:
+//!
+//! * [`FluidNetwork`] — the paper's Appendix A.2 rate recursion over an
+//!   explicit path×resource incidence matrix, together with the A.3
+//!   additive-increase equilibrium forms. This is the library core the
+//!   `fluid_convergence` figure and the lemma tests exercise directly.
+//! * [`FluidBackend`] — a flow-level engine behind the
+//!   [`crate::backend::Backend`] boundary: it builds the path×resource
+//!   matrix from [`TopologySpec`] routing (using the *same* deterministic
+//!   per-(flow, node) ECMP hash as the packet switches), models each CC
+//!   scheme by its steady state, advances flows epoch by epoch with the A.2
+//!   recursion re-solved at every flow arrival/completion, and synthesizes
+//!   FCT / utilization / queue estimates into a [`SimOutput`].
+//!
+//! # The CC steady-state model
+//!
+//! The packet engine simulates the control law per ACK; the fluid backend
+//! only keeps what survives at equilibrium:
+//!
+//! * **HPCC** — bottlenecks settle at the target utilization `η`, lifted by
+//!   the Appendix A.3 additive-increase equilibrium
+//!   `U = η / (1 − W_AI/(RTT·R))` (clamped to 1), and leave no standing
+//!   queue.
+//! * **DCQCN / DCTCP** — ECN keeps the link full (`U = 1`) with a standing
+//!   queue between the marking thresholds (`(Kmin+Kmax)/2`; DCTCP's step
+//!   marking makes that exactly `Kmin`).
+//! * **TIMELY** — the RTT-gradient band keeps the link full with a standing
+//!   delay inside `[T_low, T_high]` (modelled at the midpoint).
+//!
+//! Every flow's completion additionally pays the forward path delay, the
+//! reverse (ACK) path delay and its bottleneck's standing-queue delay, so
+//! short-flow FCTs stay latency-dominated exactly as in the packet engine.
+//!
+//! The whole run is pure `f64` arithmetic over a deterministic event order:
+//! the same [`CompiledScenario`] produces the same `SimOutput` (and digest)
+//! on every run and platform with IEEE-754 semantics.
+
+use crate::backend::{Backend, CompiledScenario};
+use crate::config::SimConfig;
+use crate::output::{FlowRecord, SimOutput};
+use crate::switch::ecmp_index;
+use hpcc_cc::CcAlgorithm;
+use hpcc_topology::{NodeKind, TopologySpec};
+use hpcc_types::{Duration, FlowSpec, NodeId, PortId, SimTime};
+
+/// A fluid network: `I` resources with capacities, `J` paths described by an
+/// incidence matrix.
+///
+/// Appendix A.2 of the paper proves that the synchronous update
+///
+/// ```text
+/// Y(n)     = A · R(n)
+/// R_j(n+1) = R_j(n) / max_i { Y_i(n) · A_ij / C_i }
+/// ```
+///
+/// (every path divides its rate by the utilization of its most-loaded
+/// resource) reaches a *feasible* allocation after one step, never decreases
+/// afterwards, and converges to a Pareto-optimal allocation (the paper's
+/// induction removes each saturated resource *and its load* from the
+/// network; on the unreduced recursion the remaining paths approach their
+/// bottleneck geometrically, so Pareto optimality is verified within a small
+/// tolerance rather than after exactly `I` steps).
+#[derive(Clone, Debug)]
+pub struct FluidNetwork {
+    /// `incidence[i][j] == true` iff resource `i` is used by path `j`.
+    pub incidence: Vec<Vec<bool>>,
+    /// Capacity of each resource.
+    pub capacities: Vec<f64>,
+}
+
+impl FluidNetwork {
+    /// Build a network from an incidence matrix and capacities.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent, a capacity is not positive, or
+    /// some path uses no resource (the lemma requires every column of `A` to
+    /// be non-zero).
+    pub fn new(incidence: Vec<Vec<bool>>, capacities: Vec<f64>) -> Self {
+        assert_eq!(incidence.len(), capacities.len(), "one row per resource");
+        assert!(!incidence.is_empty(), "need at least one resource");
+        let paths = incidence[0].len();
+        assert!(paths > 0, "need at least one path");
+        for row in &incidence {
+            assert_eq!(row.len(), paths, "ragged incidence matrix");
+        }
+        for &c in &capacities {
+            assert!(c > 0.0, "capacities must be positive");
+        }
+        for j in 0..paths {
+            assert!(
+                incidence.iter().any(|row| row[j]),
+                "path {j} uses no resource"
+            );
+        }
+        FluidNetwork {
+            incidence,
+            capacities,
+        }
+    }
+
+    /// Number of resources `I`.
+    pub fn resources(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Number of paths `J`.
+    pub fn paths(&self) -> usize {
+        self.incidence[0].len()
+    }
+
+    /// Load `Y = A · R` on every resource.
+    pub fn loads(&self, rates: &[f64]) -> Vec<f64> {
+        self.incidence
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(rates)
+                    .filter(|(used, _)| **used)
+                    .map(|(_, r)| *r)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// True if no resource is loaded above its capacity (within `eps`).
+    pub fn is_feasible(&self, rates: &[f64], eps: f64) -> bool {
+        self.loads(rates)
+            .iter()
+            .zip(&self.capacities)
+            .all(|(y, c)| *y <= c * (1.0 + eps))
+    }
+
+    /// One synchronous update of the Appendix A.2 recursion (equations 5–6).
+    pub fn step(&self, rates: &[f64]) -> Vec<f64> {
+        let loads = self.loads(rates);
+        rates
+            .iter()
+            .enumerate()
+            .map(|(j, r)| {
+                let k = self
+                    .incidence
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, row)| row[j])
+                    .map(|(i, _)| loads[i] / self.capacities[i])
+                    .fold(f64::MIN, f64::max);
+                r / k.max(f64::MIN_POSITIVE)
+            })
+            .collect()
+    }
+
+    /// Iterate the recursion from `initial` until the rates stop changing
+    /// (relative change below `tol`) or `max_steps` is reached. Returns the
+    /// trajectory including the initial point.
+    pub fn converge(&self, initial: &[f64], tol: f64, max_steps: usize) -> Vec<Vec<f64>> {
+        let mut trajectory = vec![initial.to_vec()];
+        for _ in 0..max_steps {
+            let next = self.step(trajectory.last().unwrap());
+            let prev = trajectory.last().unwrap();
+            let changed = next
+                .iter()
+                .zip(prev)
+                .any(|(a, b)| (a - b).abs() > tol * b.abs().max(1e-12));
+            trajectory.push(next);
+            if !changed {
+                break;
+            }
+        }
+        trajectory
+    }
+
+    /// True if the allocation is Pareto optimal: every path crosses at least
+    /// one resource that is (nearly) saturated.
+    pub fn is_pareto_optimal(&self, rates: &[f64], eps: f64) -> bool {
+        let loads = self.loads(rates);
+        (0..self.paths()).all(|j| {
+            self.incidence
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row[j])
+                .any(|(i, _)| loads[i] >= self.capacities[i] * (1.0 - eps))
+        })
+    }
+}
+
+/// Appendix A.3: the equilibrium rate of a source whose most congested
+/// bottleneck sits at utilization `u`, with target utilization `u_target`
+/// and additive increase `a` per RTT: `R = a / (1 - u_target / u)`.
+pub fn ai_equilibrium_rate(a: f64, u_target: f64, u: f64) -> f64 {
+    assert!(u > u_target, "equilibrium requires U > U_target");
+    a / (1.0 - u_target / u)
+}
+
+/// Appendix A.3 (inverted): the equilibrium utilization of the most
+/// congested bottleneck when its flows settle at rate `r`:
+/// `U = U_target / (1 - a / r)`.
+pub fn ai_equilibrium_utilization(a: f64, u_target: f64, r: f64) -> f64 {
+    assert!(r > a, "rate must exceed the additive increase");
+    u_target / (1.0 - a / r)
+}
+
+/// What survives of a CC scheme at steady state (see the module docs).
+#[derive(Clone, Copy, Debug)]
+struct SteadyState {
+    /// Target bottleneck utilization (HPCC's `η`; 1.0 for the filling
+    /// schemes).
+    utilization: f64,
+    /// Additive-increase rate in bit/s (`W_AI / base RTT`), feeding the A.3
+    /// equilibrium lift. Zero for non-HPCC schemes.
+    ai_rate_bps: f64,
+    /// Standing bottleneck queue in bytes (ECN-governed schemes).
+    queue_bytes: f64,
+    /// Standing bottleneck delay (TIMELY's RTT-gradient band).
+    queue_delay: Duration,
+}
+
+fn steady_state(cfg: &SimConfig) -> SteadyState {
+    match &cfg.cc {
+        CcAlgorithm::Hpcc(h) => SteadyState {
+            utilization: h.eta.clamp(0.05, 1.0),
+            ai_rate_bps: (h.wai as f64 * 8.0) / cfg.base_rtt.as_secs_f64().max(1e-12),
+            queue_bytes: 0.0,
+            queue_delay: Duration::ZERO,
+        },
+        CcAlgorithm::Dcqcn(_) | CcAlgorithm::DcqcnWin(_) | CcAlgorithm::Dctcp(_) => SteadyState {
+            utilization: 1.0,
+            ai_rate_bps: 0.0,
+            queue_bytes: cfg
+                .ecn
+                .map(|e| (e.kmin_bytes + e.kmax_bytes) as f64 / 2.0)
+                .unwrap_or(0.0),
+            queue_delay: Duration::ZERO,
+        },
+        CcAlgorithm::Timely(t) | CcAlgorithm::TimelyWin(t) => SteadyState {
+            utilization: 1.0,
+            ai_rate_bps: 0.0,
+            queue_bytes: 0.0,
+            queue_delay: Duration::from_ps((t.t_low.as_ps() + t.t_high.as_ps()) / 2),
+        },
+    }
+}
+
+/// One egress link used by at least one flow — a row of the incidence
+/// matrix, stored sparsely.
+struct Resource {
+    node: NodeId,
+    port: PortId,
+    /// Raw link capacity in bit/s (wire bits).
+    cap_bps: f64,
+    /// `cap_bps` scaled by the scheme's steady-state utilization for the
+    /// current epoch (the HPCC A.3 lift depends on the active flow count).
+    eff_cap: f64,
+    load: f64,
+    n_active: u32,
+    is_switch: bool,
+    saturated_now: bool,
+    ever_saturated: bool,
+    tx_bits: f64,
+}
+
+/// Per-flow fluid state.
+struct FluidFlow {
+    spec: FlowSpec,
+    /// Resource indices along the routed path; empty means unroutable (the
+    /// packet engine would drop every packet — the flow never finishes).
+    path: Vec<u32>,
+    /// Source NIC line rate (the recursion's initial rate, per the RDMA
+    /// start-at-line-rate model).
+    nic_bps: f64,
+    /// Total wire bytes to move (payload + per-packet header/INT overhead).
+    wire_bytes: f64,
+    remaining: f64,
+    rate: f64,
+    /// Unconditional FCT padding: forward + reverse propagation delay.
+    base_pad: Duration,
+    /// Contention-only FCT padding: the steady-state standing queue the CC
+    /// scheme holds at a *shared* bottleneck. A solo flow on an uncongested
+    /// path sees no standing queue, so this is added only when the flow
+    /// shared some path resource with another active flow — and a queue
+    /// cannot have stood for longer than the sharing lasted, so the pad is
+    /// capped by [`FluidFlow::contended_s`].
+    queue_pad: Duration,
+    /// Seconds during which some resource on the path carried ≥ 2 active
+    /// flows while this flow was in flight.
+    contended_s: f64,
+    done: bool,
+}
+
+fn secs_to_simtime(s: f64) -> SimTime {
+    SimTime::from_ps((s * 1e12).round().max(0.0) as u64)
+}
+
+/// Walk the routed path of one flow, interning each egress link in
+/// `resources`. Uses the same per-(flow, node) ECMP hash as the packet
+/// switches, so both backends put a flow on the same links. Returns `None`
+/// when the topology has no route.
+fn route_flow(
+    topo: &TopologySpec,
+    spec: &FlowSpec,
+    resources: &mut Vec<Resource>,
+    index: &mut std::collections::HashMap<(NodeId, PortId), u32>,
+) -> Option<Vec<u32>> {
+    let mut path = Vec::with_capacity(6);
+    let mut node = spec.src;
+    let mut hops = 0usize;
+    while node != spec.dst {
+        hops += 1;
+        if hops > topo.node_count() {
+            return None; // routing loop: treat as unroutable
+        }
+        let candidates = topo.next_hops(node, spec.dst);
+        if candidates.is_empty() {
+            return None;
+        }
+        let port = match topo.kind(node) {
+            NodeKind::Host => candidates[0],
+            NodeKind::Switch => candidates[ecmp_index(spec.id.raw(), node, candidates.len())],
+        };
+        let key = (node, port);
+        let ri = *index.entry(key).or_insert_with(|| {
+            let desc = &topo.ports(node)[port.index()];
+            resources.push(Resource {
+                node,
+                port,
+                cap_bps: desc.bandwidth.as_bps() as f64,
+                eff_cap: desc.bandwidth.as_bps() as f64,
+                load: 0.0,
+                n_active: 0,
+                is_switch: matches!(topo.kind(node), NodeKind::Switch),
+                saturated_now: false,
+                ever_saturated: false,
+                tx_bits: 0.0,
+            });
+            (resources.len() - 1) as u32
+        });
+        let desc = &topo.ports(node)[port.index()];
+        path.push(ri);
+        node = desc.peer_node;
+    }
+    if path.is_empty() {
+        None // src == dst: nothing to transmit over the fabric
+    } else {
+        Some(path)
+    }
+}
+
+/// Re-solve the A.2 recursion for the current active set. Rates start at the
+/// NIC line rate (the RDMA model) and converge geometrically onto the
+/// Pareto-optimal allocation over the effective (steady-state-scaled)
+/// capacities.
+fn solve_rates(active: &[usize], flows: &mut [FluidFlow], res: &mut [Resource], ss: &SteadyState) {
+    for r in res.iter_mut() {
+        r.n_active = 0;
+    }
+    for &f in active {
+        for &ri in &flows[f].path {
+            res[ri as usize].n_active += 1;
+        }
+    }
+    for r in res.iter_mut() {
+        let mut u = ss.utilization;
+        // Appendix A.3: W_AI > 0 lifts the equilibrium utilization above η.
+        if ss.ai_rate_bps > 0.0 && r.n_active > 0 {
+            let share = u * r.cap_bps / r.n_active as f64;
+            u = if ss.ai_rate_bps >= share {
+                1.0
+            } else {
+                (u / (1.0 - ss.ai_rate_bps / share)).min(1.0)
+            };
+        }
+        r.eff_cap = r.cap_bps * u;
+    }
+    for &f in active {
+        flows[f].rate = flows[f].nic_bps;
+    }
+    for _ in 0..64 {
+        for r in res.iter_mut() {
+            r.load = 0.0;
+        }
+        for &f in active {
+            let rate = flows[f].rate;
+            for &ri in &flows[f].path {
+                res[ri as usize].load += rate;
+            }
+        }
+        let mut changed = false;
+        for &f in active {
+            let fl = &mut flows[f];
+            let mut k = f64::MIN;
+            for &ri in &fl.path {
+                let r = &res[ri as usize];
+                k = k.max(r.load / r.eff_cap);
+            }
+            let next = fl.rate / k.max(f64::MIN_POSITIVE);
+            if (next - fl.rate).abs() > 1e-9 * fl.rate.abs().max(1e-12) {
+                changed = true;
+            }
+            fl.rate = next;
+        }
+        if !changed {
+            break;
+        }
+    }
+    for r in res.iter_mut() {
+        r.load = 0.0;
+        r.saturated_now = false;
+    }
+    for &f in active {
+        let rate = flows[f].rate;
+        for &ri in &flows[f].path {
+            res[ri as usize].load += rate;
+        }
+    }
+    for r in res.iter_mut() {
+        if r.n_active > 0 && r.load >= 0.999 * r.eff_cap {
+            r.saturated_now = true;
+            r.ever_saturated = true;
+        }
+    }
+}
+
+/// The Appendix A.2 fluid-model engine behind the
+/// [`crate::backend::Backend`] boundary.
+///
+/// Orders of magnitude faster than the packet engine (work scales with flow
+/// arrivals/completions instead of packets), at the price of modelling CC as
+/// its steady state: no per-ACK dynamics, no PFC, no loss, no multi-class
+/// scheduling, no fault timelines. Scenario resolution rejects the
+/// unsupported combinations up front.
+pub struct FluidBackend;
+
+impl Backend for FluidBackend {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn run(&self, scenario: CompiledScenario) -> SimOutput {
+        fluid_run(scenario)
+    }
+}
+
+fn fluid_run(scenario: CompiledScenario) -> SimOutput {
+    let CompiledScenario { topo, cfg, flows } = scenario;
+    let ss = steady_state(&cfg);
+    let mut out = SimOutput::new(1024, cfg.flow_throughput_bin.unwrap_or(Duration::ZERO));
+    let flow_count = flows.len();
+    let header_wire = cfg.data_wire_size() - cfg.mtu_payload;
+    let end_s = cfg.end_time.as_secs_f64();
+
+    // Route every flow, interning the egress links it crosses.
+    let mut resources: Vec<Resource> = Vec::new();
+    let mut res_index = std::collections::HashMap::new();
+    let mut fluid: Vec<FluidFlow> = flows
+        .iter()
+        .map(|spec| {
+            let path = route_flow(&topo, spec, &mut resources, &mut res_index);
+            let nic_bps = topo
+                .ports(spec.src)
+                .first()
+                .map(|p| p.bandwidth.as_bps() as f64)
+                .unwrap_or(0.0);
+            let wire_bytes =
+                spec.size as f64 + spec.packet_count(cfg.mtu_payload) as f64 * header_wire as f64;
+            let (path, base_pad, queue_pad) = match path {
+                Some(p) => {
+                    let min_cap = p
+                        .iter()
+                        .map(|&ri| resources[ri as usize].cap_bps)
+                        .fold(f64::MAX, f64::min);
+                    let fwd = topo
+                        .path_one_way_delay(spec.src, spec.dst, cfg.data_wire_size())
+                        .unwrap_or(Duration::ZERO);
+                    let rev = topo
+                        .path_one_way_delay(spec.dst, spec.src, cfg.data_wire_size())
+                        .unwrap_or(Duration::ZERO);
+                    let standing = Duration::from_ps(
+                        ((ss.queue_bytes * 8.0 / min_cap.max(1.0)) * 1e12).round() as u64,
+                    ) + ss.queue_delay;
+                    (p, fwd + rev, standing)
+                }
+                None => (Vec::new(), Duration::ZERO, Duration::ZERO),
+            };
+            FluidFlow {
+                spec: *spec,
+                path,
+                nic_bps: nic_bps.max(1.0),
+                wire_bytes,
+                remaining: wire_bytes,
+                rate: 0.0,
+                base_pad,
+                queue_pad,
+                contended_s: 0.0,
+                done: false,
+            }
+        })
+        .collect();
+
+    // Admission order: by start time, then id — the deterministic event order.
+    let mut order: Vec<usize> = (0..fluid.len())
+        .filter(|&i| !fluid[i].path.is_empty())
+        .collect();
+    order.sort_by(|&a, &b| {
+        (fluid[a].spec.start, fluid[a].spec.id.raw())
+            .cmp(&(fluid[b].spec.start, fluid[b].spec.id.raw()))
+    });
+
+    let switch_ports_total: usize = topo.switches().iter().map(|&s| topo.ports(s).len()).sum();
+    let sample_interval_s = cfg.queue_sample_interval.map(|d| d.as_secs_f64());
+    let mut next_sample_s = sample_interval_s.unwrap_or(f64::MAX);
+
+    let mut records: Vec<FlowRecord> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    let mut admit = 0usize;
+    let mut t = 0.0f64;
+    let mut last_event_s = 0.0f64;
+    let goodput_bin_s = cfg
+        .flow_throughput_bin
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+
+    // Emit the queue samples due in (from, to]: every switch egress is
+    // sampled, saturated fluid resources at their standing-queue estimate and
+    // everything else at zero — mirroring the packet engine's all-ports
+    // sampling cadence so queue CDFs stay comparable.
+    macro_rules! emit_samples {
+        ($to:expr, $resources:expr) => {
+            if let Some(interval) = sample_interval_s {
+                while next_sample_s <= $to && next_sample_s <= end_s {
+                    let mut sampled = 0usize;
+                    for r in $resources.iter() {
+                        if !r.is_switch {
+                            continue;
+                        }
+                        sampled += 1;
+                        let q = if r.saturated_now {
+                            (ss.queue_bytes + ss.queue_delay.as_secs_f64() * r.cap_bps / 8.0)
+                                .round() as u64
+                        } else {
+                            0
+                        };
+                        out.record_queue_sample(q);
+                    }
+                    for _ in sampled..switch_ports_total {
+                        out.record_queue_sample(0);
+                    }
+                    next_sample_s += interval;
+                }
+            }
+        };
+    }
+
+    loop {
+        if active.is_empty() {
+            // Jump to the next arrival (or finish).
+            match order.get(admit) {
+                Some(&i) if fluid[i].spec.start.as_secs_f64() <= end_s => {
+                    let start_s = fluid[i].spec.start.as_secs_f64();
+                    // The network is idle while we jump: queues are drained.
+                    for r in resources.iter_mut() {
+                        r.saturated_now = false;
+                    }
+                    emit_samples!(start_s, resources);
+                    t = start_s;
+                    last_event_s = last_event_s.max(t);
+                    while admit < order.len()
+                        && fluid[order[admit]].spec.start.as_secs_f64() <= t + 1e-15
+                    {
+                        active.push(order[admit]);
+                        admit += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        solve_rates(&active, &mut fluid, &mut resources, &ss);
+        out.events_processed += active.len() as u64 + 1;
+        let shared: Vec<bool> = active
+            .iter()
+            .map(|&f| {
+                fluid[f]
+                    .path
+                    .iter()
+                    .any(|&ri| resources[ri as usize].n_active >= 2)
+            })
+            .collect();
+
+        // Next event: the earliest of (next arrival, earliest completion,
+        // horizon).
+        let next_arrival = order
+            .get(admit)
+            .map(|&i| fluid[i].spec.start.as_secs_f64())
+            .unwrap_or(f64::MAX);
+        let mut t_event = next_arrival.min(end_s);
+        for &f in &active {
+            let fl = &fluid[f];
+            let done_at = t + fl.remaining * 8.0 / fl.rate.max(1.0);
+            t_event = t_event.min(done_at);
+        }
+        let dt = (t_event - t).max(0.0);
+
+        // Integrate [t, t_event): drain bytes, accumulate link tx, spread
+        // goodput, emit queue samples.
+        emit_samples!(t_event, resources);
+        for (k, &f) in active.iter().enumerate() {
+            let fl = &mut fluid[f];
+            if shared[k] {
+                fl.contended_s += dt;
+            }
+            let drained = (fl.rate * dt / 8.0).min(fl.remaining);
+            fl.remaining -= drained;
+            if goodput_bin_s > 0.0 && drained > 0.0 {
+                let app_ratio = fl.spec.size as f64 / fl.wire_bytes.max(1.0);
+                // Split the drained bytes across the goodput bins the epoch
+                // overlaps.
+                let mut b0 = t;
+                while b0 < t_event {
+                    let bin_end = ((b0 / goodput_bin_s).floor() + 1.0) * goodput_bin_s;
+                    let b1 = bin_end.min(t_event);
+                    let share = drained * (b1 - b0) / dt.max(1e-18) * app_ratio;
+                    out.record_goodput(
+                        fl.spec.id,
+                        secs_to_simtime((b0 + b1) / 2.0),
+                        share.round() as u64,
+                    );
+                    b0 = b1;
+                }
+            }
+        }
+        for r in resources.iter_mut() {
+            r.tx_bits += r.load * dt;
+        }
+        t = t_event;
+        if t >= end_s {
+            break;
+        }
+
+        // Completions at t.
+        active.retain(|&f| {
+            let fl = &mut fluid[f];
+            if fl.remaining > 1e-3 {
+                return true;
+            }
+            fl.done = true;
+            let queue_pad_s = fl.queue_pad.as_secs_f64().min(fl.contended_s);
+            let pad = fl.base_pad + Duration::from_ps((queue_pad_s * 1e12).round() as u64);
+            let finish = secs_to_simtime(t) + pad;
+            if finish.as_secs_f64() <= end_s {
+                records.push(FlowRecord {
+                    id: fl.spec.id,
+                    src: fl.spec.src,
+                    dst: fl.spec.dst,
+                    size: fl.spec.size,
+                    start: fl.spec.start,
+                    finish,
+                    prio: fl.spec.priority.wire_code(),
+                });
+                last_event_s = last_event_s.max(finish.as_secs_f64());
+            }
+            false
+        });
+        // Arrivals at t.
+        while admit < order.len() && fluid[order[admit]].spec.start.as_secs_f64() <= t + 1e-15 {
+            active.push(order[admit]);
+            admit += 1;
+            last_event_s = last_event_s.max(t);
+        }
+    }
+
+    // Trailing queue samples up to the horizon (the packet engine's sampling
+    // events keep firing on an idle network).
+    for r in resources.iter_mut() {
+        r.saturated_now = false;
+    }
+    emit_samples!(end_s, resources);
+
+    records.sort_by_key(|r| (r.finish, r.id.raw()));
+    for fl in &fluid {
+        let app_done = (fl.wire_bytes - fl.remaining).max(0.0)
+            * (fl.spec.size as f64 / fl.wire_bytes.max(1.0));
+        let delivered = if fl.done {
+            fl.spec.packet_count(cfg.mtu_payload)
+        } else {
+            (app_done / cfg.mtu_payload as f64).floor() as u64
+        };
+        out.packets_delivered += delivered;
+        out.packets_sent += delivered;
+    }
+    out.unfinished_flows = flow_count - records.len();
+    out.flows = records;
+    for r in &resources {
+        let counters = out.ports.entry((r.node, r.port)).or_default();
+        counters.tx_bytes = (r.tx_bits / 8.0).round() as u64;
+        counters.max_queue_bytes = if r.ever_saturated && r.is_switch {
+            (ss.queue_bytes + ss.queue_delay.as_secs_f64() * r.cap_bps / 8.0).round() as u64
+        } else {
+            0
+        };
+    }
+    // Mirror the packet engine's horizon semantics: periodic samplers keep
+    // the clock running to the horizon; otherwise the run ends at its last
+    // event.
+    out.elapsed = if sample_interval_s.is_some() {
+        cfg.end_time
+    } else {
+        secs_to_simtime(last_event_s.min(end_s))
+    };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{backend_for, BackendKind};
+    use hpcc_topology::star;
+    use hpcc_types::{Bandwidth, FlowId};
+
+    fn star_scenario(cc: CcAlgorithm, flows: Vec<FlowSpec>) -> CompiledScenario {
+        let bw = Bandwidth::from_gbps(25);
+        let topo = star(4, bw, Duration::from_us(1));
+        let mut cfg = SimConfig::for_cc(cc, bw, topo.suggested_base_rtt(1106));
+        cfg.end_time = SimTime::from_ms(50);
+        CompiledScenario { topo, cfg, flows }
+    }
+
+    /// The classic two-resource line network: path 0 uses both resources,
+    /// paths 1 and 2 use one each.
+    fn line_network() -> FluidNetwork {
+        FluidNetwork::new(
+            vec![vec![true, true, false], vec![true, false, true]],
+            vec![10.0, 20.0],
+        )
+    }
+
+    #[test]
+    fn one_step_reaches_feasibility() {
+        let net = line_network();
+        let start = vec![50.0, 50.0, 50.0];
+        assert!(!net.is_feasible(&start, 1e-9));
+        let after = net.step(&start);
+        assert!(
+            net.is_feasible(&after, 1e-9),
+            "lemma (i): feasible after one step"
+        );
+    }
+
+    #[test]
+    fn rates_never_decrease_after_the_first_step() {
+        let net = line_network();
+        let trajectory = net.converge(&[50.0, 50.0, 50.0], 1e-12, 20);
+        for w in trajectory[1..].windows(2) {
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                assert!(b + 1e-9 >= *a, "lemma (ii): rates are non-decreasing");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_pareto_optimum() {
+        let net = line_network();
+        // The most-utilized resource saturates after exactly one step
+        // (lemma): resource 0 carries 10 = C_0 from then on.
+        let after_one = net.step(&[50.0, 50.0, 50.0]);
+        assert!((net.loads(&after_one)[0] - 10.0).abs() < 1e-9);
+        let trajectory = net.converge(&[50.0, 50.0, 50.0], 1e-9, 100);
+        let last = trajectory.last().unwrap();
+        assert!(
+            net.is_pareto_optimal(last, 1e-6),
+            "lemma (iii): Pareto optimal"
+        );
+        // The expected fixed point: resource 0 saturates first (10 split
+        // between paths 0 and 1), then path 2 grabs the slack on resource 1.
+        assert!((last[0] - 5.0).abs() < 1e-6);
+        assert!((last[1] - 5.0).abs() < 1e-6);
+        assert!((last[2] - 15.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn random_networks_satisfy_the_lemma() {
+        // Deterministic pseudo-random sweep over many topologies.
+        let mut x: u64 = 0xfeed_beef;
+        let mut rand = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for case in 0..50 {
+            let resources = 1 + (rand() * 5.0) as usize;
+            let paths = 1 + (rand() * 6.0) as usize;
+            let mut incidence = vec![vec![false; paths]; resources];
+            for (j, _) in (0..paths).enumerate() {
+                // Every path uses at least one resource.
+                let forced = (rand() * resources as f64) as usize % resources;
+                incidence[forced][j] = true;
+                for row in incidence.iter_mut() {
+                    if rand() < 0.3 {
+                        row[j] = true;
+                    }
+                }
+            }
+            let capacities: Vec<f64> = (0..resources).map(|_| 1.0 + rand() * 99.0).collect();
+            let net = FluidNetwork::new(incidence, capacities);
+            let initial: Vec<f64> = (0..paths).map(|_| 0.1 + rand() * 200.0).collect();
+            let after_one = net.step(&initial);
+            assert!(
+                net.is_feasible(&after_one, 1e-9),
+                "case {case}: feasible after one step"
+            );
+            let trajectory = net.converge(&initial, 1e-10, 200);
+            let last = trajectory.last().unwrap();
+            assert!(
+                net.is_pareto_optimal(last, 1e-3),
+                "case {case}: Pareto optimal"
+            );
+            assert!(net.is_feasible(last, 1e-6), "case {case}: final feasible");
+        }
+    }
+
+    #[test]
+    fn ai_equilibrium_matches_the_papers_example() {
+        // §A.3: with U_target = 95%, the utilization stays below 100% as long
+        // as a < 5% of the flow rate.
+        let a = 0.04;
+        let r = 1.0;
+        let u = ai_equilibrium_utilization(a, 0.95, r);
+        assert!(u < 1.0, "u = {u}");
+        let a_too_big = 0.06;
+        let u2 = ai_equilibrium_utilization(a_too_big, 0.95, r);
+        assert!(u2 > 1.0, "u2 = {u2}");
+        // Round-trip between the two forms.
+        let r_back = ai_equilibrium_rate(a, 0.95, u);
+        assert!((r_back - r).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "path 1 uses no resource")]
+    fn rejects_paths_without_resources() {
+        FluidNetwork::new(vec![vec![true, false]], vec![10.0]);
+    }
+
+    #[test]
+    fn two_senders_share_the_bottleneck_and_finish_together() {
+        let hosts = star(4, Bandwidth::from_gbps(25), Duration::from_us(1))
+            .hosts()
+            .to_vec();
+        let size = 10_000_000;
+        let s = star_scenario(
+            CcAlgorithm::hpcc_default(),
+            vec![
+                FlowSpec::new(FlowId(1), hosts[0], hosts[2], size, SimTime::ZERO),
+                FlowSpec::new(FlowId(2), hosts[1], hosts[2], size, SimTime::ZERO),
+            ],
+        );
+        let out = backend_for(BackendKind::Fluid).run(s);
+        assert_eq!(out.flows.len(), 2);
+        assert_eq!(out.unfinished_flows, 0);
+        let fct0 = out.flows[0].fct().as_secs_f64();
+        let fct1 = out.flows[1].fct().as_secs_f64();
+        assert!((fct0 - fct1).abs() < 1e-6, "{fct0} vs {fct1}");
+        // Two flows into one 25G (η-scaled) port: each gets ~η·C/2, so the
+        // FCT is roughly 2 × size / (η·C).
+        let expected = 2.0 * (size as f64 * 1.106 * 8.0) / (0.95 * 25e9);
+        assert!(
+            (fct0 - expected).abs() / expected < 0.1,
+            "fct {fct0} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn hpcc_eta_caps_a_single_flow_below_line_rate() {
+        let hosts = star(4, Bandwidth::from_gbps(25), Duration::from_us(1))
+            .hosts()
+            .to_vec();
+        let size = 25_000_000;
+        let s = star_scenario(
+            CcAlgorithm::hpcc_default(),
+            vec![FlowSpec::new(
+                FlowId(1),
+                hosts[0],
+                hosts[1],
+                size,
+                SimTime::ZERO,
+            )],
+        );
+        let out = backend_for(BackendKind::Fluid).run(s);
+        assert_eq!(out.flows.len(), 1);
+        let fct = out.flows[0].fct().as_secs_f64();
+        let at_line_rate = size as f64 * 1.106 * 8.0 / 25e9;
+        // η = 0.95 (plus the small W_AI lift) keeps the flow under line rate.
+        assert!(fct > at_line_rate, "fct {fct} vs line-rate {at_line_rate}");
+        assert!(fct < at_line_rate / 0.90, "fct {fct} not wildly slower");
+    }
+
+    #[test]
+    fn horizon_cuts_off_unfinished_flows() {
+        let hosts = star(4, Bandwidth::from_gbps(25), Duration::from_us(1))
+            .hosts()
+            .to_vec();
+        let mut s = star_scenario(
+            CcAlgorithm::hpcc_default(),
+            vec![
+                FlowSpec::new(FlowId(1), hosts[0], hosts[1], 4_000, SimTime::ZERO),
+                // Far too large to finish within the horizon.
+                FlowSpec::new(
+                    FlowId(2),
+                    hosts[1],
+                    hosts[2],
+                    u32::MAX as u64,
+                    SimTime::ZERO,
+                ),
+                // Starts after the horizon: never admitted.
+                FlowSpec::new(FlowId(3), hosts[0], hosts[2], 1_000, SimTime::from_ms(100)),
+            ],
+        );
+        s.cfg.end_time = SimTime::from_ms(1);
+        let out = backend_for(BackendKind::Fluid).run(s);
+        assert_eq!(out.flows.len(), 1);
+        assert_eq!(out.flows[0].id, FlowId(1));
+        assert_eq!(out.unfinished_flows, 2);
+        assert_eq!(
+            out.elapsed,
+            secs_to_simtime(out.flows[0].finish.as_secs_f64())
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let hosts = star(6, Bandwidth::from_gbps(25), Duration::from_us(1))
+            .hosts()
+            .to_vec();
+        let flows: Vec<FlowSpec> = (0..20)
+            .map(|i| {
+                FlowSpec::new(
+                    FlowId(i),
+                    hosts[(i % 5) as usize],
+                    hosts[((i + 1) % 6) as usize],
+                    10_000 + 7_000 * i,
+                    SimTime::from_us(13 * i),
+                )
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        let run = |flows: Vec<FlowSpec>| {
+            let s = star_scenario(
+                CcAlgorithm::Dcqcn(hpcc_cc::DcqcnConfig::vendor_default(Bandwidth::from_gbps(
+                    25,
+                ))),
+                flows,
+            );
+            backend_for(BackendKind::Fluid).run(s)
+        };
+        let a = run(flows.clone());
+        let b = run(flows);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.packets_delivered, b.packets_delivered);
+    }
+
+    #[test]
+    fn ecn_schemes_pad_fct_with_the_standing_queue() {
+        // Two senders converge on one receiver: the shared bottleneck holds
+        // the scheme's steady-state standing queue for the whole transfer.
+        let hosts = star(4, Bandwidth::from_gbps(25), Duration::from_us(1))
+            .hosts()
+            .to_vec();
+        let flows = vec![
+            FlowSpec::new(FlowId(1), hosts[0], hosts[2], 2_000_000, SimTime::ZERO),
+            FlowSpec::new(FlowId(2), hosts[1], hosts[2], 2_000_000, SimTime::ZERO),
+        ];
+        let scenario = star_scenario(
+            CcAlgorithm::Dcqcn(hpcc_cc::DcqcnConfig::vendor_default(Bandwidth::from_gbps(
+                25,
+            ))),
+            flows,
+        );
+        let ecn = scenario.cfg.ecn.expect("DCQCN config carries ECN marking");
+        let queue_pad_s = (ecn.kmin_bytes + ecn.kmax_bytes) as f64 / 2.0 * 8.0 / 25e9;
+        let header = (scenario.cfg.data_wire_size() - scenario.cfg.mtu_payload) as f64;
+        let wire = 2_000_000.0 + 2_000.0 * header;
+        let out = backend_for(BackendKind::Fluid).run(scenario);
+        // Each flow drains at the 12.5 Gbps fair share; the FCT must exceed
+        // that ideal transfer time by (at least most of) the standing ECN
+        // queue delay at the shared bottleneck.
+        let fair_share_s = wire * 8.0 / 12.5e9;
+        let fct = out.flows[0].fct().as_secs_f64();
+        assert!(
+            fct > fair_share_s + 0.5 * queue_pad_s,
+            "fct {fct} should carry the standing queue above the ideal {fair_share_s} \
+             (pad {queue_pad_s})"
+        );
+    }
+
+    #[test]
+    fn solo_flows_see_no_standing_queue() {
+        // A lone DCQCN flow on an idle fabric never shares a resource, so
+        // the fluid model adds no queue pad: FCT is ideal transfer time
+        // plus propagation, same as HPCC's (modulo HPCC's eta rate cap).
+        let hosts = star(4, Bandwidth::from_gbps(25), Duration::from_us(1))
+            .hosts()
+            .to_vec();
+        let flows = vec![FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            100_000,
+            SimTime::ZERO,
+        )];
+        let dcqcn = backend_for(BackendKind::Fluid).run(star_scenario(
+            CcAlgorithm::Dcqcn(hpcc_cc::DcqcnConfig::vendor_default(Bandwidth::from_gbps(
+                25,
+            ))),
+            flows.clone(),
+        ));
+        let hpcc =
+            backend_for(BackendKind::Fluid).run(star_scenario(CcAlgorithm::hpcc_default(), flows));
+        // DCQCN drains at full line rate (no eta cap) with no queue pad, so
+        // it can only be faster than HPCC here.
+        assert!(dcqcn.flows[0].fct() <= hpcc.flows[0].fct());
+    }
+}

@@ -24,9 +24,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod fault;
+pub mod fluid;
 pub mod host;
 pub mod output;
 pub mod rng;
@@ -35,8 +37,10 @@ pub mod switch;
 
 mod simulator;
 
+pub use backend::{backend_for, Backend, BackendKind, CompiledScenario, PacketBackend};
 pub use config::{EcnConfig, FlowControlMode, QueueingConfig, SchedulerKind, SimConfig};
 pub use engine::Event;
 pub use fault::{DegradedLink, FaultConfig, FaultTimeline, LinkDownMode, LinkFault, StragglerHost};
+pub use fluid::{ai_equilibrium_rate, ai_equilibrium_utilization, FluidBackend, FluidNetwork};
 pub use output::{FlowRecord, PortKey, SimOutput};
 pub use simulator::Simulator;

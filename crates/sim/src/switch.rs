@@ -33,6 +33,17 @@ use hpcc_types::{
 };
 use std::collections::VecDeque;
 
+/// The ECMP candidate index a flow hashes to at a node: deterministic per
+/// (flow, node) so a flow never reorders, uniform across candidates. Shared
+/// with the fluid backend so both engines route a flow over the same path.
+pub(crate) fn ecmp_index(flow: u64, node: NodeId, candidates: usize) -> usize {
+    let mut h = flow ^ (node.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    (h % candidates as u64) as usize
+}
+
 /// A packet sitting in an egress queue, remembering the ingress it came from
 /// (for PFC accounting) and its wire size. The packet stays in its pooled
 /// box from arrival to departure, so queuing moves 24 bytes per entry.
@@ -261,11 +272,7 @@ impl Switch {
     /// ECMP selection: deterministic per (flow, switch) so a flow never
     /// reorders, uniform across candidates.
     fn ecmp_pick(&self, flow: u64, candidates: &[PortId]) -> PortId {
-        let mut h = flow ^ (self.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51afd7ed558ccd);
-        h ^= h >> 33;
-        candidates[(h % candidates.len() as u64) as usize]
+        candidates[ecmp_index(flow, self.id, candidates.len())]
     }
 
     /// Handle a packet arriving on `ingress`.
