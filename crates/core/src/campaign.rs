@@ -507,7 +507,11 @@ impl CampaignReport {
 /// FNV-1a digest over everything deterministic in a [`SimOutput`].
 ///
 /// HashMap-backed fields are folded in sorted-key order, so the digest is a
-/// pure function of the simulation, not of hasher state.
+/// pure function of the simulation, not of hasher state. This contract is
+/// machine-checked: the `hash-iter` rule of `simlint` (crates/lint) flags
+/// any HashMap/HashSet iteration in sim/stats/core/topology that neither
+/// feeds a sort (as the folds below do) nor carries a justified
+/// `// simlint: sorted-fold` annotation.
 pub fn digest_output(out: &SimOutput) -> u64 {
     let mut d = Fnv::new();
     let mut flows = out.flows.clone();

@@ -1,0 +1,102 @@
+//! `simlint` — the repository's determinism & wire-contract static-analysis
+//! pass (see `hpcc_lint` for the analyzers and `docs/ARCHITECTURE.md`
+//! "Static analysis" for the rules).
+//!
+//! ```text
+//! simlint [--root DIR] [rust|wire|manifests|all]
+//! ```
+//!
+//! Findings print as `file:line rule message`, one per line, sorted.
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use hpcc_lint::{run, Section};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simlint [--root DIR] [rust|wire|manifests|all]\n\
+         rules: {}",
+        hpcc_lint::rule_ids()
+            .into_iter()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut section = Section::All;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(dir) = args.get(i + 1) else { usage() };
+                root = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            "rust" => {
+                section = Section::Rust;
+                i += 1;
+            }
+            "wire" => {
+                section = Section::Wire;
+                i += 1;
+            }
+            "manifests" => {
+                section = Section::Manifests;
+                i += 1;
+            }
+            "all" => {
+                section = Section::All;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("simlint: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    // Default root: the workspace root (two levels above this crate when
+    // run via `cargo run -p hpcc-lint`, else the current directory).
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        if cwd.join("crates/core/src/wire.rs").is_file() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .unwrap_or(cwd)
+        }
+    });
+    match run(&root, section) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("simlint: clean ({})", describe(section));
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("simlint: {} finding(s)", findings.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn describe(section: Section) -> &'static str {
+    match section {
+        Section::Rust => "determinism lints",
+        Section::Wire => "wire contract",
+        Section::Manifests => "manifests + corpus",
+        Section::All => "determinism lints, wire contract, manifests + corpus",
+    }
+}

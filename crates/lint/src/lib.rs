@@ -1,0 +1,291 @@
+//! # hpcc-lint
+//!
+//! The in-tree determinism and wire-contract static-analysis pass of the
+//! HPCC reproduction — the `simlint` binary CI gates on. Everything this
+//! repository claims rests on bit-identical determinism (golden digests
+//! over the event-wheel engine, the sharded merge, the fluid backend, the
+//! canonical JSONL wire); these analyzers turn the conventions behind those
+//! claims into machine-checked rules instead of remembered ones:
+//!
+//! * [`determinism`] — lexical lints over Rust source: hasher-ordered
+//!   iteration feeding folds, wall-clock reads outside the timing modules,
+//!   non-canonical formatting next to the wire encoder, missing
+//!   `#![forbid(unsafe_code)]` / crate docs in crate roots.
+//! * [`wirecheck`] — bidirectional key cross-check between
+//!   `crates/core/src/wire.rs` and `docs/WIRE.md`, so the encoder and its
+//!   normative spec can never diverge silently.
+//! * [`manifests`] — static validation of every committed
+//!   `manifests/*.json` (parse, `try_build`-level checking, canonical
+//!   re-encoding fixed point) and `corpus/*` file (parse, round-trip,
+//!   reachability) without running the engine.
+//!
+//! Findings print as `file:line rule message`. Vetted exceptions live
+//! inline (`// simlint: sorted-fold — <why>` /
+//! `// simlint: allow(<rule>) — <why>`, justification required) or in the
+//! committed `simlint.allow` file (`<path> <rule>` per line); stale
+//! allowlist entries are themselves findings, so the list cannot rot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod determinism;
+pub mod manifests;
+pub mod scanner;
+pub mod wirecheck;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One static-analysis finding, rendered as `file:line rule message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path (`/`-separated) of the offending file.
+    pub file: String,
+    /// 1-based line number the finding anchors to.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `hash-iter`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(
+        file: impl Into<String>,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The committed allowlist (`simlint.allow`): one `<path> <rule>` pair per
+/// line, `#` comments, suppressing whole-file/rule combinations that are
+/// vetted exceptions.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, usize)>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Malformed lines become findings against
+    /// `label`.
+    pub fn parse(label: &str, text: &str) -> (Self, Vec<Finding>) {
+        let mut entries = Vec::new();
+        let mut findings = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(path), Some(rule), None) => {
+                    entries.push((path.to_string(), rule.to_string(), i + 1))
+                }
+                _ => findings.push(Finding::new(
+                    label,
+                    i + 1,
+                    "allowlist",
+                    "malformed entry; the grammar is `<repo-relative-path> <rule>  # reason`",
+                )),
+            }
+        }
+        (Allowlist { entries }, findings)
+    }
+
+    /// Drop findings matched by an entry; report entries that matched
+    /// nothing as stale (against `label`), so the allowlist cannot rot.
+    pub fn apply(&self, label: &str, findings: Vec<Finding>) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        for f in findings {
+            let hit = self
+                .entries
+                .iter()
+                .position(|(path, rule, _)| *path == f.file && *rule == f.rule);
+            match hit {
+                Some(i) => used[i] = true,
+                None => kept.push(f),
+            }
+        }
+        for (i, (path, rule, line)) in self.entries.iter().enumerate() {
+            if !used[i] {
+                kept.push(Finding::new(
+                    label,
+                    *line,
+                    "allowlist",
+                    format!("stale entry `{path} {rule}` matched no finding; remove it"),
+                ));
+            }
+        }
+        kept
+    }
+}
+
+/// Recursively list the `.rs` files under `dir` (sorted, repo-relative to
+/// `root`), skipping `target/`.
+fn rust_files(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    let mut children: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    children.sort();
+    for path in children {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Which analysis sections to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Determinism lints over Rust source.
+    Rust,
+    /// Wire-contract drift check.
+    Wire,
+    /// Manifest and corpus validation.
+    Manifests,
+    /// Everything.
+    All,
+}
+
+/// Run the requested sections over the repository at `root`; returns the
+/// allowlist-filtered findings, sorted by file and line.
+pub fn run(root: &Path, section: Section) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let want = |s: Section| section == Section::All || section == s;
+
+    if want(Section::Rust) {
+        // Library sources: every crate's src/ plus the umbrella crate root.
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut crate_roots: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|e| e.path().join("src"))
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_roots.sort();
+            for src in crate_roots {
+                rust_files(root, &src, &mut files)?;
+            }
+        }
+        let umbrella = root.join("src/lib.rs");
+        if umbrella.is_file() {
+            files.push(("src/lib.rs".to_string(), umbrella));
+        }
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(rel, path)| Ok((rel.clone(), std::fs::read_to_string(path)?)))
+            .collect::<std::io::Result<_>>()?;
+        let registry = determinism::collect_pub_hash_fields(&sources);
+        for (rel, text) in &sources {
+            findings.extend(determinism::lint_rust_source(rel, text, &registry));
+        }
+    }
+
+    if want(Section::Wire) {
+        let wire_rs = root.join("crates/core/src/wire.rs");
+        let wire_md = root.join("docs/WIRE.md");
+        let source = std::fs::read_to_string(&wire_rs)?;
+        let doc = std::fs::read_to_string(&wire_md)?;
+        findings.extend(wirecheck::check_wire_contract(
+            "crates/core/src/wire.rs",
+            &source,
+            "docs/WIRE.md",
+            &doc,
+        ));
+    }
+
+    if want(Section::Manifests) {
+        for (dir, check) in [("manifests", true), ("corpus", false)] {
+            let dir_path = root.join(dir);
+            if !dir_path.is_dir() {
+                continue;
+            }
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir_path)?
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|e| e.path())
+                .filter(|p| p.is_file())
+                .collect();
+            entries.sort();
+            for path in entries {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = std::fs::read_to_string(&path)?;
+                if check {
+                    findings.extend(manifests::check_manifest(&rel, &text, root));
+                } else {
+                    findings.extend(manifests::check_corpus(&rel, &text));
+                }
+            }
+        }
+    }
+
+    // Allowlist-filter (stale entries come back as findings).
+    let allow_path = root.join("simlint.allow");
+    let (allowlist, mut parse_findings) = if allow_path.is_file() {
+        Allowlist::parse("simlint.allow", &std::fs::read_to_string(&allow_path)?)
+    } else {
+        (Allowlist::default(), Vec::new())
+    };
+    let mut findings = allowlist.apply("simlint.allow", findings);
+    findings.append(&mut parse_findings);
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// The set of rule ids the pass can emit (for `--help` and tests).
+pub fn rule_ids() -> BTreeSet<&'static str> {
+    [
+        determinism::HASH_ITER,
+        determinism::WALL_CLOCK,
+        determinism::WIRE_FMT,
+        determinism::FORBID_UNSAFE,
+        determinism::CRATE_DOCS,
+        determinism::ANNOTATION,
+        wirecheck::WIRE_DRIFT,
+        manifests::MANIFEST,
+        manifests::CORPUS,
+        "allowlist",
+    ]
+    .into()
+}

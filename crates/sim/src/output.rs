@@ -192,6 +192,7 @@ impl SimOutput {
     /// Aggregate PFC pause duration across all ports.
     pub fn total_pause_duration(&self) -> Duration {
         let mut total = Duration::ZERO;
+        // simlint: sorted-fold — commutative Duration sum; port order cannot leak.
         for c in self.ports.values() {
             total += c.pause_duration;
         }
@@ -200,13 +201,14 @@ impl SimOutput {
 
     /// Total dropped data packets across all ports.
     pub fn total_drops(&self) -> u64 {
+        // simlint: sorted-fold — commutative u64 sum; port order cannot leak.
         self.ports.values().map(|c| c.dropped_packets).sum()
     }
 
     /// Largest data-queue occupancy seen anywhere.
     pub fn max_queue_bytes(&self) -> u64 {
         self.ports
-            .values()
+            .values() // simlint: sorted-fold — commutative max; port order cannot leak
             .map(|c| c.max_queue_bytes)
             .max()
             .unwrap_or(0)

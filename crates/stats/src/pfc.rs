@@ -58,6 +58,9 @@ pub fn pause_burst_spread(events: &[(SimTime, NodeId)], gap: Duration) -> Vec<us
     let mut sorted: Vec<(SimTime, NodeId)> = events.to_vec();
     sorted.sort_by_key(|(t, _)| *t);
     let mut bursts = Vec::new();
+    // Determinism audit (simlint hash-iter): `current` is only ever
+    // inserted into, counted with `len()`, and cleared — it is never
+    // iterated, so hasher state cannot leak into the output.
     let mut current: HashSet<NodeId> = HashSet::new();
     let mut last_time = sorted[0].0;
     for (t, node) in sorted {
