@@ -24,6 +24,13 @@
 //!     [--manifest f] [duration_ms] [load]
 //! cargo run --release -p hpcc-bench --bin campaign -- --merge a.jsonl b.jsonl ... \
 //!     [--expect N | --manifest f] [--report out.json]
+//! cargo run --release -p hpcc-bench --bin campaign -- --serve ADDR \
+//!     [--spawn-workers N] [--chaos-kill-at F] [--checkpoint file.jsonl] \
+//!     [--lease-timeout-ms N] [--verify-serial] [--report out.json] \
+//!     [--manifest f] [duration_ms] [load]
+//! cargo run --release -p hpcc-bench --bin campaign -- --join ADDR \
+//!     [--name W] [--heartbeat-ms N] [--hang-after N] [--quit-after N]
+//! cargo run --release -p hpcc-bench --bin campaign -- --dump-fabric-manifest
 //! ```
 //!
 //! `--manifest` runs a JSON campaign manifest (an array of ScenarioSpec
@@ -72,10 +79,35 @@
 //!   hosts) into one report. Pass `--expect N` (or `--manifest`, whose
 //!   scenario count is used) so a shard file truncated at its tail cannot
 //!   slip through as a shorter-but-valid report.
+//!
+//! Elastic fabric modes (see `hpcc_core::fabric` and `docs/WIRE.md` for the
+//! framed TCP protocol):
+//!
+//! * `--serve ADDR` — fabric coordinator: bind ADDR (use port 0 for an
+//!   ephemeral port; the bound address is printed), serve the campaign's
+//!   scenario indices as a dynamic work queue to any workers that join, and
+//!   merge streamed results into one report. Unlike `--shards`, workers may
+//!   join late, die mid-lease (their work is reassigned) and deliver
+//!   duplicates (deduplicated by digest). `--spawn-workers N` launches N
+//!   local `--join` subprocesses; `--chaos-kill-at F` SIGKILLs the first
+//!   spawned worker once the fraction F of scenarios has completed (a
+//!   self-test of fault tolerance); `--checkpoint FILE` appends each
+//!   accepted result to a JSONL file and replays it on restart so finished
+//!   scenarios are never re-run; `--lease-timeout-ms` tunes failure
+//!   detection. `--verify-serial` and `--report` behave as for `--shards`.
+//! * `--join ADDR` — fabric worker: connect to a coordinator, receive the
+//!   campaign manifest over the wire (no local campaign arguments needed),
+//!   lease scenario batches and stream results until told to stop.
+//!   `--hang-after N` / `--quit-after N` inject worker failures for chaos
+//!   tests.
+//! * `--dump-fabric-manifest` — print the committed fabric smoke campaign
+//!   (`manifests/fabric_smoke.json`).
 
 use hpcc_core::campaign::digest_output;
+use hpcc_core::fabric;
 use hpcc_core::presets::{
-    corpus_sweep, fattree_fb_hadoop, fig11_campaign, validation_grid, CORPUS_FILES,
+    corpus_sweep, fabric_smoke_campaign, fattree_fb_hadoop, fig11_campaign, validation_grid,
+    CORPUS_FILES,
 };
 use hpcc_core::{wire, BackendSpec, Campaign, CcSpec, ScenarioSpec, ShardPlan, ValidationReport};
 use hpcc_sim::FlowControlMode;
@@ -85,6 +117,8 @@ use hpcc_types::Duration;
 use std::hint::black_box;
 use std::io::Read as _;
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Events/sec of the `BinaryHeap` event queue on the smoke scenario, measured
@@ -380,6 +414,17 @@ struct Cli {
     tolerance: f64,
     fluid_bench: Option<Option<String>>,
     min_fluid_speedup: Option<f64>,
+    serve: Option<String>,
+    join: Option<String>,
+    spawn_workers: usize,
+    chaos_kill_at: Option<f64>,
+    checkpoint: Option<String>,
+    worker_name: Option<String>,
+    lease_timeout_ms: Option<u64>,
+    heartbeat_ms: Option<u64>,
+    hang_after: Option<usize>,
+    quit_after: Option<usize>,
+    dump_fabric_manifest: bool,
     positional: Vec<String>,
 }
 
@@ -502,6 +547,79 @@ impl Cli {
                             .unwrap_or_else(|_| die(format!("bad scenario count {n:?}"))),
                     );
                     i += 2;
+                }
+                "--serve" => {
+                    cli.serve = Some(value(i, "--serve"));
+                    i += 2;
+                }
+                "--join" => {
+                    cli.join = Some(value(i, "--join"));
+                    i += 2;
+                }
+                "--spawn-workers" => {
+                    let n = value(i, "--spawn-workers");
+                    cli.spawn_workers = n
+                        .parse()
+                        .unwrap_or_else(|_| die(format!("bad worker count {n:?}")));
+                    i += 2;
+                }
+                "--chaos-kill-at" => {
+                    let f = value(i, "--chaos-kill-at");
+                    cli.chaos_kill_at = Some(
+                        f.parse()
+                            .ok()
+                            .filter(|x: &f64| x.is_finite() && (0.0..=1.0).contains(x))
+                            .unwrap_or_else(|| die(format!("bad kill fraction {f:?}"))),
+                    );
+                    i += 2;
+                }
+                "--checkpoint" => {
+                    cli.checkpoint = Some(value(i, "--checkpoint"));
+                    i += 2;
+                }
+                "--name" => {
+                    cli.worker_name = Some(value(i, "--name"));
+                    i += 2;
+                }
+                "--lease-timeout-ms" => {
+                    let n = value(i, "--lease-timeout-ms");
+                    cli.lease_timeout_ms = Some(
+                        n.parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .unwrap_or_else(|| die(format!("bad lease timeout {n:?}"))),
+                    );
+                    i += 2;
+                }
+                "--heartbeat-ms" => {
+                    let n = value(i, "--heartbeat-ms");
+                    cli.heartbeat_ms = Some(
+                        n.parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .unwrap_or_else(|| die(format!("bad heartbeat period {n:?}"))),
+                    );
+                    i += 2;
+                }
+                "--hang-after" => {
+                    let n = value(i, "--hang-after");
+                    cli.hang_after = Some(
+                        n.parse()
+                            .unwrap_or_else(|_| die(format!("bad hang count {n:?}"))),
+                    );
+                    i += 2;
+                }
+                "--quit-after" => {
+                    let n = value(i, "--quit-after");
+                    cli.quit_after = Some(
+                        n.parse()
+                            .unwrap_or_else(|_| die(format!("bad quit count {n:?}"))),
+                    );
+                    i += 2;
+                }
+                "--dump-fabric-manifest" => {
+                    cli.dump_fabric_manifest = true;
+                    i += 1;
                 }
                 "--events-per-sec" => {
                     // Optional output path: take the next arg unless it is
@@ -716,6 +834,19 @@ fn run_coordinator(
         shards,
         merged.table()
     );
+    verify_and_write(&merged, campaign, verify_serial, report_path);
+}
+
+/// The shared tail of every coordinator mode (`--shards`, `--serve`):
+/// optionally prove the merged report bit-identical to an in-process
+/// `run_serial()` (digests and canonical JSON), then optionally write the
+/// canonical report JSON.
+fn verify_and_write(
+    merged: &hpcc_core::CampaignReport,
+    campaign: &Campaign,
+    verify_serial: bool,
+    report_path: Option<&str>,
+) {
     if verify_serial {
         let serial = campaign.run_serial();
         let digests_match = merged.digests() == serial.digests();
@@ -737,6 +868,159 @@ fn run_coordinator(
             .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
         println!("wrote {path}");
     }
+}
+
+/// How long the fabric coordinator tolerates zero progress before giving
+/// up (exit 4). Insurance against a wedged CI job: were every worker to
+/// die with none rejoining, `serve` would otherwise block forever.
+const FABRIC_STALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(120);
+
+/// Fabric coordinator mode: serve the campaign's scenario indices over TCP
+/// to elastic workers, optionally spawning local worker subprocesses (and
+/// chaos-killing the first one mid-run), then verify/write the merged
+/// report exactly like `--shards`.
+fn run_serve(campaign: &Campaign, addr: &str, cli: &Cli) {
+    let started = Instant::now();
+    let coordinator =
+        fabric::Coordinator::bind(addr).unwrap_or_else(|e| die(format!("cannot bind {addr}: {e}")));
+    let local = coordinator
+        .local_addr()
+        .unwrap_or_else(|e| die(format!("bound address: {e}")));
+    let progress = Arc::new(AtomicUsize::new(0));
+    let mut cfg = fabric::FabricConfig {
+        checkpoint: cli.checkpoint.as_ref().map(std::path::PathBuf::from),
+        progress: Some(Arc::clone(&progress)),
+        ..fabric::FabricConfig::default()
+    };
+    if let Some(ms) = cli.lease_timeout_ms {
+        cfg.lease_timeout = std::time::Duration::from_millis(ms);
+    }
+    println!(
+        "fabric coordinator on {local}: {} scenarios, lease timeout {} ms",
+        campaign.len(),
+        cfg.lease_timeout.as_millis()
+    );
+    // Spawn local workers after bind: their connections queue in the listen
+    // backlog until serve() starts accepting. Worker stdout is discarded —
+    // results travel over the TCP connection; diagnostics go to stderr.
+    let children = Arc::new(Mutex::new(Vec::new()));
+    if cli.spawn_workers > 0 {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| die(format!("cannot locate own executable: {e}")));
+        for w in 0..cli.spawn_workers {
+            let mut cmd = Command::new(&exe);
+            cmd.args(["--join", &local.to_string(), "--name", &format!("w{w}")]);
+            if let Some(ms) = cli.heartbeat_ms {
+                cmd.args(["--heartbeat-ms", &ms.to_string()]);
+            }
+            let child = cmd
+                .stdout(Stdio::null())
+                .spawn()
+                .unwrap_or_else(|e| die(format!("cannot spawn worker {w}: {e}")));
+            children.lock().unwrap().push(child);
+        }
+    }
+    // Chaos monitor: SIGKILL the first spawned worker once the requested
+    // fraction of scenarios has results. The fabric must finish correctly
+    // anyway — the kill is the point.
+    if let (Some(frac), true) = (
+        cli.chaos_kill_at,
+        cli.spawn_workers > 0 && !campaign.is_empty(),
+    ) {
+        let threshold = ((frac * campaign.len() as f64).ceil() as usize).clamp(1, campaign.len());
+        let progress = Arc::clone(&progress);
+        let children = Arc::clone(&children);
+        std::thread::spawn(move || loop {
+            if progress.load(Ordering::SeqCst) >= threshold {
+                if let Some(victim) = children.lock().unwrap().first_mut() {
+                    eprintln!("campaign: chaos: SIGKILL worker 0 at {threshold} results");
+                    let _ = victim.kill();
+                }
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+    }
+    // Stall watchdog: if the result count stops moving for FABRIC_STALL_TIMEOUT
+    // while incomplete, exit 4 rather than hang a CI job forever.
+    {
+        let progress = Arc::clone(&progress);
+        let len = campaign.len();
+        std::thread::spawn(move || {
+            let mut last = progress.load(Ordering::SeqCst);
+            let mut last_change = Instant::now();
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                let now = progress.load(Ordering::SeqCst);
+                if now >= len {
+                    return;
+                }
+                if now != last {
+                    last = now;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() > FABRIC_STALL_TIMEOUT {
+                    eprintln!(
+                        "campaign: fabric stalled at {now}/{len} results for {} s; giving up",
+                        FABRIC_STALL_TIMEOUT.as_secs()
+                    );
+                    std::process::exit(4);
+                }
+            }
+        });
+    }
+    let fab = coordinator
+        .serve(campaign, &cfg)
+        .unwrap_or_else(|e| die(format!("fabric serve failed: {e}")));
+    // Reap the spawned workers. A chaos-killed (or otherwise dead) worker
+    // is expected and must not fail the run — the merged report already
+    // proved the fabric rode out the loss.
+    for (w, child) in children.lock().unwrap().iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!("campaign: worker {w} exited with {status} (tolerated)"),
+            Err(e) => eprintln!("campaign: waiting for worker {w}: {e}"),
+        }
+    }
+    let mut merged = fab.report;
+    merged.wall = started.elapsed();
+    println!(
+        "== fabric: {} scenarios via {} worker(s) ==\n{}",
+        merged.results.len(),
+        fab.workers_seen,
+        merged.table()
+    );
+    println!(
+        "fabric stats: executed {} (resumed {} from checkpoint), deduped {}, \
+         reassigned {} lease(s)",
+        fab.executed, fab.resumed, fab.deduped, fab.reassigned
+    );
+    verify_and_write(&merged, campaign, cli.verify_serial, cli.report.as_deref());
+}
+
+/// Fabric worker mode: join a coordinator, receive the campaign over the
+/// wire and execute leased scenarios until dismissed. All diagnostics go
+/// to stderr (symmetry with `--worker-shard`; results travel over the TCP
+/// connection, not stdout).
+fn run_join(addr: &str, cli: &Cli) {
+    let mut cfg = fabric::WorkerConfig::default();
+    if let Some(name) = &cli.worker_name {
+        cfg.name = name.clone();
+    }
+    if let Some(ms) = cli.heartbeat_ms {
+        cfg.heartbeat = std::time::Duration::from_millis(ms);
+    }
+    cfg.hang_after = cli.hang_after;
+    cfg.quit_after = cli.quit_after;
+    let started = Instant::now();
+    let summary =
+        fabric::join(addr, &cfg).unwrap_or_else(|e| die(format!("worker {}: {e}", cfg.name)));
+    eprintln!(
+        "fabric worker {}: executed {} of {} scenarios in {:.2} s",
+        cfg.name,
+        summary.executed,
+        summary.campaign_len,
+        started.elapsed().as_secs_f64()
+    );
 }
 
 /// Merge mode: fold JSONL files produced by workers (possibly on other
@@ -805,6 +1089,16 @@ fn main() {
         println!("{}", Campaign::from_scenarios(specs).to_json_string());
         return;
     }
+    if cli.dump_fabric_manifest {
+        println!("{}", fabric_smoke_campaign().to_json_string());
+        return;
+    }
+    if let Some(addr) = &cli.join {
+        // Workers need no campaign arguments: the manifest arrives over
+        // the wire from the coordinator.
+        run_join(addr, &cli);
+        return;
+    }
     if cli.cross_validate {
         run_cross_validate(&cli.grid_specs(2), cli.tolerance, cli.report.as_deref());
         return;
@@ -836,6 +1130,10 @@ fn main() {
     let campaign = cli.build_campaign();
     if cli.dump_manifest {
         println!("{}", campaign.to_json_string());
+        return;
+    }
+    if let Some(addr) = &cli.serve {
+        run_serve(&campaign, addr, &cli);
         return;
     }
     if let Some(plan) = cli.worker_shard {

@@ -170,19 +170,41 @@ impl Campaign {
         Ok(executed)
     }
 
-    /// Serialize every scenario into a JSON array (a campaign manifest).
-    pub fn to_json_string(&self) -> String {
-        crate::json::JsonValue::Array(self.scenarios.iter().map(|s| s.to_json()).collect()).render()
+    /// Run the single scenario at `index` on the calling thread — the
+    /// fabric's unit of leased work. Seeds and digests depend only on the
+    /// scenario spec, so `run_index` on any host reproduces the scenario's
+    /// serial result bit-identically.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    pub fn run_index(&self, index: usize) -> ScenarioResult {
+        run_one(&self.scenarios[index])
     }
 
-    /// Parse a campaign manifest (a JSON array of scenarios).
-    pub fn from_json_str(text: &str) -> Result<Self, crate::json::JsonError> {
-        let doc = crate::json::JsonValue::parse(text)?;
+    /// The manifest as a JSON array value (for embedding in larger
+    /// documents, e.g. the fabric's manifest message).
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        crate::json::JsonValue::Array(self.scenarios.iter().map(|s| s.to_json()).collect())
+    }
+
+    /// Serialize every scenario into a JSON array (a campaign manifest).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse a campaign out of a JSON array value (the inverse of
+    /// [`Campaign::to_json`]).
+    pub fn from_json(doc: &crate::json::JsonValue) -> Result<Self, crate::json::JsonError> {
         let mut scenarios = Vec::new();
         for item in doc.as_array()? {
             scenarios.push(ScenarioSpec::from_json(item)?);
         }
         Ok(Campaign { scenarios })
+    }
+
+    /// Parse a campaign manifest (a JSON array of scenarios).
+    pub fn from_json_str(text: &str) -> Result<Self, crate::json::JsonError> {
+        Campaign::from_json(&crate::json::JsonValue::parse(text)?)
     }
 }
 

@@ -1,0 +1,949 @@
+//! The elastic cross-host campaign fabric.
+//!
+//! A [`Coordinator`] treats a campaign's scenario indices as a dynamic work
+//! queue served to any number of workers over a plain TCP line protocol on
+//! `std::net` (length-framed canonical JSON — [`crate::wire::FabricMsg`],
+//! normatively documented in `docs/WIRE.md`). A worker ([`join`]) connects,
+//! says hello, receives the whole campaign manifest over the wire (no
+//! shared filesystem needed), and then executes leases of scenario indices,
+//! streaming each [`ScenarioResult`] back the moment it completes.
+//!
+//! Robustness is the design center, and it rests on the repository's
+//! determinism contract rather than on distributed-systems machinery:
+//!
+//! * **Elastic leasing.** Lease sizes follow the observed per-scenario wall
+//!   time (an EWMA per worker), so fast workers drain the queue and slow
+//!   ones cannot hold more than one lease's worth of work hostage.
+//! * **Failure detection.** Workers heartbeat between results; a worker
+//!   silent past the lease timeout (or whose connection drops) is retired
+//!   and its outstanding indices return to the queue.
+//! * **Dedup by digest.** A retired worker may still have executed part of
+//!   its lease, so results can arrive twice. The [`ResultLedger`] keeps the
+//!   first copy, drops byte-identical duplicates (same index, same digest),
+//!   and treats conflicting digests for one index as the hard error they
+//!   are ([`FabricError::DigestConflict`]) — never a silent drop.
+//! * **Checkpointing.** Every accepted result is appended to a JSONL
+//!   checkpoint file (the standard result-line encoding) and flushed; a
+//!   restarted coordinator replays the file — tolerating a truncated tail
+//!   from a mid-write kill — and re-runs only what is missing.
+//!
+//! Because every scenario is a pure function of its spec, the merged
+//! [`CampaignReport`] is bit-identical (canonical JSON and digests) to
+//! [`Campaign::run_serial`] regardless of worker count, death schedule, or
+//! completion order.
+//!
+//! Liveness timers (heartbeats, lease timeouts) are real-time by nature and
+//! go through [`crate::timing`], the sanctioned wall-clock funnel; nothing
+//! they measure reaches canonical output.
+
+use crate::campaign::{Campaign, CampaignReport, ScenarioResult};
+use crate::timing;
+use crate::wire::{self, FabricMsg, WireError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Errors of the campaign fabric.
+#[derive(Debug)]
+pub enum FabricError {
+    /// Socket or checkpoint-file I/O failed.
+    Io(std::io::Error),
+    /// A peer violated the fabric message protocol.
+    Protocol(String),
+    /// A checkpoint stream failed to decode.
+    Wire(WireError),
+    /// Two executions of one scenario produced different digests. The
+    /// determinism contract is broken (mismatched builds on the fleet?),
+    /// and no merge that hides it can be trusted.
+    DigestConflict {
+        /// The scenario index delivered twice.
+        index: usize,
+        /// The digest recorded first.
+        have: u64,
+        /// The conflicting digest of the re-execution.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::Io(e) => write!(f, "fabric i/o: {e}"),
+            FabricError::Protocol(msg) => write!(f, "fabric protocol: {msg}"),
+            FabricError::Wire(e) => write!(f, "fabric checkpoint: {e}"),
+            FabricError::DigestConflict { index, have, got } => write!(
+                f,
+                "digest conflict for scenario {index}: recorded {have:#018x}, \
+                 re-execution produced {got:#018x}; refusing to merge"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<std::io::Error> for FabricError {
+    fn from(e: std::io::Error) -> Self {
+        FabricError::Io(e)
+    }
+}
+
+impl From<WireError> for FabricError {
+    fn from(e: WireError) -> Self {
+        FabricError::Wire(e)
+    }
+}
+
+/// Tuning knobs of one [`Coordinator::serve`] run.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// How long a worker may stay silent (no result, no heartbeat) before
+    /// it is declared dead and its outstanding lease returns to the queue.
+    pub lease_timeout: std::time::Duration,
+    /// The wall-time budget one lease should amount to: the batch size is
+    /// `target_lease_wall / EWMA(per-scenario wall)`, clamped to
+    /// `1..=max_batch`.
+    pub target_lease_wall: std::time::Duration,
+    /// Upper bound on the indices of a single lease.
+    pub max_batch: usize,
+    /// Lease size granted to a worker before any wall-time observation
+    /// exists (kept small so the EWMA calibrates quickly).
+    pub initial_batch: usize,
+    /// Checkpoint file: every accepted result is appended as one canonical
+    /// result line and flushed. An existing file is replayed on startup
+    /// (tolerating a truncated tail, which is cut off in place), so a
+    /// restarted coordinator re-runs only the missing scenarios.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Live progress observer: after every accepted result the coordinator
+    /// stores the count of completed scenarios (the CLI's chaos-kill
+    /// monitor watches this).
+    pub progress: Option<Arc<AtomicUsize>>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            lease_timeout: std::time::Duration::from_secs(10),
+            target_lease_wall: std::time::Duration::from_millis(500),
+            max_batch: 16,
+            initial_batch: 1,
+            checkpoint: None,
+            progress: None,
+        }
+    }
+}
+
+/// The coordinator's dedup / conflict / completion state machine, factored
+/// out of the socket plumbing so its invariants are testable in isolation:
+/// results arrive in any order and possibly more than once (a reassigned
+/// lease re-executes scenarios), and the ledger keeps the first copy, drops
+/// byte-identical duplicates, and rejects conflicting digests.
+pub struct ResultLedger {
+    len: usize,
+    done: BTreeMap<usize, ScenarioResult>,
+    accepted: u64,
+    deduped: u64,
+}
+
+impl ResultLedger {
+    /// An empty ledger for a campaign of `len` scenarios.
+    pub fn new(len: usize) -> Self {
+        ResultLedger {
+            len,
+            done: BTreeMap::new(),
+            accepted: 0,
+            deduped: 0,
+        }
+    }
+
+    /// Record one delivered result. `Ok(true)`: the result was new and is
+    /// now recorded. `Ok(false)`: a byte-identical duplicate (same index,
+    /// same digest), dropped. Errors: an out-of-range index, or a digest
+    /// conflicting with the recorded one — never silently dropped.
+    pub fn record(&mut self, index: usize, result: ScenarioResult) -> Result<bool, FabricError> {
+        if index >= self.len {
+            return Err(FabricError::Protocol(format!(
+                "result index {index} out of range for a campaign of {} scenarios",
+                self.len
+            )));
+        }
+        match self.done.get(&index) {
+            Some(have) if have.digest == result.digest => {
+                self.deduped += 1;
+                Ok(false)
+            }
+            Some(have) => Err(FabricError::DigestConflict {
+                index,
+                have: have.digest,
+                got: result.digest,
+            }),
+            None => {
+                self.done.insert(index, result);
+                self.accepted += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Whether scenario `index` already has a recorded result.
+    pub fn contains(&self, index: usize) -> bool {
+        self.done.contains_key(&index)
+    }
+
+    /// Number of distinct scenarios recorded so far.
+    pub fn done(&self) -> usize {
+        self.done.len()
+    }
+
+    /// True once every scenario has a result.
+    pub fn is_complete(&self) -> bool {
+        self.done.len() == self.len
+    }
+
+    /// Distinct results accepted so far (resumed and live).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Byte-identical duplicates dropped so far.
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
+
+    /// The scenario indices still missing, ascending.
+    pub fn missing(&self) -> Vec<usize> {
+        (0..self.len).filter(|i| !self.contains(*i)).collect()
+    }
+
+    /// Finish into a report in scenario order; an incomplete ledger is a
+    /// protocol error. `wall` is zero and `threads` is 1 — the caller
+    /// overwrites them with its own measurements (neither field reaches
+    /// canonical output).
+    pub fn into_report(self) -> Result<CampaignReport, FabricError> {
+        if !self.is_complete() {
+            return Err(FabricError::Protocol(format!(
+                "ledger incomplete: {} of {} scenarios recorded",
+                self.done.len(),
+                self.len
+            )));
+        }
+        Ok(CampaignReport {
+            results: self.done.into_values().collect(),
+            wall: std::time::Duration::ZERO,
+            threads: 1,
+        })
+    }
+}
+
+/// The outcome of one [`Coordinator::serve`] run.
+pub struct FabricReport {
+    /// The merged campaign report — bit-identical to
+    /// [`Campaign::run_serial`] (canonical JSON and digests).
+    pub report: CampaignReport,
+    /// Results received from workers during this run (excludes checkpoint
+    /// replay).
+    pub executed: u64,
+    /// Byte-identical duplicate results dropped (a reassigned lease whose
+    /// original worker had already finished some of it).
+    pub deduped: u64,
+    /// Lease indices returned to the queue by worker death or silence.
+    pub reassigned: u64,
+    /// Results replayed from the checkpoint instead of re-run.
+    pub resumed: usize,
+    /// Number of workers that ever completed the hello handshake.
+    pub workers_seen: usize,
+}
+
+struct WorkerSlot {
+    name: String,
+    stream: TcpStream,
+    outstanding: BTreeSet<usize>,
+    last_heard: std::time::Instant,
+    /// EWMA of the worker's per-scenario wall time, seconds.
+    ewma_wall: Option<f64>,
+    alive: bool,
+}
+
+struct CoordState {
+    pending: BTreeSet<usize>,
+    ledger: ResultLedger,
+    workers: Vec<WorkerSlot>,
+    checkpoint: Option<std::fs::File>,
+    progress: Option<Arc<AtomicUsize>>,
+    fatal: Option<FabricError>,
+    done_serving: bool,
+    reassigned: u64,
+}
+
+impl CoordState {
+    /// Retire a worker: mark it dead, return its outstanding lease to the
+    /// queue, and shut its socket down (which also unblocks the reader
+    /// thread parked on it). Idempotent.
+    fn retire(&mut self, worker: usize) {
+        if !self.workers[worker].alive {
+            return;
+        }
+        self.workers[worker].alive = false;
+        let returned = std::mem::take(&mut self.workers[worker].outstanding);
+        self.reassigned += returned.len() as u64;
+        self.pending.extend(returned);
+        let _ = self.workers[worker].stream.shutdown(Shutdown::Both);
+    }
+
+    /// Record a result delivered by `worker`: refresh its liveness and
+    /// wall-time EWMA, feed the ledger, and on acceptance append to the
+    /// checkpoint and publish progress. Failures land in `self.fatal`.
+    fn handle_result(&mut self, worker: usize, index: usize, result: ScenarioResult) {
+        let slot = &mut self.workers[worker];
+        slot.last_heard = timing::now();
+        slot.outstanding.remove(&index);
+        let wall = result.wall.as_secs_f64();
+        slot.ewma_wall = Some(match slot.ewma_wall {
+            Some(prev) => 0.7 * prev + 0.3 * wall,
+            None => wall,
+        });
+        let line = wire::encode_result_line(index, &result);
+        match self.ledger.record(index, result) {
+            Ok(true) => {
+                if let Some(file) = &mut self.checkpoint {
+                    if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+                        self.fatal.get_or_insert(FabricError::Io(e));
+                        return;
+                    }
+                }
+                if let Some(progress) = &self.progress {
+                    progress.store(self.ledger.done(), Ordering::Relaxed);
+                }
+            }
+            Ok(false) => {}
+            Err(e) => {
+                self.fatal.get_or_insert(e);
+            }
+        }
+    }
+
+    /// The lease size for `worker`: the configured wall-time budget divided
+    /// by the worker's observed per-scenario EWMA, clamped to
+    /// `1..=max_batch` (`initial_batch` before any observation).
+    fn lease_size(&self, worker: usize, cfg: &FabricConfig) -> usize {
+        match self.workers[worker].ewma_wall {
+            None => self.clamp_batch(cfg.initial_batch, cfg),
+            Some(ewma) => {
+                let target = cfg.target_lease_wall.as_secs_f64();
+                self.clamp_batch((target / ewma.max(1e-9)) as usize, cfg)
+            }
+        }
+    }
+
+    fn clamp_batch(&self, batch: usize, cfg: &FabricConfig) -> usize {
+        batch.clamp(1, cfg.max_batch.max(1))
+    }
+}
+
+struct Shared {
+    campaign: Campaign,
+    state: Mutex<CoordState>,
+    wake: Condvar,
+}
+
+/// The fabric coordinator: owns the listener, the work queue, the
+/// checkpoint, and the merge.
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+impl Coordinator {
+    /// Bind the coordinator's listener. Pass port `0` for an ephemeral
+    /// port; [`Coordinator::local_addr`] reports what was bound.
+    pub fn bind(addr: &str) -> Result<Coordinator, FabricError> {
+        Ok(Coordinator {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound listen address (what workers [`join`]).
+    pub fn local_addr(&self) -> Result<SocketAddr, FabricError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serve `campaign` to however many workers connect, until every
+    /// scenario has a result (or a fatal error). Returns the merged report
+    /// plus run statistics. With a checkpoint configured, an existing file
+    /// is replayed first — a coordinator restarted over a complete
+    /// checkpoint returns without waiting for any worker.
+    pub fn serve(
+        &self,
+        campaign: &Campaign,
+        cfg: &FabricConfig,
+    ) -> Result<FabricReport, FabricError> {
+        let started = timing::now();
+        let len = campaign.len();
+        let mut ledger = ResultLedger::new(len);
+        let mut resumed = 0usize;
+        let mut checkpoint = None;
+        if let Some(path) = &cfg.checkpoint {
+            let existing = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(e.into()),
+            };
+            let (entries, tail) = wire::decode_stream_lines(&existing, 1)?;
+            for (index, result) in entries {
+                if ledger.record(index, result)? {
+                    resumed += 1;
+                }
+            }
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            if let Some(tail) = tail {
+                // Cut off the record a dying coordinator left half-written,
+                // so the file stays a clean prefix we append to.
+                file.set_len(tail.byte_offset as u64)?;
+            }
+            checkpoint = Some(file);
+        }
+        if let Some(progress) = &cfg.progress {
+            progress.store(ledger.done(), Ordering::Relaxed);
+        }
+        if ledger.is_complete() {
+            // Nothing left to run (e.g. restart over a complete
+            // checkpoint): skip the networking entirely.
+            let mut report = ledger.into_report()?;
+            report.wall = started.elapsed();
+            return Ok(FabricReport {
+                report,
+                executed: 0,
+                deduped: 0,
+                reassigned: 0,
+                resumed,
+                workers_seen: 0,
+            });
+        }
+
+        let pending: BTreeSet<usize> = ledger.missing().into_iter().collect();
+        let shared = Arc::new(Shared {
+            campaign: campaign.clone(),
+            state: Mutex::new(CoordState {
+                pending,
+                ledger,
+                workers: Vec::new(),
+                checkpoint,
+                progress: cfg.progress.clone(),
+                fatal: None,
+                done_serving: false,
+                reassigned: 0,
+            }),
+            wake: Condvar::new(),
+        });
+        self.listener.set_nonblocking(true)?;
+        let accept_handle = {
+            let listener = self.listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        // Scheduler: detect silent workers, grant leases, wait for events.
+        let granularity = (cfg.lease_timeout / 4).clamp(
+            std::time::Duration::from_millis(5),
+            std::time::Duration::from_millis(100),
+        );
+        let mut st = shared.state.lock().expect("fabric state poisoned");
+        loop {
+            if st.fatal.is_some() || st.ledger.is_complete() {
+                break;
+            }
+            for i in 0..st.workers.len() {
+                if st.workers[i].alive && st.workers[i].last_heard.elapsed() > cfg.lease_timeout {
+                    st.retire(i);
+                }
+            }
+            for i in 0..st.workers.len() {
+                if !st.workers[i].alive || !st.workers[i].outstanding.is_empty() {
+                    continue;
+                }
+                let batch = st.lease_size(i, cfg);
+                let mut indices = Vec::new();
+                while indices.len() < batch {
+                    match st.pending.pop_first() {
+                        Some(index) => indices.push(index),
+                        None => break,
+                    }
+                }
+                if indices.is_empty() {
+                    continue;
+                }
+                for &index in &indices {
+                    st.workers[i].outstanding.insert(index);
+                }
+                let lease = FabricMsg::Lease { indices };
+                if wire::write_frame(&mut &st.workers[i].stream, &lease).is_err() {
+                    st.retire(i);
+                }
+            }
+            st = shared
+                .wake
+                .wait_timeout(st, granularity)
+                .expect("fabric state poisoned")
+                .0;
+        }
+
+        // Wind down: stop accepting, say goodbye, unblock every reader.
+        st.done_serving = true;
+        for i in 0..st.workers.len() {
+            if st.workers[i].alive {
+                let _ = wire::write_frame(&mut &st.workers[i].stream, &FabricMsg::Bye);
+            }
+            let _ = st.workers[i].stream.shutdown(Shutdown::Both);
+        }
+        let fatal = st.fatal.take();
+        let reassigned = st.reassigned;
+        let workers_seen = st.workers.len();
+        let ledger = std::mem::replace(&mut st.ledger, ResultLedger::new(0));
+        drop(st);
+        let _ = accept_handle.join();
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        let executed = ledger.accepted() - resumed as u64;
+        let deduped = ledger.deduped();
+        let mut report = ledger.into_report()?;
+        report.wall = started.elapsed();
+        report.threads = workers_seen.max(1);
+        Ok(FabricReport {
+            report,
+            executed,
+            deduped,
+            reassigned,
+            resumed,
+            workers_seen,
+        })
+    }
+}
+
+/// Poll the (nonblocking) listener until the run winds down, spawning a
+/// detached reader thread per connection.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared
+            .state
+            .lock()
+            .expect("fabric state poisoned")
+            .done_serving
+        {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || serve_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One worker connection, from hello to bye (or death). Runs on its own
+/// detached thread; the scheduler unblocks it by shutting the socket down.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    // The first frame must be a hello; the manifest goes back before the
+    // slot becomes leasable, so a worker never sees a lease it cannot map
+    // onto a campaign.
+    let worker = match wire::read_frame(&mut reader) {
+        Ok(Some(FabricMsg::Hello { worker })) => {
+            let mut st = shared.state.lock().expect("fabric state poisoned");
+            if st.done_serving {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            let manifest = FabricMsg::Manifest {
+                campaign: shared.campaign.clone(),
+            };
+            if wire::write_frame(&mut &stream, &manifest).is_err() {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            st.workers.push(WorkerSlot {
+                name: worker,
+                stream,
+                outstanding: BTreeSet::new(),
+                last_heard: timing::now(),
+                ewma_wall: None,
+                alive: true,
+            });
+            shared.wake.notify_all();
+            st.workers.len() - 1
+        }
+        _ => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    loop {
+        let frame = wire::read_frame(&mut reader);
+        let mut st = shared.state.lock().expect("fabric state poisoned");
+        match frame {
+            Ok(Some(FabricMsg::Result { index, result })) => {
+                st.handle_result(worker, index, *result);
+            }
+            Ok(Some(FabricMsg::Heartbeat { .. })) => {
+                st.workers[worker].last_heard = timing::now();
+            }
+            Ok(Some(FabricMsg::Bye)) | Ok(None) | Err(_) => {
+                // Graceful bye and death look the same to the queue: any
+                // outstanding lease goes back to pending.
+                st.retire(worker);
+                shared.wake.notify_all();
+                return;
+            }
+            Ok(Some(_)) => {
+                let msg = format!("unexpected message from worker {}", st.workers[worker].name);
+                st.fatal.get_or_insert(FabricError::Protocol(msg));
+                st.retire(worker);
+                shared.wake.notify_all();
+                return;
+            }
+        }
+        shared.wake.notify_all();
+    }
+}
+
+/// Per-worker options for [`join`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Display name sent in the hello (diagnostics only).
+    pub name: String,
+    /// Heartbeat period; keep it well under the coordinator's lease
+    /// timeout.
+    pub heartbeat: std::time::Duration,
+    /// Chaos hook: after executing this many scenarios, go silent without
+    /// sending the result — no results, no heartbeats, connection left
+    /// open (what a wedged or SIGSTOPped worker looks like) — and park the
+    /// thread forever. Tests SIGKILL the parked process.
+    pub hang_after: Option<usize>,
+    /// Chaos hook: after *sending* this many results, drop the connection
+    /// without a bye (a crash) and return.
+    pub quit_after: Option<usize>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            name: "worker".to_string(),
+            heartbeat: std::time::Duration::from_millis(200),
+            hang_after: None,
+            quit_after: None,
+        }
+    }
+}
+
+/// What one [`join`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Scenarios executed and streamed back.
+    pub executed: usize,
+    /// Scenario count of the campaign the coordinator shipped.
+    pub campaign_len: usize,
+}
+
+/// Connect to a coordinator at `addr`, receive the campaign manifest over
+/// the wire, and execute leases — streaming each result back the moment it
+/// completes — until the coordinator says bye or the connection ends.
+/// Heartbeats ride a separate thread so a long scenario cannot make a
+/// healthy worker look dead.
+pub fn join(addr: &str, cfg: &WorkerConfig) -> Result<WorkerSummary, FabricError> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    send(
+        &writer,
+        &FabricMsg::Hello {
+            worker: cfg.name.clone(),
+        },
+    )?;
+    let campaign = match wire::read_frame(&mut reader)? {
+        Some(FabricMsg::Manifest { campaign }) => campaign,
+        _ => {
+            return Err(FabricError::Protocol(
+                "expected a manifest after hello".to_string(),
+            ))
+        }
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let executed = Arc::new(AtomicU64::new(0));
+    let heartbeat_handle = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        let executed = Arc::clone(&executed);
+        let period = cfg.heartbeat;
+        std::thread::spawn(move || loop {
+            std::thread::sleep(period);
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let beat = FabricMsg::Heartbeat {
+                executed: executed.load(Ordering::Relaxed),
+            };
+            if send(&writer, &beat).is_err() {
+                return;
+            }
+        })
+    };
+    let mut ran = 0usize;
+    let outcome = 'conversation: loop {
+        match wire::read_frame(&mut reader) {
+            Ok(Some(FabricMsg::Lease { indices })) => {
+                for index in indices {
+                    if index >= campaign.len() {
+                        break 'conversation Err(FabricError::Protocol(format!(
+                            "leased index {index} out of range for {} scenarios",
+                            campaign.len()
+                        )));
+                    }
+                    let result = campaign.run_index(index);
+                    ran += 1;
+                    if cfg.hang_after == Some(ran) {
+                        // Chaos: the scenario ran but its result never
+                        // leaves; heartbeats stop; the connection stays
+                        // open. Park until SIGKILLed.
+                        stop.store(true, Ordering::Relaxed);
+                        loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        }
+                    }
+                    executed.store(ran as u64, Ordering::Relaxed);
+                    let reply = FabricMsg::Result {
+                        index,
+                        result: Box::new(result),
+                    };
+                    if let Err(e) = send(&writer, &reply) {
+                        break 'conversation Err(e);
+                    }
+                    if cfg.quit_after == Some(ran) {
+                        // Chaos: vanish without a bye.
+                        stop.store(true, Ordering::Relaxed);
+                        return Ok(WorkerSummary {
+                            executed: ran,
+                            campaign_len: campaign.len(),
+                        });
+                    }
+                }
+            }
+            Ok(Some(FabricMsg::Bye)) | Ok(None) => break Ok(()),
+            Ok(Some(_)) => {
+                break Err(FabricError::Protocol(
+                    "unexpected message from coordinator".to_string(),
+                ))
+            }
+            Err(e) => break Err(e.into()),
+        }
+    };
+    stop.store(true, Ordering::Relaxed);
+    let _ = send(&writer, &FabricMsg::Bye);
+    let _ = heartbeat_handle.join();
+    outcome.map(|()| WorkerSummary {
+        executed: ran,
+        campaign_len: campaign.len(),
+    })
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, msg: &FabricMsg) -> Result<(), FabricError> {
+    let mut stream = writer.lock().expect("fabric writer poisoned");
+    wire::write_frame(&mut *stream, msg).map_err(FabricError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::incast_on_star;
+    use crate::scenario::CcSpec;
+    use hpcc_types::{Bandwidth, Duration};
+
+    fn tiny_campaign(n: usize) -> Campaign {
+        Campaign::from_scenarios(
+            (0..n)
+                .map(|i| {
+                    incast_on_star(
+                        format!("t{i}"),
+                        CcSpec::by_label(["HPCC", "DCQCN", "TIMELY"][i % 3]),
+                        2 + i % 2,
+                        20_000,
+                        Bandwidth::from_gbps(25),
+                        Duration::from_us(50),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn ledger_dedupes_and_rejects_conflicts() {
+        let campaign = tiny_campaign(2);
+        let a = campaign.run_index(0);
+        let a_dup = campaign.run_index(0);
+        let mut doctored = campaign.run_index(0);
+        doctored.digest ^= 1;
+
+        let mut ledger = ResultLedger::new(2);
+        assert!(ledger.record(0, a).unwrap());
+        assert!(!ledger.record(0, a_dup).unwrap(), "identical dup dropped");
+        assert_eq!(ledger.deduped(), 1);
+        match ledger.record(0, doctored) {
+            Err(FabricError::DigestConflict { index: 0, .. }) => {}
+            other => panic!(
+                "conflicting digest must be a typed error, got {:?}",
+                other.map(|_| ())
+            ),
+        }
+        assert_eq!(ledger.missing(), vec![1]);
+        assert!(ledger.record(2, campaign.run_index(1)).is_err(), "range");
+        assert!(ledger.record(1, campaign.run_index(1)).unwrap());
+        assert!(ledger.is_complete());
+        let report = ledger.into_report().unwrap();
+        assert_eq!(
+            report.to_json_string(),
+            campaign.run_serial().to_json_string()
+        );
+    }
+
+    #[test]
+    fn lease_sizes_follow_the_ewma() {
+        let cfg = FabricConfig {
+            target_lease_wall: std::time::Duration::from_millis(100),
+            max_batch: 8,
+            initial_batch: 2,
+            ..FabricConfig::default()
+        };
+        let state = |ewma: Option<f64>| CoordState {
+            pending: BTreeSet::new(),
+            ledger: ResultLedger::new(0),
+            workers: vec![WorkerSlot {
+                name: "w".to_string(),
+                stream: TcpStream::connect(
+                    TcpListener::bind("127.0.0.1:0")
+                        .unwrap()
+                        .local_addr()
+                        .unwrap(),
+                )
+                .unwrap(),
+                outstanding: BTreeSet::new(),
+                last_heard: timing::now(),
+                ewma_wall: ewma,
+                alive: true,
+            }],
+            checkpoint: None,
+            progress: None,
+            fatal: None,
+            done_serving: false,
+            reassigned: 0,
+        };
+        // No observation yet: the initial batch.
+        assert_eq!(state(None).lease_size(0, &cfg), 2);
+        // 25 ms/scenario → 4 fit in the 100 ms budget.
+        assert_eq!(state(Some(0.025)).lease_size(0, &cfg), 4);
+        // Very slow scenarios: never below 1.
+        assert_eq!(state(Some(10.0)).lease_size(0, &cfg), 1);
+        // Very fast scenarios: capped at max_batch.
+        assert_eq!(state(Some(1e-6)).lease_size(0, &cfg), 8);
+    }
+
+    #[test]
+    fn fabric_matches_serial_end_to_end() {
+        let campaign = tiny_campaign(6);
+        let serial = campaign.run_serial();
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap().to_string();
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    join(
+                        &addr,
+                        &WorkerConfig {
+                            name: format!("w{i}"),
+                            heartbeat: std::time::Duration::from_millis(20),
+                            ..WorkerConfig::default()
+                        },
+                    )
+                })
+            })
+            .collect();
+        let fabric = coordinator
+            .serve(&campaign, &FabricConfig::default())
+            .unwrap();
+        assert_eq!(fabric.report.to_json_string(), serial.to_json_string());
+        assert_eq!(fabric.report.digests(), serial.digests());
+        assert_eq!(fabric.executed, 6);
+        assert_eq!(fabric.resumed, 0);
+        let executed: usize = workers
+            .into_iter()
+            .map(|w| w.join().unwrap().unwrap().executed)
+            .sum();
+        assert_eq!(executed, 6, "both workers drained the queue exactly");
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_scenarios() {
+        let campaign = tiny_campaign(4);
+        let serial = campaign.run_serial();
+        let dir = std::env::temp_dir().join(format!("fabric-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+
+        // Seed the checkpoint with scenarios 1 and 3 plus a truncated tail
+        // (a coordinator killed mid-append).
+        let mut seeded = String::new();
+        for index in [1usize, 3] {
+            seeded.push_str(&wire::encode_result_line(index, &campaign.run_index(index)));
+            seeded.push('\n');
+        }
+        let partial = wire::encode_result_line(0, &campaign.run_index(0));
+        seeded.push_str(&partial[..partial.len() / 2]);
+        std::fs::write(&path, &seeded).unwrap();
+
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap().to_string();
+        let worker = {
+            let addr = addr.clone();
+            std::thread::spawn(move || join(&addr, &WorkerConfig::default()))
+        };
+        let cfg = FabricConfig {
+            checkpoint: Some(path.clone()),
+            ..FabricConfig::default()
+        };
+        let fabric = coordinator.serve(&campaign, &cfg).unwrap();
+        worker.join().unwrap().unwrap();
+        assert_eq!(fabric.resumed, 2, "intact checkpoint records replayed");
+        assert_eq!(
+            fabric.executed, 2,
+            "only 0 and 2 re-ran (truncated tail cut)"
+        );
+        assert_eq!(fabric.report.to_json_string(), serial.to_json_string());
+
+        // The file now replays cleanly and completely…
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (entries, tail) = wire::decode_stream_lines(&text, 1).unwrap();
+        assert!(tail.is_none(), "tail was truncated in place");
+        assert_eq!(entries.len(), 4);
+        // …and a restart over the complete checkpoint runs nothing.
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let fabric = coordinator.serve(&campaign, &cfg).unwrap();
+        assert_eq!(fabric.executed, 0);
+        assert_eq!(fabric.resumed, 4);
+        assert_eq!(fabric.workers_seen, 0, "no worker needed");
+        assert_eq!(fabric.report.to_json_string(), serial.to_json_string());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

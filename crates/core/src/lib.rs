@@ -16,6 +16,11 @@
 //!   and shard them across processes with [`ShardPlan`],
 //! * [`wire`] — the JSONL wire format distributed campaigns stream their
 //!   per-scenario results through, and the shard-stream merge,
+//! * [`fabric`] — the elastic cross-host campaign fabric: a TCP
+//!   coordinator serving scenario indices as a dynamic work queue
+//!   (EWMA-sized leases, heartbeat failure detection, digest-deduped
+//!   retries, JSONL checkpoint/resume) to [`fabric::join`] workers, with
+//!   merged reports bit-identical to serial execution,
 //! * [`Experiment`] / [`ExperimentResults`] — build (via
 //!   [`experiment::ExperimentBuilder`]), run and analyse one simulation,
 //! * [`presets`] — ready-made scenario builders for every figure in the
@@ -33,15 +38,20 @@
 pub mod analysis;
 pub mod campaign;
 pub mod experiment;
+pub mod fabric;
 pub mod json;
 pub mod presets;
 pub mod report;
 pub mod scenario;
+pub mod timing;
 pub mod validate;
 pub mod wire;
 
 pub use campaign::{Campaign, CampaignReport, FaultSummary, ScenarioResult, ShardPlan};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentResults};
+pub use fabric::{
+    Coordinator, FabricConfig, FabricError, FabricReport, ResultLedger, WorkerConfig, WorkerSummary,
+};
 pub use presets::SCHEME_SET_FIG11;
 pub use scenario::{
     BackendSpec, BuildError, CcSpec, CdfSpec, FaultSpec, FlowDecl, MeasurementSpec, QueueingSpec,

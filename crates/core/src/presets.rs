@@ -534,6 +534,35 @@ pub fn fault_smoke(params: FatTreeParams, load: f64, end: Duration, seed: u64) -
     ])
 }
 
+/// The CI fabric smoke: seeds {1, 2} × the six Figure-11 schemes under
+/// WebSearch Poisson load on a 6-host star — twelve self-contained
+/// scenarios (no corpus or trace files, so the manifest ships over the
+/// fabric wire to workers with no shared filesystem). Sized so a
+/// two-worker coordinator with one worker chaos-killed at 50% progress
+/// still finishes in seconds while exercising lease reassignment.
+pub fn fabric_smoke_campaign() -> Campaign {
+    let host_bw = Bandwidth::from_gbps(25);
+    let end = Duration::from_ms(10);
+    Campaign::from_scenarios(
+        [1u64, 2]
+            .iter()
+            .flat_map(|&seed| {
+                SCHEME_SET_FIG11.iter().map(move |label| {
+                    ScenarioSpec::new(
+                        format!("fabric s{seed} {label}"),
+                        TopologyChoice::star(6, host_bw),
+                        CcSpec::by_label(*label),
+                        end,
+                    )
+                    .with_seed(seed)
+                    .with_queue_sampling(Duration::from_us(5))
+                    .with_workload(WorkloadSpec::poisson(CdfSpec::WebSearch, 0.3))
+                })
+            })
+            .collect(),
+    )
+}
+
 /// A scheduler comparison under a mice/elephant priority mix: the same
 /// FB_Hadoop background load, with flows below `mice_threshold` bytes tagged
 /// latency-sensitive, run through (a) the legacy single queue, (b) strict

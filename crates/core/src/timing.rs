@@ -1,0 +1,27 @@
+//! The sanctioned wall-clock for liveness machinery.
+//!
+//! Simulation results must never depend on the host clock — the simlint
+//! `wall-clock` rule bans `Instant::now` / `SystemTime` tokens across the
+//! library crates. The campaign fabric, however, is *liveness* code: lease
+//! timeouts and heartbeat deadlines are real-time concepts by definition,
+//! and they never touch a canonical byte (digests and wire lines carry only
+//! simulated quantities; even `wall_ns` is excluded from digests and from
+//! `CampaignReport::to_json`). This module is the single allowed funnel for
+//! those reads, so every wall-clock dependency in deterministic crates is
+//! grep-able in one place and the lint exemption stays one file wide.
+
+/// Read the monotonic host clock (the only sanctioned wall-clock read in
+/// the deterministic crates; see the module docs).
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clock_is_monotonic() {
+        let a = super::now();
+        let b = super::now();
+        assert!(b >= a);
+    }
+}

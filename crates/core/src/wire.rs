@@ -36,7 +36,7 @@
 //! byte-identical string as [`crate::Campaign::run_serial`]. Equal strings
 //! (or equal [`CampaignReport::digests`]) mean bit-identical runs.
 
-use crate::campaign::{CampaignReport, FaultSummary, ScenarioResult};
+use crate::campaign::{Campaign, CampaignReport, FaultSummary, ScenarioResult};
 use crate::json::{obj, JsonError, JsonValue};
 use crate::scenario::BackendSpec;
 use hpcc_stats::fct::{fb_hadoop_buckets, websearch_buckets, FctBucket, SizeBucketStats};
@@ -367,6 +367,118 @@ pub fn decode_result_line(line: &str) -> Result<(usize, ScenarioResult), JsonErr
     Ok((index, result))
 }
 
+/// A typed error from the stream decode / merge paths, so callers (and
+/// humans reading CI logs) can tell a corrupt line from a killed-mid-write
+/// tail from an incomplete partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// A complete (newline-terminated) line failed to decode.
+    Line {
+        /// 1-based position of the stream among the merge inputs.
+        stream: usize,
+        /// 1-based line number within that stream.
+        line: usize,
+        /// The underlying JSON decode error.
+        error: JsonError,
+    },
+    /// The final line of a stream is unterminated *and* undecodable — the
+    /// signature of a producer killed mid-write. Strict consumers (the
+    /// merge) report it; lenient ones ([`decode_stream_lines`]) keep every
+    /// record before it.
+    Truncated {
+        /// 1-based position of the stream among the merge inputs.
+        stream: usize,
+        /// 1-based line number of the partial record.
+        line: usize,
+    },
+    /// The union of the streams is not a complete `0..n` partition of the
+    /// campaign (gap, duplicate, or wrong total).
+    Partition(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Line {
+                stream,
+                line,
+                error,
+            } => {
+                write!(f, "stream {stream}, line {line}: {error}")
+            }
+            WireError::Truncated { stream, line } => write!(
+                f,
+                "stream {stream}: line {line} is a truncated trailing record \
+                 (producer killed mid-write?); every record before it is intact"
+            ),
+            WireError::Partition(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The truncated trailing record of a stream, as located by
+/// [`decode_stream_lines`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedTail {
+    /// 1-based line number of the partial record.
+    pub line: usize,
+    /// Byte offset where the partial record starts: everything before it is
+    /// intact, so truncating a checkpoint file to this length repairs it in
+    /// place.
+    pub byte_offset: usize,
+}
+
+/// What [`decode_stream_lines`] recovers from one stream: the decoded
+/// `(index, result)` entries, plus the located truncated tail, if any.
+pub type DecodedStream = (Vec<(usize, ScenarioResult)>, Option<TruncatedTail>);
+
+/// Decode every result line of one stream, tolerating a truncated tail.
+///
+/// Complete (newline-terminated) lines must decode — a garbage line in the
+/// middle of a stream is a [`WireError::Line`] naming the stream and line
+/// number. A *final* line that is unterminated **and** fails to decode is
+/// returned as a [`TruncatedTail`] instead of an error, so a checkpoint or
+/// shard file cut mid-write by a dying process loses exactly the partial
+/// record and nothing else. (A final unterminated line that *does* decode
+/// is accepted as complete.) `stream` is the 1-based label used in errors.
+pub fn decode_stream_lines(text: &str, stream: usize) -> Result<DecodedStream, WireError> {
+    let mut entries = Vec::new();
+    let mut offset = 0usize;
+    for (index, segment) in text.split_inclusive('\n').enumerate() {
+        let number = index + 1;
+        let start = offset;
+        offset += segment.len();
+        let terminated = segment.ends_with('\n');
+        let line = segment.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match decode_result_line(line) {
+            Ok(entry) => entries.push(entry),
+            // Only the last segment of a stream can be unterminated.
+            Err(_) if !terminated => {
+                return Ok((
+                    entries,
+                    Some(TruncatedTail {
+                        line: number,
+                        byte_offset: start,
+                    }),
+                ));
+            }
+            Err(error) => {
+                return Err(WireError::Line {
+                    stream,
+                    line: number,
+                    error,
+                });
+            }
+        }
+    }
+    Ok((entries, None))
+}
+
 /// Merge shard streams (the concatenated JSONL output of one or more
 /// workers, blank lines ignored) into a single [`CampaignReport`] ordered
 /// by scenario index.
@@ -376,40 +488,44 @@ pub fn decode_result_line(line: &str) -> Result<(usize, ScenarioResult), JsonErr
 /// report. With `None` the indices must still be contiguous from 0 (gaps
 /// and duplicates are errors), but missing *trailing* scenarios are
 /// undetectable; pass `Some` whenever the campaign size is known. The
-/// report's `threads` field records the number of streams; `wall` is zero
-/// (the caller may overwrite it with the coordinator's measurement).
+/// merge is strict: a stream whose final record was cut mid-write is a
+/// [`WireError::Truncated`] naming the line (use [`decode_stream_lines`]
+/// to salvage the intact prefix instead). The report's `threads` field
+/// records the number of streams; `wall` is zero (the caller may overwrite
+/// it with the coordinator's measurement).
 pub fn merge_shard_streams<'a>(
     streams: impl IntoIterator<Item = &'a str>,
     expected_len: Option<usize>,
-) -> Result<CampaignReport, JsonError> {
+) -> Result<CampaignReport, WireError> {
     let mut entries: Vec<(usize, ScenarioResult)> = Vec::new();
     let mut n_streams = 0usize;
     for text in streams {
         n_streams += 1;
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            entries.push(decode_result_line(line)?);
+        let (mut decoded, tail) = decode_stream_lines(text, n_streams)?;
+        if let Some(tail) = tail {
+            return Err(WireError::Truncated {
+                stream: n_streams,
+                line: tail.line,
+            });
         }
+        entries.append(&mut decoded);
     }
     entries.sort_by_key(|(index, _)| *index);
     if let Some(n) = expected_len {
         if entries.len() != n {
-            return err(format!(
+            return Err(WireError::Partition(format!(
                 "shard streams carry {} results, campaign has {n} scenarios",
                 entries.len()
-            ));
+            )));
         }
     }
     for (expected, (index, _)) in entries.iter().enumerate() {
         if *index != expected {
-            return err(format!(
+            return Err(WireError::Partition(format!(
                 "shard streams are not a complete partition: expected \
                  scenario index {expected}, found {index} (duplicate or \
                  missing shard?)"
-            ));
+            )));
         }
     }
     Ok(CampaignReport {
@@ -417,6 +533,161 @@ pub fn merge_shard_streams<'a>(
         wall: std::time::Duration::ZERO,
         threads: n_streams.max(1),
     })
+}
+
+/// One message of the campaign-fabric TCP protocol (see [`crate::fabric`]
+/// and the "Fabric messages" section of `docs/WIRE.md`).
+///
+/// Messages travel length-framed over the stream ([`write_frame`] /
+/// [`read_frame`]): a decimal byte-length line, then exactly that many
+/// bytes of one canonical JSON object, then a newline. The object's `type`
+/// member selects the variant.
+pub enum FabricMsg {
+    /// Worker → coordinator: the first message on every connection, naming
+    /// the worker (diagnostics only — names never reach canonical output).
+    Hello {
+        /// The worker's display name.
+        worker: String,
+    },
+    /// Coordinator → worker: the campaign manifest, shipped over the wire
+    /// in canonical form so workers need no local manifest file and
+    /// rebuild byte-identical scenario specs (hence identical digests).
+    Manifest {
+        /// The campaign to execute.
+        campaign: Campaign,
+    },
+    /// Coordinator → worker: scenario indices to execute, in order.
+    Lease {
+        /// Ascending scenario indices of this lease.
+        indices: Vec<usize>,
+    },
+    /// Worker → coordinator: one completed scenario, using the standard
+    /// result-line envelope members plus the `type` tag.
+    Result {
+        /// The scenario's position in the campaign.
+        index: usize,
+        /// The completed result (its `wall` rides the envelope's
+        /// `wall_ns`, outside the canonical object).
+        result: Box<ScenarioResult>,
+    },
+    /// Worker → coordinator: liveness signal between results.
+    Heartbeat {
+        /// Scenarios this worker has completed so far.
+        executed: u64,
+    },
+    /// Graceful end of the conversation (either direction).
+    Bye,
+}
+
+impl FabricMsg {
+    /// The canonical JSON object of this message.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            FabricMsg::Hello { worker } => obj(vec![
+                ("type", JsonValue::Str("hello".to_string())),
+                ("worker", JsonValue::Str(worker.clone())),
+            ]),
+            FabricMsg::Manifest { campaign } => obj(vec![
+                ("type", JsonValue::Str("manifest".to_string())),
+                ("campaign", campaign.to_json()),
+            ]),
+            FabricMsg::Lease { indices } => obj(vec![
+                ("type", JsonValue::Str("lease".to_string())),
+                (
+                    "indices",
+                    JsonValue::Array(indices.iter().map(|&i| JsonValue::UInt(i as u64)).collect()),
+                ),
+            ]),
+            FabricMsg::Result { index, result } => obj(vec![
+                ("type", JsonValue::Str("result".to_string())),
+                ("index", JsonValue::UInt(*index as u64)),
+                (
+                    "wall_ns",
+                    JsonValue::UInt(result.wall.as_nanos().min(u64::MAX as u128) as u64),
+                ),
+                ("result", result.to_json()),
+            ]),
+            FabricMsg::Heartbeat { executed } => obj(vec![
+                ("type", JsonValue::Str("heartbeat".to_string())),
+                ("executed", JsonValue::UInt(*executed)),
+            ]),
+            FabricMsg::Bye => obj(vec![("type", JsonValue::Str("bye".to_string()))]),
+        }
+    }
+
+    /// Decode a fabric message object (the inverse of
+    /// [`FabricMsg::to_json`]).
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v.require("type")?.as_str()? {
+            "hello" => Ok(FabricMsg::Hello {
+                worker: v.require("worker")?.as_str()?.to_string(),
+            }),
+            "manifest" => Ok(FabricMsg::Manifest {
+                campaign: Campaign::from_json(v.require("campaign")?)?,
+            }),
+            "lease" => {
+                let mut indices = Vec::new();
+                for item in v.require("indices")?.as_array()? {
+                    indices.push(item.as_usize()?);
+                }
+                Ok(FabricMsg::Lease { indices })
+            }
+            "result" => {
+                let index = v.require("index")?.as_usize()?;
+                let mut result = ScenarioResult::from_json(v.require("result")?)?;
+                result.wall = std::time::Duration::from_nanos(v.require("wall_ns")?.as_u64()?);
+                Ok(FabricMsg::Result {
+                    index,
+                    result: Box::new(result),
+                })
+            }
+            "heartbeat" => Ok(FabricMsg::Heartbeat {
+                executed: v.require("executed")?.as_u64()?,
+            }),
+            "bye" => Ok(FabricMsg::Bye),
+            other => err(format!("unknown fabric message type {other}")),
+        }
+    }
+}
+
+/// Write one length-framed fabric message and flush it, so the peer sees
+/// the frame immediately: a decimal byte-length line, the message's
+/// canonical JSON, a newline.
+pub fn write_frame<W: std::io::Write>(w: &mut W, msg: &FabricMsg) -> std::io::Result<()> {
+    let payload = msg.to_json().render();
+    writeln!(w, "{}", payload.len())?;
+    writeln!(w, "{payload}")?;
+    w.flush()
+}
+
+/// Read one length-framed fabric message. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary; EOF inside a frame, a malformed length header,
+/// or an undecodable payload are `InvalidData` errors.
+pub fn read_frame<R: std::io::BufRead>(r: &mut R) -> std::io::Result<Option<FabricMsg>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header
+        .trim()
+        .parse()
+        .map_err(|_| bad_frame(format!("malformed frame header {}", header.trim())))?;
+    let mut payload = vec![0u8; len + 1];
+    r.read_exact(&mut payload)?;
+    if payload.pop() != Some(b'\n') {
+        return Err(bad_frame("frame payload is not newline-terminated"));
+    }
+    let text =
+        std::str::from_utf8(&payload).map_err(|_| bad_frame("frame payload is not UTF-8"))?;
+    let doc = JsonValue::parse(text).map_err(|e| bad_frame(format!("frame payload: {e}")))?;
+    match FabricMsg::from_json(&doc) {
+        Ok(msg) => Ok(Some(msg)),
+        Err(e) => Err(bad_frame(format!("fabric message: {e}"))),
+    }
+}
+
+fn bad_frame(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
 }
 
 #[cfg(test)]
@@ -592,6 +863,137 @@ mod tests {
         // The canonical form excludes the host-dependent fields.
         assert!(!text.contains("wall"));
         assert!(!text.contains("threads"));
+    }
+
+    #[test]
+    fn truncated_tail_is_a_typed_error_naming_the_line() {
+        let whole = encode_result_line(0, &synthetic("a", 1)) + "\n";
+        let second = encode_result_line(1, &synthetic("b", 2));
+        let cut = &second[..second.len() / 2];
+        let text = format!("{whole}{cut}");
+
+        // Strict merge: a typed Truncated error carrying stream and line.
+        match merge_shard_streams([text.as_str()], Some(2)) {
+            Err(WireError::Truncated { stream: 1, line: 2 }) => {}
+            Err(other) => panic!("expected Truncated stream 1 line 2, got {other}"),
+            Ok(_) => panic!("expected Truncated stream 1 line 2, got Ok"),
+        }
+        // The rendered message names the line number for CI logs.
+        let msg = match merge_shard_streams([text.as_str()], Some(2)) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("expected an error"),
+        };
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("truncated"), "{msg}");
+
+        // Lenient decode: the intact prefix survives, the tail is located
+        // exactly (line number and byte offset of the partial record).
+        let (entries, tail) = decode_stream_lines(&text, 1).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, 0);
+        let tail = tail.unwrap();
+        assert_eq!(tail.line, 2);
+        assert_eq!(tail.byte_offset, whole.len());
+        // Truncating to the byte offset repairs the stream in place.
+        let repaired = &text[..tail.byte_offset];
+        let (entries, tail) = decode_stream_lines(repaired, 1).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(tail.is_none());
+
+        // A garbage line in the *middle* (newline-terminated) is a Line
+        // error, not a truncation.
+        let garbage = format!("{whole}not json\n{second}\n");
+        match merge_shard_streams([garbage.as_str()], Some(2)) {
+            Err(WireError::Line {
+                stream: 1, line: 2, ..
+            }) => {}
+            Err(other) => panic!("expected Line error at line 2, got {other}"),
+            Ok(_) => panic!("expected Line error at line 2, got Ok"),
+        }
+
+        // A final unterminated line that *does* decode is accepted.
+        let unterminated = format!("{whole}{second}");
+        let report = merge_shard_streams([unterminated.as_str()], Some(2)).unwrap();
+        assert_eq!(report.digests(), vec![1, 2]);
+    }
+
+    #[test]
+    fn fabric_messages_round_trip_and_frame() {
+        use crate::presets::incast_on_star;
+        use crate::scenario::CcSpec;
+        use hpcc_types::Bandwidth;
+
+        let campaign = Campaign::from_scenarios(vec![
+            incast_on_star(
+                "a",
+                CcSpec::by_label("HPCC"),
+                2,
+                10_000,
+                Bandwidth::from_gbps(25),
+                Duration::from_us(50),
+            ),
+            incast_on_star(
+                "b",
+                CcSpec::by_label("DCQCN"),
+                3,
+                20_000,
+                Bandwidth::from_gbps(25),
+                Duration::from_us(50),
+            ),
+        ]);
+        let msgs = vec![
+            FabricMsg::Hello {
+                worker: "w0".to_string(),
+            },
+            FabricMsg::Manifest {
+                campaign: campaign.clone(),
+            },
+            FabricMsg::Lease {
+                indices: vec![0, 1],
+            },
+            FabricMsg::Result {
+                index: 1,
+                result: Box::new(synthetic("b", 42)),
+            },
+            FabricMsg::Heartbeat { executed: 7 },
+            FabricMsg::Bye,
+        ];
+        // Frame every message into one buffer, then read them all back.
+        let mut buf = Vec::new();
+        for msg in &msgs {
+            write_frame(&mut buf, msg).unwrap();
+        }
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        for msg in &msgs {
+            let back = read_frame(&mut reader).unwrap().expect("frame present");
+            assert_eq!(back.to_json().render(), msg.to_json().render());
+            // The shipped manifest reconstructs the campaign canonically —
+            // the property the fabric's digest identity rests on.
+            if let (FabricMsg::Manifest { campaign: orig }, FabricMsg::Manifest { campaign: got }) =
+                (msg, &back)
+            {
+                assert_eq!(got.to_json_string(), orig.to_json_string());
+            }
+            // The result envelope restores the worker's wall time.
+            if let FabricMsg::Result { index, result } = &back {
+                assert_eq!(*index, 1);
+                assert_eq!(result.wall, synthetic("b", 42).wall);
+                assert_eq!(result.digest, 42);
+            }
+        }
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+
+        // EOF mid-frame, malformed headers, and garbage payloads are typed
+        // InvalidData io errors, never panics.
+        let mut cut = Vec::new();
+        write_frame(&mut cut, &FabricMsg::Bye).unwrap();
+        cut.truncate(cut.len() - 3);
+        let mut reader = std::io::BufReader::new(cut.as_slice());
+        assert!(read_frame(&mut reader).is_err());
+        for broken in ["x\n", "5\nab{}c\n", "14\n{\"type\":\"nah\"}\n"] {
+            let mut reader = std::io::BufReader::new(broken.as_bytes());
+            assert!(read_frame(&mut reader).is_err(), "{broken}");
+        }
     }
 
     #[test]

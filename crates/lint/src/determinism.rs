@@ -55,8 +55,14 @@ const HASH_ITER_SCOPE: [&str; 4] = [
 ];
 
 /// Files allowed to read the wall clock: the campaign runner and the
-/// cross-validation harness measure wall time *outside* canonical results.
-const WALL_CLOCK_EXEMPT: [&str; 2] = ["crates/core/src/campaign.rs", "crates/core/src/validate.rs"];
+/// cross-validation harness measure wall time *outside* canonical results,
+/// and `timing.rs` is the sanctioned clock the fabric's liveness timers
+/// (heartbeats, lease timeouts) go through.
+const WALL_CLOCK_EXEMPT: [&str; 3] = [
+    "crates/core/src/campaign.rs",
+    "crates/core/src/timing.rs",
+    "crates/core/src/validate.rs",
+];
 
 /// Files the [`WIRE_FMT`] rule covers: the wire encoder and the JSON
 /// module it rides on.
@@ -286,7 +292,8 @@ pub fn lint_rust_source(
                     line.number,
                     WALL_CLOCK,
                     "wall-clock read in deterministic code; timing belongs in \
-                     crates/core/src/campaign.rs, validate.rs or crates/bench",
+                     crates/core/src/campaign.rs, timing.rs, validate.rs or \
+                     crates/bench",
                 ));
             }
         }

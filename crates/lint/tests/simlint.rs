@@ -128,6 +128,7 @@ fn wall_clock_banned_outside_timing_modules() {
     // The timing modules and the bench crate are exempt.
     assert!(lint("crates/core/src/campaign.rs", src).is_empty());
     assert!(lint("crates/core/src/validate.rs", src).is_empty());
+    assert!(lint("crates/core/src/timing.rs", src).is_empty());
     assert!(lint("crates/bench/src/lat.rs", src).is_empty());
 
     let sys = "fn f() { let _ = SystemTime::now(); }\n";
@@ -135,6 +136,36 @@ fn wall_clock_banned_outside_timing_modules() {
         rules(&lint("crates/core/src/wire.rs", sys)),
         vec![determinism::WALL_CLOCK]
     );
+}
+
+#[test]
+fn wall_clock_fabric_must_route_through_timing_module() {
+    // Negative fixture: a fabric that reads the clock directly is flagged —
+    // fabric.rs is deliberately NOT on the wall-clock exemption list, so
+    // liveness timing cannot creep in unfunneled.
+    let direct = "fn lease_deadline() -> std::time::Instant {\n\
+                  std::time::Instant::now() + std::time::Duration::from_secs(10)\n}\n";
+    assert_eq!(
+        rules(&lint("crates/core/src/fabric.rs", direct)),
+        vec![determinism::WALL_CLOCK]
+    );
+
+    // Positive fixture: the committed idiom — route every clock read
+    // through the sanctioned `timing` module and only do arithmetic on the
+    // returned instants — lints clean, as does BTreeMap-based bookkeeping
+    // (no hash-iter findings: worker/lease state must iterate in
+    // deterministic order).
+    let funneled = "use crate::timing;\n\
+                    use std::collections::BTreeMap;\n\
+                    fn silent(last: &BTreeMap<usize, std::time::Instant>) -> Vec<usize> {\n\
+                    let mut out = Vec::new();\n\
+                    for (w, heard) in last.iter() {\n\
+                    if heard.elapsed() > std::time::Duration::from_secs(10) { out.push(*w); }\n\
+                    }\n\
+                    let _ = timing::now();\n\
+                    out\n}\n";
+    let findings = lint("crates/core/src/fabric.rs", funneled);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 // ----------------------------------------------------------------- wire-fmt

@@ -61,9 +61,10 @@ pub mod prelude {
         TimelyConfig,
     };
     pub use hpcc_core::{
-        BuildError, Campaign, CampaignReport, CcSpec, CdfSpec, Experiment, ExperimentBuilder,
-        ExperimentResults, FlowDecl, MeasurementSpec, ScenarioResult, ScenarioSpec, ShardPlan,
-        TopologyChoice, WorkloadSpec,
+        BuildError, Campaign, CampaignReport, CcSpec, CdfSpec, Coordinator, Experiment,
+        ExperimentBuilder, ExperimentResults, FabricConfig, FabricError, FlowDecl, MeasurementSpec,
+        ResultLedger, ScenarioResult, ScenarioSpec, ShardPlan, TopologyChoice, WorkerConfig,
+        WorkloadSpec,
     };
     pub use hpcc_sim::{EcnConfig, FlowControlMode, SimConfig, SimOutput, Simulator};
     pub use hpcc_stats::{FctAnalyzer, Percentiles};

@@ -196,6 +196,121 @@ fn leaf_spine_routing_is_complete() {
     }
 }
 
+/// A tiny mixed-scheme campaign for the fabric-ledger properties: four
+/// schemes over an incast, cheap enough to re-execute indices many times
+/// (duplicate deliveries re-run the scenario, as a real fabric worker
+/// would after a lease reassignment).
+fn fabric_property_campaign() -> Campaign {
+    use hpcc::core::presets::incast_on_star;
+    Campaign::from_scenarios(
+        ["HPCC", "DCQCN", "TIMELY", "DCTCP"]
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                incast_on_star(
+                    *label,
+                    CcSpec::by_label(*label),
+                    3 + i % 2,
+                    20_000,
+                    Bandwidth::from_gbps(25),
+                    Duration::from_ms(1),
+                )
+                .with_seed(i as u64 + 1)
+            })
+            .collect(),
+    )
+}
+
+/// Fabric ledger invariance: for every worker count `k ∈ {1..4}`, any
+/// interleaving of per-worker completion orders, and randomly injected
+/// duplicate deliveries, the merged report is bit-identical to
+/// `run_serial()` — digests and canonical JSON — and the ledger accounts
+/// exactly for the duplicates it absorbed.
+#[test]
+fn fabric_ledger_is_invariant_to_order_duplicates_and_worker_count() {
+    let campaign = fabric_property_campaign();
+    let serial = campaign.run_serial();
+    let reference_json = serial.to_json_string();
+    let mut rng = SplitMix64::new(0xFAB51C);
+    for k in 1usize..=4 {
+        for _round in 0..3 {
+            // Each worker owns the indices `i % k == w`, completes them in
+            // its own shuffled order, and the streams interleave randomly
+            // — exactly the delivery pattern an elastic coordinator sees.
+            let mut queues: Vec<Vec<usize>> = (0..k)
+                .map(|w| (0..campaign.len()).filter(|i| i % k == w).collect())
+                .collect();
+            for q in &mut queues {
+                for i in (1..q.len()).rev() {
+                    let j = rng.next_below(i as u64 + 1) as usize;
+                    q.swap(i, j);
+                }
+                // A reassigned lease delivers some indices twice.
+                if let Some(&dup) = q.first() {
+                    if rng.next_below(2) == 0 {
+                        q.push(dup);
+                    }
+                }
+            }
+            let mut deliveries = Vec::new();
+            while queues.iter().any(|q| !q.is_empty()) {
+                let w = rng.next_below(k as u64) as usize;
+                if let Some(&i) = queues[w].first() {
+                    queues[w].remove(0);
+                    deliveries.push(i);
+                }
+            }
+            let mut ledger = ResultLedger::new(campaign.len());
+            let mut fresh = 0usize;
+            for &i in &deliveries {
+                // Re-executing an index (a duplicate delivery) must yield
+                // the identical digest, and the ledger absorbs it.
+                let new = ledger
+                    .record(i, campaign.run_index(i))
+                    .unwrap_or_else(|e| panic!("k={k}: unexpected conflict: {e}"));
+                fresh += usize::from(new);
+            }
+            assert!(ledger.is_complete(), "k={k}");
+            assert_eq!(fresh, campaign.len(), "k={k}");
+            assert_eq!(
+                ledger.deduped() as usize,
+                deliveries.len() - campaign.len(),
+                "k={k}"
+            );
+            let report = ledger
+                .into_report()
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(report.digests(), serial.digests(), "k={k}");
+            assert_eq!(report.to_json_string(), reference_json, "k={k}");
+        }
+    }
+}
+
+/// A doctored duplicate — same index, different digest — is a typed
+/// determinism error, never silently preferred or dropped.
+#[test]
+fn fabric_ledger_rejects_conflicting_digests() {
+    let campaign = fabric_property_campaign();
+    let mut ledger = ResultLedger::new(campaign.len());
+    assert!(ledger.record(0, campaign.run_index(0)).unwrap());
+    let mut evil = campaign.run_index(0);
+    evil.digest ^= 1;
+    match ledger.record(0, evil) {
+        Err(FabricError::DigestConflict {
+            index: 0,
+            have,
+            got,
+        }) => {
+            assert_eq!(have ^ 1, got);
+        }
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("conflicting digest accepted"),
+    }
+    // The conflict is sticky state-wise: the original result survives.
+    assert!(ledger.contains(0));
+    assert_eq!(ledger.deduped(), 0);
+}
+
 /// A small deterministic simulation invariant: conservation — every data
 /// packet delivered was sent, and all completed flows acked exactly their
 /// size (checked through the goodput accounting).
