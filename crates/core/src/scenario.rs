@@ -201,12 +201,14 @@ impl TopologyChoice {
 
 /// Which engine answers a scenario, as plain data.
 ///
-/// The JSON form is the optional `"backend"` key (`"packet"` | `"fluid"`);
-/// an omitted key is canonical for [`BackendSpec::Packet`] and keeps every
-/// pre-existing manifest bit-identical. Fluid is a steady-state model:
-/// scenarios combining it with features it cannot answer (fault injection,
+/// The JSON form is the optional `"backend"` key: a label string (`"packet"`
+/// | `"fluid"`) or the object form `{"parallel_packet": {"threads": N}}` for
+/// the multi-core engine (see [`crate::wire::backend_to_json`]). An omitted
+/// key is canonical for [`BackendSpec::Packet`] and keeps every pre-existing
+/// manifest bit-identical. Fluid is a steady-state model: scenarios
+/// combining it with features it cannot answer (fault injection,
 /// multi-class/PIAS queueing) are rejected with a typed [`BuildError`] at
-/// `try_build` time.
+/// `try_build` time, as is a parallel backend with zero threads.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum BackendSpec {
     /// The packet-level event-wheel engine (the default, and the reference).
@@ -214,10 +216,18 @@ pub enum BackendSpec {
     Packet,
     /// The Appendix A.2 fluid-model fast path.
     Fluid,
+    /// The parallel partitioned packet engine: `threads` shard threads over
+    /// a conservative-lookahead partition, bit-identical to
+    /// [`Packet`](BackendSpec::Packet).
+    ParallelPacket {
+        /// Worker threads (must be ≥ 1; the partitioner clamps to the
+        /// switch count, and 1 collapses to the sequential engine).
+        threads: u32,
+    },
 }
 
 impl BackendSpec {
-    /// The wire label ("packet" / "fluid").
+    /// The wire label ("packet" / "fluid" / "parallel_packet").
     pub fn label(self) -> &'static str {
         self.kind().label()
     }
@@ -227,14 +237,22 @@ impl BackendSpec {
         match self {
             BackendSpec::Packet => BackendKind::Packet,
             BackendSpec::Fluid => BackendKind::Fluid,
+            BackendSpec::ParallelPacket { threads } => BackendKind::ParallelPacket { threads },
         }
     }
 
-    /// Parse a wire label.
+    /// Parse a wire label. The parallel engine has no bare-label form — it
+    /// needs its thread count — so `"parallel_packet"` here points at the
+    /// object form instead of decoding.
     pub fn from_label(label: &str) -> Result<Self, JsonError> {
         match label {
             "packet" => Ok(BackendSpec::Packet),
             "fluid" => Ok(BackendSpec::Fluid),
+            "parallel_packet" => Err(JsonError(
+                "backend \"parallel_packet\" needs a thread count; write \
+                 {\"parallel_packet\": {\"threads\": N}}"
+                    .into(),
+            )),
             other => Err(JsonError(format!("unknown backend {other:?}"))),
         }
     }
@@ -1058,6 +1076,14 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let BackendSpec::ParallelPacket { threads: 0 } = self.backend {
+            return Err(BuildError(
+                "the parallel_packet backend needs at least one worker thread \
+                 (got \"threads\": 0); use \"threads\": 1 or more, or drop \
+                 \"backend\" for the sequential engine"
+                    .into(),
+            ));
+        }
         let topo = self.topology.try_build()?;
         let host_bw = self.topology.host_bw();
         let base_rtt = topo.suggested_base_rtt(MTU_WIRE_SIZE);
@@ -1186,8 +1212,8 @@ impl ScenarioSpec {
         if let Some(f) = &self.faults {
             pairs.push(("faults", faults_to_json(f)));
         }
-        if self.backend != BackendSpec::Packet {
-            pairs.push(("backend", JsonValue::Str(self.backend.label().to_string())));
+        if let Some(b) = crate::wire::backend_to_json(self.backend) {
+            pairs.push(("backend", b));
         }
         pairs.push(("trace", trace_to_json(&self.trace)));
         obj(pairs)
@@ -1233,7 +1259,7 @@ impl ScenarioSpec {
             spec.faults = Some(faults_from_json(f)?);
         }
         if let Some(b) = v.get("backend") {
-            spec.backend = BackendSpec::from_label(b.as_str()?)?;
+            spec.backend = crate::wire::backend_from_json(b)?;
         }
         if let Some(trace) = v.get("trace") {
             spec.trace = trace_from_json(trace)?;

@@ -98,6 +98,50 @@ fn opt_u64_from_json(v: &JsonValue) -> Result<Option<u64>, JsonError> {
     }
 }
 
+/// Canonical JSON for a backend choice, shared by scenario specs and
+/// result lines. `None` for the default packet engine — its canonical form
+/// is an *omitted* `"backend"` key, keeping pre-existing manifests
+/// bit-identical. The fluid engine stays the bare label string; the
+/// parallel engine carries its thread count as a nested object:
+/// `{"parallel_packet": {"threads": 4}}`.
+pub fn backend_to_json(backend: BackendSpec) -> Option<JsonValue> {
+    match backend {
+        BackendSpec::Packet => None,
+        BackendSpec::Fluid => Some(JsonValue::Str(backend.label().to_string())),
+        BackendSpec::ParallelPacket { threads } => Some(obj(vec![(
+            "parallel_packet",
+            obj(vec![("threads", JsonValue::UInt(threads as u64))]),
+        )])),
+    }
+}
+
+/// Decode a `"backend"` value: either a bare label string (resolved via
+/// [`BackendSpec::from_label`]) or the single-key object form holding the
+/// parallel engine's thread count. Extra keys alongside `"parallel_packet"`
+/// are conflicting backend selections and rejected.
+pub fn backend_from_json(v: &JsonValue) -> Result<BackendSpec, JsonError> {
+    if let JsonValue::Str(label) = v {
+        return BackendSpec::from_label(label);
+    }
+    let pairs = match v {
+        JsonValue::Object(pairs) => pairs,
+        other => return err(format!("expected backend label or object, got {other:?}")),
+    };
+    if let Some((key, _)) = pairs.iter().find(|(k, _)| k != "parallel_packet") {
+        return err(format!("conflicting backend key {key:?}"));
+    }
+    let p = v
+        .get("parallel_packet")
+        .ok_or_else(|| JsonError("backend object missing \"parallel_packet\"".into()))?;
+    let threads = p.require("threads")?.as_u64()?;
+    if threads > u32::MAX as u64 {
+        return err(format!("parallel_packet threads {threads} out of range"));
+    }
+    Ok(BackendSpec::ParallelPacket {
+        threads: threads as u32,
+    })
+}
+
 /// Recover the `&'static` bucket from the known bucket tables. Campaign
 /// results only ever use the paper's WebSearch / FB_Hadoop bucket sets, so
 /// decoding resolves labels against those instead of leaking strings.
@@ -236,8 +280,8 @@ impl ScenarioResult {
         // Backend marker (additive, optional): present only when the result
         // came from a non-default engine, so packet results render
         // byte-identical to the pre-boundary wire format.
-        if self.backend != BackendSpec::Packet {
-            fields.push(("backend", JsonValue::Str(self.backend.label().to_string())));
+        if let Some(b) = backend_to_json(self.backend) {
+            fields.push(("backend", b));
         }
         fields.push(("digest", JsonValue::UInt(self.digest)));
         obj(fields)
@@ -301,7 +345,7 @@ impl ScenarioResult {
             class_queue_p99,
             faults,
             backend: match v.get("backend") {
-                Some(b) => BackendSpec::from_label(b.as_str()?)?,
+                Some(b) => backend_from_json(b)?,
                 None => BackendSpec::Packet,
             },
             digest: v.require("digest")?.as_u64()?,

@@ -480,6 +480,40 @@ mod tests {
     }
 
     #[test]
+    fn peak_len_counts_ring_and_overflow_at_rollover() {
+        // Regression: `peak_len` must report the max of the *combined*
+        // occupancy (bucket ring + far-future overflow heap), sampled while
+        // events straddle a bucket-boundary rollover — not just the ring
+        // level. Five near events sit in the ring; five far events (beyond
+        // the ring window) sit in the overflow heap at the same instant.
+        let mut q = EventQueue::new();
+        let window = (NUM_BUCKETS as u64) << BUCKET_SHIFT;
+        let boundary = SimTime::from_ps(7 << BUCKET_SHIFT);
+        for i in 0..5u64 {
+            // In-ring: straddle the bucket boundary itself.
+            q.push(SimTime::from_ps((7 << BUCKET_SHIFT) + i - 2), Event::Sample);
+            // Overflow level: one full rotation later, same ring slot.
+            q.push(
+                SimTime::from_ps((7 << BUCKET_SHIFT) + i - 2 + 2 * window),
+                Event::Sample,
+            );
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.peak_len(), 10, "peak must count ring + overflow");
+        // Drain through the rollover: far events migrate overflow -> ring as
+        // the cursor wraps; the peak must not grow (no double counting) and
+        // must survive the drain.
+        let mut times = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            times.push(t);
+        }
+        assert_eq!(times.len(), 10);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.contains(&boundary));
+        assert_eq!(q.peak_len(), 10, "peak is a high-water mark across levels");
+    }
+
+    #[test]
     fn far_future_events_pass_through_the_overflow_level() {
         let mut q = EventQueue::new();
         // A sparse far-future timeline: every event is beyond the ring

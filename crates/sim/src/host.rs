@@ -23,23 +23,16 @@ use hpcc_types::{
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// Sender-side state of one flow.
-struct SenderFlow {
+/// Cold (per-event, not per-scan) sender-side state of one flow.
+///
+/// Everything the round-robin scheduler scan does *not* touch lives here, so
+/// the hot arrays in [`SenderFlows`] stay dense.
+struct SenderFlowCold {
     spec: FlowSpec,
     /// Dense slot of this flow in the receiver's table (stamped on every
     /// data packet so the receiver indexes without a hash lookup).
     dst_slot: u32,
     cc: Box<dyn CongestionControl>,
-    /// Cached CC outputs.
-    window: u64,
-    rate: Bandwidth,
-    /// Cumulatively acknowledged bytes.
-    snd_una: u64,
-    /// Next new byte to transmit.
-    snd_nxt: u64,
-    /// Earliest time the pacer allows the next packet of this flow.
-    next_avail: SimTime,
-    finished: bool,
     /// IRN: packet offsets queued for retransmission.
     rtx_queue: BTreeSet<u64>,
     /// IRN: packet offsets known to have been received out of order.
@@ -54,20 +47,86 @@ struct SenderFlow {
     rto_armed: bool,
 }
 
-impl SenderFlow {
-    fn inflight(&self) -> u64 {
-        self.snd_nxt.saturating_sub(self.snd_una)
+/// Sender-side flow table in struct-of-arrays layout.
+///
+/// The per-ACK path and the round-robin `pick_flow` scan read a handful of
+/// small fields per flow (`finished`/window/pacing state); keeping those in
+/// parallel dense arrays means a scan over thousands of flows touches a few
+/// contiguous cache lines instead of striding over ~200-byte AoS records
+/// (the CC trait object, two `BTreeSet`s and the spec live in
+/// [`SenderFlowCold`], off the scan path).
+#[derive(Default)]
+struct SenderFlows {
+    /// Flow id (per-ACK identity check).
+    id: Vec<FlowId>,
+    /// Flow size in bytes (mirror of `spec.size`).
+    size: Vec<u64>,
+    /// Cached CC window output.
+    window: Vec<u64>,
+    /// Cached CC rate output.
+    rate: Vec<Bandwidth>,
+    /// Cumulatively acknowledged bytes.
+    snd_una: Vec<u64>,
+    /// Next new byte to transmit.
+    snd_nxt: Vec<u64>,
+    /// Earliest time the pacer allows the next packet of this flow.
+    next_avail: Vec<SimTime>,
+    finished: Vec<bool>,
+    /// Mirror of `cold[i].rtx_queue.is_empty()` (kept in sync at every
+    /// retransmission-queue mutation so the scheduler scan stays hot).
+    rtx_empty: Vec<bool>,
+    cold: Vec<SenderFlowCold>,
+}
+
+impl SenderFlows {
+    fn len(&self) -> usize {
+        self.cold.len()
     }
-    fn has_data_to_send(&self) -> bool {
-        !self.rtx_queue.is_empty() || self.snd_nxt < self.spec.size
+    fn push(
+        &mut self,
+        now: SimTime,
+        spec: FlowSpec,
+        dst_slot: u32,
+        cc: Box<dyn CongestionControl>,
+    ) {
+        self.id.push(spec.id);
+        self.size.push(spec.size);
+        self.window.push(0);
+        self.rate.push(Bandwidth::ZERO);
+        self.snd_una.push(0);
+        self.snd_nxt.push(0);
+        self.next_avail.push(now);
+        self.finished.push(false);
+        self.rtx_empty.push(true);
+        self.cold.push(SenderFlowCold {
+            spec,
+            dst_slot,
+            cc,
+            rtx_queue: BTreeSet::new(),
+            sacked: BTreeSet::new(),
+            last_rollback: None,
+            last_progress: now,
+            timer_at: None,
+            rto_armed: false,
+        });
     }
-    fn window_open(&self) -> bool {
-        self.inflight() < self.window
+    fn inflight(&self, i: usize) -> u64 {
+        self.snd_nxt[i].saturating_sub(self.snd_una[i])
     }
-    fn refresh_cc(&mut self) {
-        let s = self.cc.state();
-        self.window = s.window;
-        self.rate = s.rate;
+    fn has_data_to_send(&self, i: usize) -> bool {
+        !self.rtx_empty[i] || self.snd_nxt[i] < self.size[i]
+    }
+    fn window_open(&self, i: usize) -> bool {
+        self.inflight(i) < self.window[i]
+    }
+    fn refresh_cc(&mut self, i: usize) {
+        let s = self.cold[i].cc.state();
+        self.window[i] = s.window;
+        self.rate[i] = s.rate;
+    }
+    /// Re-sync the `rtx_empty` mirror after a retransmission-queue mutation.
+    fn sync_rtx(&mut self, i: usize) {
+        self.rtx_empty[i] = self.cold[i].rtx_queue.is_empty();
     }
 }
 
@@ -100,7 +159,7 @@ pub struct Host {
     pause_started: Option<SimTime>,
     /// NIC port counters (tx bytes, pause time, …).
     pub counters: PortCounters,
-    flows: Vec<SenderFlow>,
+    flows: SenderFlows,
     rr_cursor: usize,
     /// Receiver-side flow state, indexed by the packet's `dst_slot` (dense
     /// per-host slots assigned by the simulator at flow registration).
@@ -157,7 +216,7 @@ impl Host {
             paused_classes: [false; Priority::MAX_DATA_CLASSES],
             pause_started: None,
             counters: PortCounters::default(),
-            flows: Vec::new(),
+            flows: SenderFlows::default(),
             rr_cursor: 0,
             recv: Vec::new(),
             wake_at: None,
@@ -202,7 +261,7 @@ impl Host {
 
     /// Number of unfinished sender flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.iter().filter(|f| !f.finished).count()
+        self.flows.finished.iter().filter(|&&f| !f).count()
     }
 
     fn any_data_paused(&self) -> bool {
@@ -217,11 +276,17 @@ impl Host {
             .all(|&p| p)
     }
 
-    /// The data class of the next packet flow `f` would emit (its head
+    /// The data class of the next packet flow `idx` would emit (its head
     /// retransmission, or the next new byte).
-    fn next_packet_class(f: &SenderFlow, cfg: &SimConfig) -> u8 {
-        let seq = f.rtx_queue.iter().next().copied().unwrap_or(f.snd_nxt);
-        cfg.queueing.tag_class(f.spec.priority, seq)
+    fn next_packet_class(flows: &SenderFlows, idx: usize, cfg: &SimConfig) -> u8 {
+        let c = &flows.cold[idx];
+        let seq = c
+            .rtx_queue
+            .iter()
+            .next()
+            .copied()
+            .unwrap_or(flows.snd_nxt[idx]);
+        cfg.queueing.tag_class(c.spec.priority, seq)
     }
 
     /// The current (window, rate) of a flow, if it exists (for tracing).
@@ -229,8 +294,8 @@ impl Host {
     /// Cold path (tracing/tests only), so a linear scan over the flow table
     /// replaces the hash map the hot path no longer needs.
     pub fn flow_state(&self, flow: FlowId) -> Option<(u64, Bandwidth)> {
-        let f = self.flows.iter().find(|f| f.spec.id == flow)?;
-        Some((f.window, f.rate))
+        let i = self.flows.id.iter().position(|&id| id == flow)?;
+        Some((self.flows.window[i], self.flows.rate[i]))
     }
 
     /// Register a new flow at its start time and try to transmit.
@@ -257,44 +322,27 @@ impl Host {
             return;
         }
         let cc = build_cc(&cfg.cc, self.bandwidth, cfg.base_rtt, cfg.mtu_payload);
-        let mut flow = SenderFlow {
-            spec,
-            dst_slot,
-            window: 0,
-            rate: Bandwidth::ZERO,
-            cc,
-            snd_una: 0,
-            snd_nxt: 0,
-            next_avail: now,
-            finished: false,
-            rtx_queue: BTreeSet::new(),
-            sacked: BTreeSet::new(),
-            last_rollback: None,
-            last_progress: now,
-            timer_at: None,
-            rto_armed: false,
-        };
-        flow.refresh_cc();
         let idx = self.flows.len();
-        self.flows.push(flow);
+        self.flows.push(now, spec, dst_slot, cc);
+        self.flows.refresh_cc(idx);
         self.ensure_cc_timer(idx, now, eff);
         eff.kicks.push((self.id, PortId(0)));
     }
 
     /// Ensure a CC timer event chain exists if the algorithm wants one.
     fn ensure_cc_timer(&mut self, idx: usize, now: SimTime, eff: &mut Effects) {
-        let flow = &mut self.flows[idx];
-        if flow.finished {
+        if self.flows.finished[idx] {
             return;
         }
-        if let Some(t) = flow.cc.next_timer() {
+        let cold = &mut self.flows.cold[idx];
+        if let Some(t) = cold.cc.next_timer() {
             let t = t.max(now + Duration::from_ns(1));
-            let need = match flow.timer_at {
+            let need = match cold.timer_at {
                 None => true,
                 Some(cur) => cur <= now || t < cur,
             };
             if need {
-                flow.timer_at = Some(t);
+                cold.timer_at = Some(t);
                 eff.events.push((
                     t,
                     Event::CcTimer {
@@ -319,16 +367,16 @@ impl Host {
             return;
         }
         {
-            let flow = &mut self.flows[idx];
-            if flow.finished {
+            if self.flows.finished[idx] {
                 return;
             }
-            if flow.timer_at.is_some_and(|t| t <= now) {
-                flow.timer_at = None;
+            let cold = &mut self.flows.cold[idx];
+            if cold.timer_at.is_some_and(|t| t <= now) {
+                cold.timer_at = None;
             }
-            if flow.cc.next_timer().is_some_and(|t| t <= now) {
-                flow.cc.on_timer(now);
-                flow.refresh_cc();
+            if cold.cc.next_timer().is_some_and(|t| t <= now) {
+                cold.cc.on_timer(now);
+                self.flows.refresh_cc(idx);
             }
         }
         self.ensure_cc_timer(idx, now, eff);
@@ -347,22 +395,25 @@ impl Host {
         if idx >= self.flows.len() {
             return;
         }
-        let flow = &mut self.flows[idx];
-        if flow.finished {
-            flow.rto_armed = false;
+        let flows = &mut self.flows;
+        if flows.finished[idx] {
+            flows.cold[idx].rto_armed = false;
             return;
         }
-        if now.saturating_since(flow.last_progress) >= cfg.rto && flow.inflight() > 0 {
+        if now.saturating_since(flows.cold[idx].last_progress) >= cfg.rto && flows.inflight(idx) > 0
+        {
             // Timeout: go back to the last acknowledged byte.
-            flow.snd_nxt = flow.snd_una;
-            flow.rtx_queue.clear();
-            flow.sacked.clear();
-            flow.cc.on_loss(now);
-            flow.refresh_cc();
-            flow.last_progress = now;
-            flow.next_avail = now;
+            flows.snd_nxt[idx] = flows.snd_una[idx];
+            let cold = &mut flows.cold[idx];
+            cold.rtx_queue.clear();
+            cold.sacked.clear();
+            cold.cc.on_loss(now);
+            cold.last_progress = now;
+            flows.sync_rtx(idx);
+            flows.refresh_cc(idx);
+            flows.next_avail[idx] = now;
         }
-        if flow.inflight() > 0 || flow.has_data_to_send() {
+        if flows.inflight(idx) > 0 || flows.has_data_to_send(idx) {
             eff.events.push((
                 now + cfg.rto,
                 Event::RtoCheck {
@@ -371,7 +422,7 @@ impl Host {
                 },
             ));
         } else {
-            flow.rto_armed = false;
+            flows.cold[idx].rto_armed = false;
         }
         eff.kicks.push((self.id, PortId(0)));
     }
@@ -524,105 +575,115 @@ impl Host {
         // stamped with; the id check preserves the old hash-miss semantics
         // for packets that do not belong to any of our flows.
         let idx = pkt.src_slot as usize;
-        if idx >= self.flows.len() || self.flows[idx].spec.id != pkt.flow {
+        if idx >= self.flows.len() || self.flows.id[idx] != pkt.flow {
             return;
         }
         let mtu = cfg.mtu_payload;
         {
-            let flow = &mut self.flows[idx];
-            if flow.finished {
+            let flows = &mut self.flows;
+            if flows.finished[idx] {
                 return;
             }
             match pkt.kind {
                 PacketKind::Ack => {
-                    let newly = pkt.seq.saturating_sub(flow.snd_una);
+                    let newly = pkt.seq.saturating_sub(flows.snd_una[idx]);
                     if newly > 0 {
-                        flow.snd_una = pkt.seq;
-                        flow.last_progress = now;
-                        eff.goodput.push((flow.spec.id, newly));
+                        flows.snd_una[idx] = pkt.seq;
+                        let cold = &mut flows.cold[idx];
+                        cold.last_progress = now;
+                        eff.goodput.push((cold.spec.id, newly));
                         // Drop retransmission bookkeeping below the new left
                         // edge.
-                        flow.rtx_queue = flow.rtx_queue.split_off(&flow.snd_una);
-                        flow.sacked = flow.sacked.split_off(&flow.snd_una);
-                        if flow.snd_nxt < flow.snd_una {
-                            flow.snd_nxt = flow.snd_una;
+                        cold.rtx_queue = cold.rtx_queue.split_off(&pkt.seq);
+                        cold.sacked = cold.sacked.split_off(&pkt.seq);
+                        flows.sync_rtx(idx);
+                        if flows.snd_nxt[idx] < flows.snd_una[idx] {
+                            flows.snd_nxt[idx] = flows.snd_una[idx];
                         }
                     }
                     let rtt = now.saturating_since(pkt.ts_sent);
                     let ev = AckEvent {
                         now,
                         ack_seq: pkt.seq,
-                        snd_nxt: flow.snd_nxt,
+                        snd_nxt: flows.snd_nxt[idx],
                         newly_acked: newly,
                         ecn_echo: pkt.ack_flags.ecn_echo,
                         rtt,
                         int: &pkt.int,
                     };
-                    flow.cc.on_ack(&ev);
-                    flow.refresh_cc();
-                    if flow.snd_una >= flow.spec.size {
-                        flow.finished = true;
+                    flows.cold[idx].cc.on_ack(&ev);
+                    flows.refresh_cc(idx);
+                    if flows.snd_una[idx] >= flows.size[idx] {
+                        flows.finished[idx] = true;
+                        let spec = &flows.cold[idx].spec;
                         eff.completions.push(FlowRecord {
-                            id: flow.spec.id,
-                            src: flow.spec.src,
-                            dst: flow.spec.dst,
-                            size: flow.spec.size,
-                            start: flow.spec.start,
+                            id: spec.id,
+                            src: spec.src,
+                            dst: spec.dst,
+                            size: spec.size,
+                            start: spec.start,
                             finish: now,
-                            prio: flow.spec.priority.wire_code(),
+                            prio: spec.priority.wire_code(),
                         });
                     }
                 }
                 PacketKind::Nack => {
                     // Go-back-N: everything before `pkt.seq` is received.
-                    if pkt.seq > flow.snd_una {
-                        flow.snd_una = pkt.seq;
-                        flow.last_progress = now;
-                        eff.goodput.push((flow.spec.id, 0));
+                    if pkt.seq > flows.snd_una[idx] {
+                        flows.snd_una[idx] = pkt.seq;
+                        flows.cold[idx].last_progress = now;
+                        eff.goodput.push((flows.id[idx], 0));
                     }
-                    let rollback_due = flow
+                    let rollback_due = flows.cold[idx]
                         .last_rollback
                         .is_none_or(|t| now.saturating_since(t) >= cfg.nack_interval);
-                    if rollback_due && flow.snd_nxt > flow.snd_una {
-                        flow.last_rollback = Some(now);
-                        flow.snd_nxt = flow.snd_una;
-                        flow.next_avail = now;
-                        flow.cc.on_loss(now);
-                        flow.refresh_cc();
+                    if rollback_due && flows.snd_nxt[idx] > flows.snd_una[idx] {
+                        flows.snd_nxt[idx] = flows.snd_una[idx];
+                        flows.next_avail[idx] = now;
+                        let cold = &mut flows.cold[idx];
+                        cold.last_rollback = Some(now);
+                        cold.cc.on_loss(now);
+                        flows.refresh_cc(idx);
                     }
                 }
                 PacketKind::SackNack => {
                     // IRN: bytes before `pkt.seq` received in order, the block
                     // `[sack_start, sack_start+sack_len)` received out of
                     // order; everything in between is missing.
-                    if pkt.seq > flow.snd_una {
-                        flow.snd_una = pkt.seq;
-                        flow.last_progress = now;
+                    if pkt.seq > flows.snd_una[idx] {
+                        flows.snd_una[idx] = pkt.seq;
+                        flows.cold[idx].last_progress = now;
                     }
-                    flow.sacked.insert(pkt.sack_start);
+                    let snd_una = flows.snd_una[idx];
+                    let snd_nxt = flows.snd_nxt[idx];
+                    let cold = &mut flows.cold[idx];
+                    cold.sacked.insert(pkt.sack_start);
                     // Queue the missing packets between snd_una and the
                     // sacked block for retransmission (blocks below earlier
                     // sacks were already queued when those sacks arrived;
                     // the `sacked.contains` check below skips them).
-                    let mut off = flow.snd_una;
+                    let mut off = snd_una;
                     while off < pkt.sack_start {
-                        if !flow.sacked.contains(&off) && off < flow.snd_nxt {
-                            flow.rtx_queue.insert(off);
+                        if !cold.sacked.contains(&off) && off < snd_nxt {
+                            cold.rtx_queue.insert(off);
                         }
                         off += mtu;
                     }
-                    let loss_due = flow
+                    let loss_due = cold
                         .last_rollback
                         .is_none_or(|t| now.saturating_since(t) >= cfg.nack_interval);
-                    if loss_due && !flow.rtx_queue.is_empty() {
-                        flow.last_rollback = Some(now);
-                        flow.cc.on_loss(now);
-                        flow.refresh_cc();
+                    if loss_due && !cold.rtx_queue.is_empty() {
+                        cold.last_rollback = Some(now);
+                        cold.cc.on_loss(now);
+                    }
+                    flows.sync_rtx(idx);
+                    if loss_due && !flows.rtx_empty[idx] {
+                        flows.refresh_cc(idx);
                     }
                 }
                 PacketKind::Cnp => {
-                    flow.cc.on_cnp(now);
-                    flow.refresh_cc();
+                    flows.cold[idx].cc.on_cnp(now);
+                    flows.refresh_cc(idx);
                 }
                 _ => {}
             }
@@ -642,11 +703,17 @@ impl Host {
         let any_paused = self.any_data_paused();
         for k in 0..n {
             let idx = (self.rr_cursor + k) % n;
-            let f = &self.flows[idx];
-            if f.finished || !f.has_data_to_send() || !f.window_open() || f.next_avail > now {
+            let f = &self.flows;
+            if f.finished[idx]
+                || !f.has_data_to_send(idx)
+                || !f.window_open(idx)
+                || f.next_avail[idx] > now
+            {
                 continue;
             }
-            if any_paused && self.paused_classes[Self::next_packet_class(f, cfg) as usize] {
+            if any_paused
+                && self.paused_classes[Self::next_packet_class(&self.flows, idx, cfg) as usize]
+            {
                 continue;
             }
             self.rr_cursor = (idx + 1) % n;
@@ -657,12 +724,12 @@ impl Host {
 
     /// Earliest pacing instant among flows that are blocked only by pacing.
     fn earliest_wake(&self, now: SimTime) -> Option<SimTime> {
-        self.flows
-            .iter()
-            .filter(|f| {
-                !f.finished && f.has_data_to_send() && f.window_open() && f.next_avail > now
+        let f = &self.flows;
+        (0..f.len())
+            .filter(|&i| {
+                !f.finished[i] && f.has_data_to_send(i) && f.window_open(i) && f.next_avail[i] > now
             })
-            .map(|f| f.next_avail)
+            .map(|i| f.next_avail[i])
             .min()
     }
 
@@ -701,33 +768,42 @@ impl Host {
         };
         // Build the next data packet of the chosen flow.
         let (pkt, rto_needed) = {
-            let f = &mut self.flows[idx];
-            let seq = if let Some(&s) = f.rtx_queue.iter().next() {
-                f.rtx_queue.remove(&s);
+            let flows = &mut self.flows;
+            let cold = &mut flows.cold[idx];
+            let seq = if let Some(&s) = cold.rtx_queue.iter().next() {
+                cold.rtx_queue.remove(&s);
+                flows.rtx_empty[idx] = cold.rtx_queue.is_empty();
                 s
             } else {
-                f.snd_nxt
+                flows.snd_nxt[idx]
             };
-            let payload = (f.spec.size - seq).min(cfg.mtu_payload);
-            let mut pkt = Packet::data(f.spec.id, f.spec.src, f.spec.dst, seq, payload, now);
+            let payload = (cold.spec.size - seq).min(cfg.mtu_payload);
+            let mut pkt = Packet::data(
+                cold.spec.id,
+                cold.spec.src,
+                cold.spec.dst,
+                seq,
+                payload,
+                now,
+            );
             // Stamp the data class: PIAS bytes-sent demotion or the static
             // FlowPriority mapping (class 0 — Priority::DATA — on the
             // legacy single-class path, which Packet::data already set).
-            pkt.priority = Priority::data_class(cfg.queueing.tag_class(f.spec.priority, seq));
+            pkt.priority = Priority::data_class(cfg.queueing.tag_class(cold.spec.priority, seq));
             pkt.src_slot = idx as u32;
-            pkt.dst_slot = f.dst_slot;
-            if seq + payload >= f.spec.size {
+            pkt.dst_slot = cold.dst_slot;
+            if seq + payload >= cold.spec.size {
                 pkt.ack_flags.flow_finished = true;
             }
-            if seq == f.snd_nxt {
-                f.snd_nxt = seq + payload;
+            if seq == flows.snd_nxt[idx] {
+                flows.snd_nxt[idx] = seq + payload;
             }
             // Pace the next packet of this flow at its CC rate.
             let wire = pkt.wire_size(cfg.int_enabled);
-            f.next_avail = now + f.rate.tx_time(wire);
-            let rto_needed = cfg.flow_control.lossy() && !f.rto_armed;
+            flows.next_avail[idx] = now + flows.rate[idx].tx_time(wire);
+            let rto_needed = cfg.flow_control.lossy() && !cold.rto_armed;
             if rto_needed {
-                f.rto_armed = true;
+                cold.rto_armed = true;
             }
             (pkt, rto_needed)
         };
@@ -795,7 +871,7 @@ impl Host {
         if let Some(start) = self.pause_started.take() {
             self.counters.pause_duration += now.saturating_since(start);
         }
-        self.flows.iter().filter(|f| !f.finished).count()
+        self.flows.finished.iter().filter(|&&f| !f).count()
     }
 }
 
@@ -992,9 +1068,12 @@ mod tests {
             &cfg,
             &mut e3,
         );
-        let f = &sender.flows[0];
-        assert_eq!(f.snd_una, 1000);
-        assert_eq!(f.snd_nxt, 1000, "go-back-N rolls back to the expected byte");
+        let f = &sender.flows;
+        assert_eq!(f.snd_una[0], 1000);
+        assert_eq!(
+            f.snd_nxt[0], 1000,
+            "go-back-N rolls back to the expected byte"
+        );
     }
 
     #[test]
@@ -1033,7 +1112,7 @@ mod tests {
             now += Duration::from_ns(200);
             sender.port_ready();
         }
-        assert_eq!(sender.flows[0].snd_nxt, 4000);
+        assert_eq!(sender.flows.snd_nxt[0], 4000);
         // Receiver reports: expected 1000 (packet at 1000 missing), block
         // [2000, 3000) received out of order.
         let d = Packet::data(FlowId(9), NodeId(0), NodeId(1), 2000, 1000, SimTime::ZERO);
@@ -1046,9 +1125,10 @@ mod tests {
             &cfg,
             &mut e3,
         );
-        assert_eq!(sender.flows[0].snd_una, 1000);
-        assert!(sender.flows[0].rtx_queue.contains(&1000));
-        assert_eq!(sender.flows[0].rtx_queue.len(), 1);
+        assert_eq!(sender.flows.snd_una[0], 1000);
+        assert!(sender.flows.cold[0].rtx_queue.contains(&1000));
+        assert_eq!(sender.flows.cold[0].rtx_queue.len(), 1);
+        assert!(!sender.flows.rtx_empty[0], "rtx mirror tracks the queue");
         // The retransmission goes out before new data.
         let mut e4 = Effects::default();
         sender.try_transmit(SimTime::from_us(6), &cfg, &mut e4);
@@ -1251,11 +1331,11 @@ mod tests {
             .find(|(_, ev)| matches!(ev, Event::RtoCheck { .. }));
         assert!(rto_ev.is_some(), "lossy mode arms an RTO");
         h.port_ready();
-        assert_eq!(h.flows[0].snd_nxt, 1000);
+        assert_eq!(h.flows.snd_nxt[0], 1000);
         // Nothing is acknowledged; the RTO check at +100 us rolls back.
         let mut e2 = Effects::default();
         h.handle_rto(SimTime::from_us(200), 0, &cfg, &mut e2);
-        assert_eq!(h.flows[0].snd_nxt, 0);
+        assert_eq!(h.flows.snd_nxt[0], 0);
         // And it re-arms itself.
         assert!(e2
             .events

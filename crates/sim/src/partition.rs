@@ -1,0 +1,120 @@
+//! Shard planning for the parallel packet engine.
+//!
+//! The topology-level cut (switch chunking, host co-location, the
+//! conservative lookahead bound) lives in [`hpcc_topology::partition()`]; this
+//! module wraps it in a [`ShardLayout`] and adds the one thing only the
+//! simulator knows: which shard *handles* each [`Event`] variant. Node-bound
+//! events go to the shard owning the node, flow starts to the shard owning
+//! the source host, and the global bookkeeping events (sampling, tracing,
+//! fault transitions) are replicated on every shard so each shard can keep
+//! its local node replicas' fault state and its own sampling schedule in
+//! lockstep without cross-shard coordination.
+
+use crate::engine::Event;
+use hpcc_topology::TopologySpec;
+use hpcc_types::{Duration, FlowSpec, NodeId};
+
+/// A shard assignment over a topology, as the parallel engine consumes it.
+#[derive(Clone, Debug)]
+pub struct ShardLayout {
+    /// Shard index per node id.
+    pub shard_of: Vec<u32>,
+    /// Number of shards actually produced (`1 ..= requested threads`).
+    pub parts: u32,
+    /// Conservative lookahead: the minimum one-way delay over cross-shard
+    /// links. `None` when no link crosses a shard boundary (then every
+    /// window is unbounded).
+    pub lookahead: Option<Duration>,
+}
+
+/// Plan a shard layout for `threads` worker threads over `topo`.
+///
+/// Delegates to [`hpcc_topology::partition()`] (which clamps to the switch
+/// count and collapses zero-lookahead cuts to one shard); `threads == 0` is
+/// treated as 1 here — the spec layer rejects it earlier with a typed error.
+pub fn plan_shards(topo: &TopologySpec, threads: u32) -> ShardLayout {
+    let p = hpcc_topology::partition(topo, threads.max(1));
+    ShardLayout {
+        shard_of: p.shard_of,
+        parts: p.parts,
+        lookahead: p.lookahead,
+    }
+}
+
+impl ShardLayout {
+    /// The shard owning a node.
+    pub fn owner(&self, node: NodeId) -> u32 {
+        self.shard_of[node.index()]
+    }
+
+    /// Whether `shard` owns `node`.
+    pub fn owns(&self, shard: u32, node: NodeId) -> bool {
+        self.owner(node) == shard
+    }
+
+    /// The shard that must handle `ev`, or `None` for the replicated global
+    /// events (every shard handles its own copy).
+    pub(crate) fn event_home(&self, ev: &Event, flows: &[FlowSpec]) -> Option<u32> {
+        match ev {
+            Event::FlowStart(idx) => Some(self.owner(flows[*idx].src)),
+            Event::PortReady { node, .. }
+            | Event::PacketArrive { node, .. }
+            | Event::HostWake { node }
+            | Event::CcTimer { node, .. }
+            | Event::RtoCheck { node, .. } => Some(self.owner(*node)),
+            Event::Sample | Event::TraceSample | Event::FaultTransition => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_topology::{fat_tree, FatTreeParams};
+    use hpcc_types::{FlowId, PortId, SimTime};
+
+    #[test]
+    fn events_route_to_the_owner_of_their_node() {
+        let topo = fat_tree(FatTreeParams::small());
+        let layout = plan_shards(&topo, 4);
+        assert!(layout.parts >= 2);
+        let hosts = topo.hosts().to_vec();
+        let flows = vec![FlowSpec::new(
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            1000,
+            SimTime::ZERO,
+        )];
+        let n = hosts[0];
+        assert_eq!(
+            layout.event_home(&Event::HostWake { node: n }, &flows),
+            Some(layout.owner(n))
+        );
+        assert_eq!(
+            layout.event_home(&Event::FlowStart(0), &flows),
+            Some(layout.owner(hosts[0]))
+        );
+        assert_eq!(
+            layout.event_home(
+                &Event::PortReady {
+                    node: n,
+                    port: PortId(0)
+                },
+                &flows
+            ),
+            Some(layout.owner(n))
+        );
+        for ev in [Event::Sample, Event::TraceSample, Event::FaultTransition] {
+            assert_eq!(layout.event_home(&ev, &flows), None, "replicated event");
+        }
+    }
+
+    #[test]
+    fn zero_threads_plans_a_single_shard() {
+        let topo = fat_tree(FatTreeParams::small());
+        let layout = plan_shards(&topo, 0);
+        assert_eq!(layout.parts, 1);
+        assert_eq!(layout.lookahead, None);
+    }
+}

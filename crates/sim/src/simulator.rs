@@ -11,9 +11,13 @@ use crate::switch::Switch;
 use hpcc_topology::{NodeKind, TopologySpec};
 use hpcc_types::{Duration, FlowSpec, NodeId, PortId, SimTime};
 
-/// A node in the simulated network.
+/// A node in the simulated network. Hosts dominate the node vector in every
+/// fat-tree, so the size gap between the variants wastes padding only on the
+/// switch minority; boxing `Host` would add a pointer chase to the per-ACK
+/// hot path instead.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
-enum Node {
+pub(crate) enum Node {
     Host(Host),
     Switch(Switch),
 }
@@ -22,33 +26,33 @@ enum Node {
 /// non-empty [`FaultConfig`], so fault-free runs carry a `None` and execute
 /// the exact legacy event sequence.
 #[derive(Debug)]
-struct FaultRuntime {
+pub(crate) struct FaultRuntime {
     /// Compiled transition schedule.
-    timeline: FaultTimeline,
+    pub(crate) timeline: FaultTimeline,
     /// The plan the timeline was compiled from (window parameters are read
     /// back when a transition fires).
-    plan: FaultConfig,
+    pub(crate) plan: FaultConfig,
     /// Directed endpoints of every topology link, in link order:
     /// `((a, port on a), (b, port on b))`.
-    endpoints: Vec<((NodeId, PortId), (NodeId, PortId))>,
+    pub(crate) endpoints: Vec<((NodeId, PortId), (NodeId, PortId))>,
     /// Number of host endpoints (0..=2) per link, for NIC-downtime
     /// accounting.
-    host_ends: Vec<u8>,
+    pub(crate) host_ends: Vec<u8>,
     /// When each link last went down (`None` = currently up).
-    down_since: Vec<Option<SimTime>>,
+    pub(crate) down_since: Vec<Option<SimTime>>,
     /// Accumulated downtime per link.
-    downtime: Vec<Duration>,
+    pub(crate) downtime: Vec<Duration>,
     /// Accumulated host-NIC downtime (host endpoints of downed links).
-    host_nic_downtime: Duration,
+    pub(crate) host_nic_downtime: Duration,
     /// Number of currently-open fault windows (outages, degradations and
     /// straggles); goodput is attributed to the fault window while > 0.
-    active: u32,
+    pub(crate) active: u32,
     /// Transitions applied so far.
-    events_applied: u64,
+    pub(crate) events_applied: u64,
 }
 
 impl FaultRuntime {
-    fn new(plan: &FaultConfig, topo: &TopologySpec) -> FaultRuntime {
+    pub(crate) fn new(plan: &FaultConfig, topo: &TopologySpec) -> FaultRuntime {
         // Recover each link's two directed (node, port) endpoints by
         // replaying the builder's dense port assignment: ports are numbered
         // per node in link-insertion order.

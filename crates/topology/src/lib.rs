@@ -24,6 +24,7 @@
 
 pub mod builders;
 pub mod corpus;
+pub mod partition;
 pub mod routing;
 pub mod spec;
 
@@ -32,4 +33,5 @@ pub use builders::{
     FatTreeParams,
 };
 pub use corpus::{CorpusError, CorpusTopology};
+pub use partition::{partition, TopologyPartition};
 pub use spec::{LinkSpec, NodeKind, PortDesc, TopologyBuilder, TopologySpec};

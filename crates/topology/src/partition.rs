@@ -1,0 +1,216 @@
+//! Topology partitioning for the parallel packet engine.
+//!
+//! [`partition`] splits a [`TopologySpec`] into `parts` shards: switches are
+//! chunked in id order into host-weighted, nearly-equal groups, and every
+//! host is co-located with its first-hop switch (a host has exactly one NIC
+//! port, so all of its traffic crosses that switch first — keeping the pair
+//! on one shard makes the host↔ToR hop shard-local and leaves only
+//! switch↔switch fabric links as potential shard boundaries).
+//!
+//! The returned [`TopologyPartition`] also carries the *conservative
+//! lookahead bound*: the minimum one-way propagation delay over all links
+//! whose endpoints landed on different shards. Any event a shard executes at
+//! time `t` can influence another shard no earlier than `t + lookahead`, so
+//! the parallel engine may process the window `[T, T + lookahead)`
+//! barrier-free on every shard (the classic conservative null-message bound).
+
+use crate::spec::{NodeKind, TopologySpec};
+use hpcc_types::Duration;
+
+/// A shard assignment over a topology, plus the cross-shard lookahead bound.
+#[derive(Clone, Debug)]
+pub struct TopologyPartition {
+    /// Shard index per node id (`shard_of[node.0 as usize]`).
+    pub shard_of: Vec<u32>,
+    /// Number of shards actually produced (`1 ..= requested`).
+    pub parts: u32,
+    /// Minimum one-way delay over links that cross a shard boundary;
+    /// `None` when no link crosses (single shard, or disconnected groups).
+    pub lookahead: Option<Duration>,
+}
+
+impl TopologyPartition {
+    /// Shard of a node.
+    pub fn shard(&self, node: hpcc_types::NodeId) -> u32 {
+        self.shard_of[node.0 as usize]
+    }
+
+    /// Number of nodes owned by each shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts as usize];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Partition `topo` into at most `parts` shards (see the module docs).
+///
+/// The request is clamped to the number of switches (an empty-switch
+/// topology collapses to one shard), and a partition whose minimum
+/// cross-shard delay is zero is rejected by collapsing to one shard as well:
+/// a zero lookahead admits no conservative window, so running it in parallel
+/// could not be both safe and deterministic.
+pub fn partition(topo: &TopologySpec, parts: u32) -> TopologyPartition {
+    let n = topo.node_count();
+    let switches = topo.switches();
+    let parts = parts.clamp(1, switches.len().max(1) as u32);
+    if parts <= 1 {
+        return single_shard(n);
+    }
+
+    // Weight every switch by 1 + its attached hosts: the chunker balances
+    // simulated *node* count per shard, which tracks event load far better
+    // than raw switch count on host-heavy tiers (ToRs vs. cores).
+    let mut weight = vec![1u64; n];
+    let mut first_hop = vec![None::<u32>; n];
+    for &h in topo.hosts() {
+        let peer = topo.ports(h)[0].peer_node;
+        first_hop[h.0 as usize] = Some(peer.0);
+        if topo.kind(peer) == NodeKind::Switch {
+            weight[peer.0 as usize] += 1;
+        }
+    }
+
+    // Contiguous chunking of the switch id order into `parts` groups with
+    // nearly equal total weight: switch k goes to the shard its weight
+    // midpoint falls into. Monotone in k, so shards are contiguous id
+    // ranges (good locality for fat-tree/Clos builders, which emit pods in
+    // id order).
+    let total: u64 = switches.iter().map(|s| weight[s.0 as usize]).sum();
+    let mut shard_of = vec![0u32; n];
+    let mut acc = 0u64;
+    for &s in switches {
+        let w = weight[s.0 as usize];
+        let mid = 2 * acc + w; // 2 * (acc + w/2), avoiding the halving
+        let shard = ((mid * parts as u64) / (2 * total).max(1)).min(parts as u64 - 1);
+        shard_of[s.0 as usize] = shard as u32;
+        acc += w;
+    }
+
+    // Hosts ride with their first-hop switch. A host whose single port
+    // peers another host (degenerate two-host topology) pins both to
+    // shard 0 — they form an isolated component, so the choice is free.
+    for &h in topo.hosts() {
+        let peer = first_hop[h.0 as usize].expect("host has a port") as usize;
+        shard_of[h.0 as usize] = if topo.kind(hpcc_types::NodeId(peer as u32)) == NodeKind::Switch {
+            shard_of[peer]
+        } else {
+            0
+        };
+    }
+
+    let lookahead = min_cross_delay(topo, &shard_of);
+    if lookahead == Some(Duration::ZERO) {
+        // No usable conservative window: run sequentially instead.
+        return single_shard(n);
+    }
+    TopologyPartition {
+        shard_of,
+        parts,
+        lookahead,
+    }
+}
+
+fn single_shard(n: usize) -> TopologyPartition {
+    TopologyPartition {
+        shard_of: vec![0; n],
+        parts: 1,
+        lookahead: None,
+    }
+}
+
+/// Minimum one-way delay over links crossing a shard boundary.
+fn min_cross_delay(topo: &TopologySpec, shard_of: &[u32]) -> Option<Duration> {
+    topo.links()
+        .iter()
+        .filter(|l| shard_of[l.a.0 as usize] != shard_of[l.b.0 as usize])
+        .map(|l| l.delay)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{fat_tree, star, FatTreeParams};
+    use hpcc_types::{Bandwidth, NodeId};
+
+    #[test]
+    fn hosts_are_colocated_with_their_first_hop_switch() {
+        let topo = fat_tree(FatTreeParams::small());
+        let p = partition(&topo, 4);
+        assert_eq!(p.parts, 4);
+        for &h in topo.hosts() {
+            let tor = topo.ports(h)[0].peer_node;
+            assert_eq!(
+                p.shard(h),
+                p.shard(tor),
+                "host {h} must share a shard with its ToR {tor}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced_within_a_factor_of_two() {
+        let topo = fat_tree(FatTreeParams::small());
+        let p = partition(&topo, 4);
+        let sizes = p.shard_sizes();
+        assert_eq!(sizes.len(), 4);
+        let (min, max) = (
+            *sizes.iter().min().unwrap() as f64,
+            *sizes.iter().max().unwrap() as f64,
+        );
+        assert!(min >= 1.0, "no empty shard on a fat-tree: {sizes:?}");
+        assert!(max / min <= 2.0, "balance within 2x: {sizes:?}");
+    }
+
+    #[test]
+    fn lookahead_is_the_minimum_cross_shard_delay() {
+        let topo = fat_tree(FatTreeParams::small());
+        let p = partition(&topo, 2);
+        let expected = topo
+            .links()
+            .iter()
+            .filter(|l| p.shard(l.a) != p.shard(l.b))
+            .map(|l| l.delay)
+            .min();
+        assert_eq!(p.lookahead, expected);
+        assert!(p.lookahead.is_some_and(|d| d > Duration::ZERO));
+    }
+
+    #[test]
+    fn parts_are_clamped_to_the_switch_count() {
+        let topo = star(4, Bandwidth::from_gbps(100), Duration::from_us(1));
+        let p = partition(&topo, 8);
+        // One switch ⇒ one shard, everything on it, no cross links.
+        assert_eq!(p.parts, 1);
+        assert!(p.shard_of.iter().all(|&s| s == 0));
+        assert_eq!(p.lookahead, None);
+    }
+
+    #[test]
+    fn zero_delay_cross_links_collapse_to_one_shard() {
+        let mut b = crate::TopologyBuilder::new();
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let bw = Bandwidth::from_gbps(100);
+        b.link(h0, s0, bw, Duration::from_us(1));
+        b.link(h1, s1, bw, Duration::from_us(1));
+        b.link(s0, s1, bw, Duration::ZERO);
+        let topo = b.build();
+        let p = partition(&topo, 2);
+        assert_eq!(p.parts, 1, "zero lookahead admits no parallel window");
+    }
+
+    #[test]
+    fn single_part_request_is_identity() {
+        let topo = fat_tree(FatTreeParams::small());
+        let p = partition(&topo, 1);
+        assert_eq!(p.parts, 1);
+        assert_eq!(p.shard_of, vec![0; topo.node_count()]);
+        let _ = NodeId(0);
+    }
+}
